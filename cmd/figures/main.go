@@ -1,0 +1,173 @@
+// Command figures regenerates the data behind every figure of the paper's
+// evaluation (Figs. 5–10 and the §5.4 NetPIPE characterization), printing
+// the same rows/series the paper plots.
+//
+//	figures -fig 5          # one figure
+//	figures -fig all -quick # smoke-test everything in seconds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"ftckpt/internal/expt"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, 10, netpipe, all")
+		quick = flag.Bool("quick", false, "shrink workloads (~10x) — shapes survive, absolute values do not")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		v     = flag.Bool("v", false, "trace per-run progress")
+	)
+	flag.Parse()
+
+	o := expt.Options{Quick: *quick, Seed: *seed}
+	if *v {
+		o.Trace = log.Printf
+	}
+
+	runners := map[string]func(expt.Options) error{
+		"5":       fig5,
+		"6":       fig6,
+		"7":       fig7,
+		"8":       fig8,
+		"9":       fig9,
+		"10":      fig10,
+		"netpipe": netpipe,
+	}
+	order := []string{"netpipe", "5", "6", "7", "8", "9", "10"}
+
+	if *fig == "all" {
+		for _, name := range order {
+			if err := runners[name](o); err != nil {
+				fail(err)
+			}
+		}
+		return
+	}
+	r, ok := runners[*fig]
+	if !ok {
+		fail(fmt.Errorf("unknown figure %q", *fig))
+	}
+	if err := r(o); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}
+
+func table(header string) (*tabwriter.Writer, func()) {
+	fmt.Println()
+	fmt.Println(header)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	return w, func() { w.Flush() }
+}
+
+func fig5(o expt.Options) error {
+	rows, err := expt.Fig5(o)
+	if err != nil {
+		return err
+	}
+	w, done := table("== Fig. 5: checkpoint servers — BT.B, 64 processes, 30s between waves ==")
+	defer done()
+	fmt.Fprintln(w, "servers\tpcl time\tpcl waves\tvcl time\tvcl waves")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%s\t%d\t%s\t%d\n",
+			r.Servers, expt.FmtTime(r.PclTime), r.PclWaves, expt.FmtTime(r.VclTime), r.VclWaves)
+	}
+	return nil
+}
+
+func fig6(o expt.Options) error {
+	rows, err := expt.Fig6(o)
+	if err != nil {
+		return err
+	}
+	w, done := table("== Fig. 6: execution time vs process count, four checkpoint frequencies — BT.B, 9 servers ==")
+	defer done()
+	fmt.Fprintln(w, "interval\tnp\tppn\tno-ckpt\tpcl\tpcl waves\tvcl\tvcl waves")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%v\t%d\t%d\t%s\t%s\t%d\t%s\t%d\n",
+			r.Interval, r.NP, r.PPN, expt.FmtTime(r.None),
+			expt.FmtTime(r.Pcl), r.PclWaves, expt.FmtTime(r.Vcl), r.VclWaves)
+	}
+	return nil
+}
+
+func fig7(o expt.Options) error {
+	rows, err := expt.Fig7(o)
+	if err != nil {
+		return err
+	}
+	w, done := table("== Fig. 7: checkpoint waves on a high-speed network — CG.C, 64 processes, Myrinet, 2 servers ==")
+	defer done()
+	fmt.Fprintln(w, "stack\tinterval\twaves\ttime")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%v\t%d\t%s\n", r.Stack, r.Interval, r.Waves, expt.FmtTime(r.Time))
+	}
+	return nil
+}
+
+func fig8(o expt.Options) error {
+	rows, err := expt.Fig8(o)
+	if err != nil {
+		return err
+	}
+	w, done := table("== Fig. 8: system size vs checkpoint waves — CG.C, Pcl/Nemesis on Myrinet ==")
+	defer done()
+	fmt.Fprintln(w, "np\tppn\tinterval\twaves\ttime")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%v\t%d\t%s\n", r.NP, r.PPN, r.Interval, r.Waves, expt.FmtTime(r.Time))
+	}
+	return nil
+}
+
+func fig9(o expt.Options) error {
+	rows, err := expt.Fig9(o)
+	if err != nil {
+		return err
+	}
+	w, done := table("== Fig. 9: checkpoint frequency at large scale — BT.B, 400 processes on the grid, Pcl ==")
+	defer done()
+	fmt.Fprintln(w, "interval\twaves\ttime")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%v\t%d\t%s\n", r.Interval, r.Waves, expt.FmtTime(r.Time))
+	}
+	return nil
+}
+
+func fig10(o expt.Options) error {
+	rows, err := expt.Fig10(o)
+	if err != nil {
+		return err
+	}
+	w, done := table("== Fig. 10: large scale on the grid — BT.B, Pcl, no-ckpt vs periodic waves ==")
+	defer done()
+	fmt.Fprintln(w, "np\tno-ckpt\twith waves\twaves")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%s\t%s\t%d\n", r.NP, expt.FmtTime(r.NoCkpt), expt.FmtTime(r.Ckpt60), r.Waves)
+	}
+	return nil
+}
+
+func netpipe(o expt.Options) error {
+	rows, err := expt.Netpipe(o)
+	if err != nil {
+		return err
+	}
+	w, done := table("== NetPIPE (§5.4): intra- vs inter-cluster characterization of the grid ==")
+	defer done()
+	fmt.Fprintln(w, "size\tintra lat\tinter lat\tintra MB/s\tinter MB/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%v\t%v\t%.1f\t%.1f\n", r.Size, r.IntraRTT, r.InterRTT, r.IntraBW, r.InterBW)
+	}
+	return nil
+}

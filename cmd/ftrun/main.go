@@ -1,0 +1,88 @@
+// Command ftrun executes one fault-tolerant MPI run on the simulated
+// platform and prints its report — the equivalent of the paper's mpiexec
+// under the fault tolerant process manager.
+//
+// Examples:
+//
+//	ftrun -bench bt -class B -np 64 -ppn 2 -proto pcl -interval 30s -servers 4
+//	ftrun -bench cg -class C -np 64 -ppn 2 -proto vcl -interval 15s -platform myrinet-tcp
+//	ftrun -bench cg-real -np 8 -proto pcl -interval 5ms -fail-at 20ms -fail-rank 3 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ftckpt"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		bench    = flag.String("bench", "bt", "workload: bt, cg, mg, lu (models), cg-real, ep, jacobi (real)")
+		class    = flag.String("class", "B", "NPB class for model workloads: A, B, C")
+		np       = flag.Int("np", 16, "number of MPI processes")
+		ppn      = flag.Int("ppn", 1, "processes per node (2 = dual-processor nodes)")
+		proto    = flag.String("proto", "none", "protocol: none, pcl (blocking), vcl (non-blocking), mlog (message logging)")
+		interval = flag.Duration("interval", 30*time.Second, "time between checkpoint waves")
+		servers  = flag.Int("servers", 1, "number of checkpoint servers")
+		plat     = flag.String("platform", "ethernet", "platform: ethernet, myrinet-gm, myrinet-tcp, grid")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		failAt   = flag.Duration("fail-at", 0, "inject a failure at this virtual time (0 = none)")
+		failRank = flag.Int("fail-rank", 0, "rank killed by -fail-at")
+		mttf     = flag.Duration("mttf", 0, "mean time to failure for random failures (0 = none)")
+		verbose  = flag.Bool("v", false, "trace runtime events")
+	)
+	flag.Parse()
+
+	o := ftckpt.Options{
+		Workload:     *bench,
+		Class:        *class,
+		NP:           *np,
+		ProcsPerNode: *ppn,
+		Protocol:     *proto,
+		Servers:      *servers,
+		Platform:     *plat,
+		Seed:         *seed,
+		MTTF:         *mttf,
+	}
+	if *proto != "none" {
+		o.Interval = *interval
+	}
+	if *failAt > 0 {
+		o.Failures = []ftckpt.Failure{{At: *failAt, Rank: *failRank}}
+	}
+	if *verbose {
+		o.Verbose = log.Printf
+	}
+
+	rep, err := ftckpt.Run(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload          %s (class %s), np=%d ppn=%d on %s\n", *bench, *class, *np, *ppn, *plat)
+	fmt.Printf("protocol          %s", *proto)
+	if *proto != "none" {
+		fmt.Printf(", wave every %v, %d server(s)", *interval, *servers)
+	}
+	fmt.Println()
+	fmt.Printf("completion        %v\n", rep.Completion)
+	fmt.Printf("waves committed   %d (%d local checkpoints, %.1f MB stored)\n",
+		rep.Waves, rep.LocalCheckpoints, rep.CheckpointMB)
+	if rep.Waves > 0 {
+		fmt.Printf("wave breakdown    snapshot straggle %v, transfer %v, cycle %v (means)\n",
+			rep.MeanWaveSpread, rep.MeanWaveTransfer, rep.MeanWaveCycle)
+	}
+	if rep.Restarts > 0 {
+		fmt.Printf("restarts          %d\n", rep.Restarts)
+	}
+	if rep.LoggedMessages > 0 {
+		fmt.Printf("channel state     %d messages, %.2f MB logged\n", rep.LoggedMessages, rep.LoggedMB)
+	}
+	fmt.Printf("traffic           %d messages, %.1f MB payload\n", rep.Messages, rep.PayloadMB)
+	fmt.Printf("checksum          %v\n", rep.Checksum)
+}

@@ -1,0 +1,36 @@
+// Command netpipe characterizes the simulated platform with a
+// NetPIPE-style ping-pong, as the paper does before the grid experiments
+// (§5.4): it reports latency and stream throughput between two nodes of
+// the same cluster and two nodes of distinct clusters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"ftckpt/internal/expt"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	rows, err := expt.Netpipe(expt.Options{Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netpipe:", err)
+		os.Exit(1)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "size\tintra lat\tinter lat\tintra MB/s\tinter MB/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%v\t%v\t%.1f\t%.1f\n", r.Size, r.IntraRTT, r.InterRTT, r.IntraBW, r.InterBW)
+	}
+	w.Flush()
+	last := rows[len(rows)-1]
+	first := rows[0]
+	fmt.Printf("\nlatency ratio (inter/intra):   %.0fx\n",
+		float64(first.InterRTT)/float64(first.IntraRTT))
+	fmt.Printf("bandwidth ratio (intra/inter): %.1fx\n", last.IntraBW/last.InterBW)
+}

@@ -1,0 +1,53 @@
+// Tuning: explore the checkpoint-interval trade-off under random failures
+// — the paper's closing observation that "the best value for the
+// checkpoint wave frequency is close to the MTTF".
+//
+// Too-frequent waves waste time synchronizing and shipping images;
+// too-rare waves lose large amounts of work at each rollback.  This
+// example sweeps the interval for a fixed failure rate and prints the
+// resulting completion times.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ftckpt"
+)
+
+func main() {
+	const mttf = 600 * time.Millisecond
+
+	base := ftckpt.Options{
+		Workload: "cg",
+		Class:    "A",
+		NP:       8,
+		Protocol: "pcl",
+		Servers:  2,
+		MTTF:     mttf,
+		Seed:     5,
+	}
+
+	fmt.Printf("CG class A under random failures (MTTF %v), blocking checkpointing\n\n", mttf)
+	fmt.Printf("%-10s %14s %7s %9s\n", "interval", "completion", "waves", "restarts")
+
+	best := time.Duration(0)
+	var bestIv time.Duration
+	for _, iv := range []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 800 * time.Millisecond, 1600 * time.Millisecond,
+	} {
+		o := base
+		o.Interval = iv
+		rep, err := ftckpt.Run(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10v %14v %7d %9d\n", iv, rep.Completion, rep.Waves, rep.Restarts)
+		if best == 0 || rep.Completion < best {
+			best, bestIv = rep.Completion, iv
+		}
+	}
+	fmt.Printf("\nbest interval in this sweep: %v (completion %v)\n", bestIv, best)
+}

@@ -1,0 +1,264 @@
+// Package ftckpt is a reproduction, as a Go library, of "Blocking vs.
+// non-blocking coordinated checkpointing for large-scale fault tolerant
+// MPI" (Buntinas, Coti, Herault, Lemarinier, Pilard, Rezmerita, Rodriguez,
+// Cappello — SC 2006 / FGCS 2008).
+//
+// It bundles a deterministic discrete-event simulation of the paper's
+// platforms (Gigabit-Ethernet clusters, Myrinet, the Grid'5000
+// multi-cluster grid), an MPI-like message-passing library with the device
+// hook points fault-tolerance protocols need, both coordinated
+// checkpointing protocols (blocking Pcl and non-blocking Chandy–Lamport
+// Vcl), checkpoint servers, a fault tolerant process manager with failure
+// injection and rollback recovery, and the NAS-style workloads of the
+// paper's evaluation.
+//
+// This package is the high-level facade: describe a run with Options and
+// execute it with Run.  The examples/ directory shows typical use; the
+// cmd/ tools and internal/expt regenerate every figure of the paper.
+package ftckpt
+
+import (
+	"fmt"
+	"time"
+
+	"ftckpt/internal/failure"
+	"ftckpt/internal/ftpm"
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/nas"
+	"ftckpt/internal/platform"
+)
+
+// Failure schedules the kill of one rank at a virtual time.
+type Failure struct {
+	At   time.Duration
+	Rank int
+}
+
+// Options describes one fault-tolerant MPI run.
+type Options struct {
+	// Workload selects the application: NPB class models "bt", "cg",
+	// "mg", "lu", or real kernels "cg-real" (distributed conjugate
+	// gradient), "ep" (NAS EP) and "jacobi" (2D heat diffusion).
+	Workload string
+	// Class is the NPB class for the model workloads: "A", "B" or "C".
+	Class string
+	// NP is the number of MPI processes; ProcsPerNode co-locates them
+	// (dual-processor nodes sharing one NIC, default 1).
+	NP           int
+	ProcsPerNode int
+	// Protocol is "none", "pcl" (blocking), "vcl" (non-blocking) or
+	// "mlog" (uncoordinated checkpointing + pessimistic message logging,
+	// with single-process recovery); Interval is the time between
+	// checkpoint waves (per process for mlog).
+	Protocol string
+	Interval time.Duration
+	// Servers is the number of checkpoint servers (default 1 when
+	// checkpointing).
+	Servers int
+	// Platform is "ethernet" (GigE cluster), "myrinet-gm", "myrinet-tcp"
+	// or "grid" (the six-cluster Grid'5000 topology with per-cluster
+	// checkpoint servers).  Default "ethernet".
+	Platform string
+	// Seed drives the deterministic simulation.
+	Seed int64
+	// Failures schedules rank kills; MTTF adds memoryless failures.
+	Failures []Failure
+	MTTF     time.Duration
+	// Verbose receives runtime progress lines.
+	Verbose func(format string, args ...any)
+}
+
+// Report summarizes a completed run.
+type Report struct {
+	// Completion is the job's virtual completion time.
+	Completion time.Duration
+	// Waves counts committed checkpoint waves; LocalCheckpoints the local
+	// snapshots taken; Restarts the rollback episodes.
+	Waves            int
+	LocalCheckpoints int
+	Restarts         int
+	// Messages counts packets on the wire; PayloadMB application bytes;
+	// CheckpointMB data stored on checkpoint servers; LoggedMessages and
+	// LoggedMB the channel state Vcl logged.
+	Messages       int64
+	PayloadMB      float64
+	CheckpointMB   float64
+	LoggedMessages int
+	LoggedMB       float64
+	// Checksum is the workload's verification value — identical across a
+	// failure-free run and any recovered run of the same Options.
+	Checksum float64
+	// MeanWaveSpread, MeanWaveTransfer and MeanWaveCycle break a committed
+	// wave into the synchronization/snapshot straggle, the image-transfer
+	// tail and the whole first-snapshot-to-commit cycle.
+	MeanWaveSpread   time.Duration
+	MeanWaveTransfer time.Duration
+	MeanWaveCycle    time.Duration
+}
+
+// Run executes the described job to completion (recovering from every
+// injected failure) and reports the outcome.
+func Run(o Options) (Report, error) {
+	cfg, err := buildConfig(o)
+	if err != nil {
+		return Report{}, err
+	}
+	job, err := ftpm.NewJob(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := job.Run()
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{
+		Completion:       res.Completion,
+		Waves:            res.WavesCommitted,
+		LocalCheckpoints: res.LocalCkpts,
+		Restarts:         res.Restarts,
+		Messages:         res.Messages,
+		PayloadMB:        float64(res.PayloadBytes) / (1 << 20),
+		CheckpointMB:     float64(res.CkptBytes) / (1 << 20),
+		LoggedMessages:   res.LoggedMsgs,
+		LoggedMB:         float64(res.LoggedBytes) / (1 << 20),
+		MeanWaveSpread:   res.WaveBreakdown.MeanSpread,
+		MeanWaveTransfer: res.WaveBreakdown.MeanTransfer,
+		MeanWaveCycle:    res.WaveBreakdown.MeanCycle,
+	}
+	if progs := job.Programs(); len(progs) > 0 {
+		rep.Checksum = checksum(progs[0])
+	}
+	return rep, nil
+}
+
+func checksum(p mpi.Program) float64 {
+	switch w := p.(type) {
+	case *nas.BTModel:
+		return w.Checksum
+	case *nas.CGModel:
+		return w.Checksum
+	case *nas.MGModel:
+		return w.Checksum
+	case *nas.LUModel:
+		return w.Checksum
+	case *nas.CG:
+		return w.Residual
+	case *nas.EP:
+		return w.SumX + w.SumY
+	case *nas.Jacobi:
+		return w.Residual
+	default:
+		return 0
+	}
+}
+
+func buildConfig(o Options) (ftpm.Config, error) {
+	if o.NP <= 0 {
+		return ftpm.Config{}, fmt.Errorf("ftckpt: NP must be positive")
+	}
+	ppn := o.ProcsPerNode
+	if ppn <= 0 {
+		ppn = 1
+	}
+	proto := ftpm.Proto(o.Protocol)
+	if o.Protocol == "" {
+		proto = ftpm.ProtoNone
+	}
+	servers := o.Servers
+	if servers <= 0 && proto != ftpm.ProtoNone {
+		servers = 1
+	}
+	newProgram, err := workloadFactory(o)
+	if err != nil {
+		return ftpm.Config{}, err
+	}
+	cfg := ftpm.Config{
+		NP:           o.NP,
+		ProcsPerNode: ppn,
+		Protocol:     proto,
+		Interval:     o.Interval,
+		Servers:      servers,
+		NewProgram:   newProgram,
+		Seed:         o.Seed,
+		MTTF:         o.MTTF,
+		Trace:        o.Verbose,
+	}
+	for _, f := range o.Failures {
+		cfg.Failures = append(cfg.Failures, failure.Event{At: f.At, Rank: f.Rank})
+	}
+	computeNodes := (o.NP + ppn - 1) / ppn
+	pad := computeNodes + servers + 1
+	switch o.Platform {
+	case "", "ethernet":
+		cfg.Topology = platform.EthernetCluster(pad)
+		cfg.Profile = platform.PclSock
+	case "myrinet-gm":
+		cfg.Topology = platform.MyrinetGM(pad)
+		cfg.Profile = platform.PclNemesis
+	case "myrinet-tcp":
+		cfg.Topology = platform.MyrinetTCP(pad)
+		cfg.Profile = platform.PclSock
+	case "grid":
+		lay, err := platform.Grid5000Layout(o.NP, ppn, 1)
+		if err != nil {
+			return ftpm.Config{}, err
+		}
+		cfg.Topology = lay.Topo
+		cfg.Placement = lay.Placement
+		cfg.ServerNodes = lay.ServerNodes
+		cfg.ServerOf = lay.ServerOf
+		cfg.ServiceNode = lay.ServiceNode
+		cfg.Servers = lay.Servers
+		cfg.Profile = platform.PclSock
+	default:
+		return ftpm.Config{}, fmt.Errorf("ftckpt: unknown platform %q", o.Platform)
+	}
+	if proto == ftpm.ProtoVcl || proto == ftpm.ProtoMlog {
+		// Both MPICH-V protocol families run through the daemon device.
+		cfg.Profile = platform.Vcl
+	}
+	return cfg, nil
+}
+
+func workloadFactory(o Options) (func(rank, size int) mpi.Program, error) {
+	class := o.Class
+	if class == "" {
+		class = "B"
+	}
+	switch o.Workload {
+	case "", "bt":
+		c, err := nas.BTClass(class)
+		if err != nil {
+			return nil, err
+		}
+		return func(rank, size int) mpi.Program { return nas.NewBTModel(c, rank, size) }, nil
+	case "cg":
+		c, err := nas.CGClass(class)
+		if err != nil {
+			return nil, err
+		}
+		return func(rank, size int) mpi.Program { return nas.NewCGModel(c, rank, size) }, nil
+	case "mg":
+		c, err := nas.MGClass(class)
+		if err != nil {
+			return nil, err
+		}
+		return func(rank, size int) mpi.Program { return nas.NewMGModel(c, rank, size) }, nil
+	case "lu":
+		c, err := nas.LUClass(class)
+		if err != nil {
+			return nil, err
+		}
+		return func(rank, size int) mpi.Program { return nas.NewLUModel(c, rank, size) }, nil
+	case "cg-real":
+		n := 256 * o.NP
+		return func(rank, size int) mpi.Program { return nas.NewCG(rank, size, n, o.Seed+11, 80) }, nil
+	case "ep":
+		return func(rank, size int) mpi.Program { return nas.NewEP(rank, size, 1<<18, o.Seed+13) }, nil
+	case "jacobi":
+		n := o.NP * 16
+		return func(rank, size int) mpi.Program { return nas.NewJacobi(rank, size, n, 2000) }, nil
+	default:
+		return nil, fmt.Errorf("ftckpt: unknown workload %q", o.Workload)
+	}
+}

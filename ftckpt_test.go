@@ -1,0 +1,120 @@
+package ftckpt
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunBaseline(t *testing.T) {
+	rep, err := Run(Options{Workload: "cg-real", NP: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completion <= 0 || rep.Checksum == 0 {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	if rep.Waves != 0 {
+		t.Fatalf("baseline checkpointed: %+v", rep)
+	}
+}
+
+func TestRunPclRecoveryViaFacade(t *testing.T) {
+	base, err := Run(Options{Workload: "cg-real", NP: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Options{
+		Workload: "cg-real",
+		NP:       4,
+		Protocol: "pcl",
+		Interval: 4 * time.Millisecond,
+		Servers:  2,
+		Seed:     1,
+		Failures: []Failure{{At: 10 * time.Millisecond, Rank: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restarts != 1 {
+		t.Fatalf("restarts = %d", rep.Restarts)
+	}
+	if rep.Checksum != base.Checksum {
+		t.Fatalf("recovered checksum %v != baseline %v", rep.Checksum, base.Checksum)
+	}
+	if rep.Waves == 0 || rep.CheckpointMB == 0 {
+		t.Fatalf("no checkpoint activity: %+v", rep)
+	}
+}
+
+func TestRunVclOnGrid(t *testing.T) {
+	rep, err := Run(Options{
+		Workload: "cg", Class: "A",
+		NP:       16,
+		Protocol: "vcl",
+		Interval: 100 * time.Millisecond,
+		Platform: "grid",
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Waves == 0 {
+		t.Fatalf("no waves: %+v", rep)
+	}
+}
+
+func TestRunAllWorkloads(t *testing.T) {
+	for _, w := range []string{"bt", "cg", "mg", "lu", "ep", "cg-real", "jacobi"} {
+		w := w
+		t.Run(w, func(t *testing.T) {
+			np := 4
+			rep, err := Run(Options{Workload: w, Class: "A", NP: np, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Completion <= 0 {
+				t.Fatalf("report %+v", rep)
+			}
+		})
+	}
+}
+
+func TestRunMlogRecovery(t *testing.T) {
+	base, err := Run(Options{Workload: "cg-real", NP: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Options{
+		Workload: "cg-real",
+		NP:       4,
+		Protocol: "mlog",
+		Interval: 10 * time.Millisecond,
+		Servers:  2,
+		Seed:     9,
+		Failures: []Failure{{At: base.Completion / 2, Rank: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restarts != 1 {
+		t.Fatalf("restarts = %d", rep.Restarts)
+	}
+	if rep.Checksum != base.Checksum {
+		t.Fatalf("recovered checksum %v != %v", rep.Checksum, base.Checksum)
+	}
+	if rep.LoggedMessages == 0 {
+		t.Fatal("no messages logged")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Options{Workload: "nope", NP: 4}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := Run(Options{Workload: "bt", NP: 4, Platform: "token-ring"}); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	if _, err := Run(Options{}); err == nil {
+		t.Fatal("zero options accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module ftckpt
+
+go 1.22

@@ -1,0 +1,187 @@
+package ckpt
+
+import (
+	"encoding/gob"
+	"testing"
+	"time"
+
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/sim"
+	"ftckpt/internal/simnet"
+)
+
+// toyProgram is a minimal gob-serializable Program for image tests.
+type toyProgram struct {
+	Phase int
+	X     []float64
+	Mem   int64
+}
+
+func (t *toyProgram) Step(e *mpi.Engine) bool { t.Phase++; return t.Phase > 3 }
+func (t *toyProgram) Footprint() int64        { return t.Mem }
+
+func init() { gob.Register(&toyProgram{}) }
+
+func testNet(k *sim.Kernel) *simnet.Network {
+	return simnet.New(k, simnet.Topology{Clusters: []simnet.ClusterSpec{{
+		Name: "c", Nodes: 4, NICBW: 100e6, Latency: 50 * time.Microsecond,
+	}}})
+}
+
+func TestProgramCodecRoundTrip(t *testing.T) {
+	p := &toyProgram{Phase: 2, X: []float64{1.5, -3}, Mem: 1 << 20}
+	b, err := EncodeProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := DecodeProgram(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, ok := q.(*toyProgram)
+	if !ok {
+		t.Fatalf("decoded %T", q)
+	}
+	if tp.Phase != 2 || len(tp.X) != 2 || tp.X[1] != -3 || tp.Mem != 1<<20 {
+		t.Fatalf("round trip lost state: %+v", tp)
+	}
+}
+
+func TestImageBytesDominatedByFootprint(t *testing.T) {
+	im := &Image{Rank: 1, Wave: 3, Footprint: 30 << 20, App: make([]byte, 100)}
+	if im.Bytes() < 30<<20 || im.Bytes() > 31<<20 {
+		t.Fatalf("Bytes() = %d", im.Bytes())
+	}
+}
+
+func TestServerStoreFetch(t *testing.T) {
+	k := sim.New(1)
+	net := testNet(k)
+	srv := NewServer(net, 0, 3)
+	app, _ := EncodeProgram(&toyProgram{Phase: 7, Mem: 1 << 20})
+	img := &Image{Rank: 2, Wave: 1, App: app, Footprint: 1 << 20}
+
+	var storedAt sim.Time
+	var fetched *Image
+	k.Go("proc", func(p *sim.Proc) {
+		srv.Receive(img, 0, func() {
+			storedAt = k.Now()
+			if !srv.Has(2, 1) {
+				t.Error("image not stored at onStored time")
+			}
+			srv.Fetch(2, 1, 1, func(im *Image, logs []*mpi.Packet) {
+				fetched = im
+				if len(logs) != 0 {
+					t.Errorf("unexpected logs: %d", len(logs))
+				}
+			})
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1MB at 100MB/s ≈ 10.5ms.
+	if storedAt < 10*time.Millisecond || storedAt > 12*time.Millisecond {
+		t.Fatalf("stored at %v", storedAt)
+	}
+	if fetched == nil || fetched.Rank != 2 || fetched.Wave != 1 {
+		t.Fatalf("fetched %+v", fetched)
+	}
+	p, err := DecodeProgram(fetched.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.(*toyProgram).Phase != 7 {
+		t.Fatal("fetched image has wrong program state")
+	}
+}
+
+func TestServerImageIsolation(t *testing.T) {
+	k := sim.New(1)
+	net := testNet(k)
+	srv := NewServer(net, 0, 1)
+	img := &Image{Rank: 0, Wave: 1, App: []byte{1, 2, 3}, Footprint: 10}
+	srv.Receive(img, 0, nil)
+	img.App[0] = 99 // sender mutates its buffer mid-transfer
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Image(0, 1).App[0]; got != 1 {
+		t.Fatalf("server shares sender memory: %d", got)
+	}
+}
+
+func TestServerLogsAccumulate(t *testing.T) {
+	k := sim.New(1)
+	net := testNet(k)
+	srv := NewServer(net, 0, 1)
+	srv.Receive(&Image{Rank: 0, Wave: 2, Footprint: 100}, 0, nil)
+	srv.ReceiveLogs(0, 2, []*mpi.Packet{
+		{Src: 1, Dst: 0, Kind: mpi.KindPayload, Tag: 5, Data: []byte("a")},
+	}, 0, nil)
+	srv.ReceiveLogs(0, 2, []*mpi.Packet{
+		{Src: 2, Dst: 0, Kind: mpi.KindPayload, Tag: 5, Data: []byte("b")},
+	}, 0, nil)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	logs := srv.Logs(0, 2)
+	if len(logs) != 2 || string(logs[0].Data) != "a" || string(logs[1].Data) != "b" {
+		t.Fatalf("logs %v", logs)
+	}
+}
+
+func TestServerGC(t *testing.T) {
+	k := sim.New(1)
+	net := testNet(k)
+	srv := NewServer(net, 0, 1)
+	for wave := 1; wave <= 3; wave++ {
+		srv.Receive(&Image{Rank: 0, Wave: wave, Footprint: 10}, 0, nil)
+		srv.ReceiveLogs(0, wave, []*mpi.Packet{{Kind: mpi.KindPayload}}, 0, nil)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	srv.GC(3)
+	if srv.Has(0, 1) || srv.Has(0, 2) {
+		t.Fatal("GC kept superseded waves")
+	}
+	if !srv.Has(0, 3) {
+		t.Fatal("GC dropped the committed wave")
+	}
+	if len(srv.Logs(0, 2)) != 0 || len(srv.Logs(0, 3)) != 1 {
+		t.Fatal("GC mishandled logs")
+	}
+}
+
+func TestReceiveCancelled(t *testing.T) {
+	k := sim.New(1)
+	net := testNet(k)
+	srv := NewServer(net, 0, 1)
+	f := srv.Receive(&Image{Rank: 0, Wave: 1, Footprint: 100 << 20}, 0, func() {
+		t.Error("cancelled transfer stored")
+	})
+	k.After(time.Millisecond, f.Cancel)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Has(0, 1) {
+		t.Fatal("image stored despite cancel")
+	}
+}
+
+func TestTransfersCompeteForServerNIC(t *testing.T) {
+	k := sim.New(1)
+	net := testNet(k)
+	srv := NewServer(net, 0, 3)
+	var t1, t2 sim.Time
+	srv.Receive(&Image{Rank: 0, Wave: 1, Footprint: 50e6}, 0, func() { t1 = k.Now() })
+	srv.Receive(&Image{Rank: 1, Wave: 1, Footprint: 50e6}, 1, func() { t2 = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two 50MB images into one 100MB/s rx NIC: ~1s each, not ~0.5s.
+	if t1 < 900*time.Millisecond || t2 < 900*time.Millisecond {
+		t.Fatalf("server NIC not shared: %v %v", t1, t2)
+	}
+}

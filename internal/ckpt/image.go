@@ -1,0 +1,81 @@
+// Package ckpt provides process checkpoint images and checkpoint servers.
+//
+// It is the analogue of the paper's unified checkpointing mechanism (one
+// API over Condor, libckpt and BLCR) plus the checkpoint-server component
+// shared by MPICH-Vcl and MPICH2-Pcl: servers collect local checkpoints,
+// the image transfer is pipelined over the network while computation
+// continues (the paper's fork-then-send), and a completed wave's images
+// supersede older ones.
+//
+// A system-level checkpoint saves the whole process memory, so image size
+// is dominated by the application's resident set: Image.Bytes() charges
+// the Program's declared Footprint plus the serialized engine/protocol
+// state actually needed to restore.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"ftckpt/internal/mpi"
+)
+
+// Image is one process's local checkpoint for one wave.
+type Image struct {
+	Rank int
+	Wave int
+	// App is the gob-encoded Program.
+	App []byte
+	// Engine is the communication-engine state (unconsumed messages,
+	// in-flight collective progress).
+	Engine *mpi.EngineImage
+	// Device is protocol-private state (e.g. Pcl's delayed send queue).
+	Device []byte
+	// Footprint is the modelled resident memory of the process.
+	Footprint int64
+	// Done records that the program had already completed when the image
+	// was taken (the restarted process only finalizes).
+	Done bool
+}
+
+// Bytes returns the modelled size of the image on the wire and on the
+// server: the process footprint plus live engine/device state.
+func (im *Image) Bytes() int64 {
+	n := im.Footprint + int64(len(im.App)) + int64(len(im.Device)) + 256
+	if im.Engine != nil {
+		n += im.Engine.StateBytes()
+	}
+	return n
+}
+
+// EncodeProgram serializes a Program for an image.  The concrete type must
+// be gob-registered.
+func EncodeProgram(p mpi.Program) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+		return nil, fmt.Errorf("ckpt: encoding program: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeProgram reverses EncodeProgram.
+func DecodeProgram(b []byte) (mpi.Program, error) {
+	var p mpi.Program
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("ckpt: decoding program: %w", err)
+	}
+	return p, nil
+}
+
+// Clone returns a deep copy of the image (servers keep their own copy, as
+// a real server holds the bytes it received).
+func (im *Image) Clone() *Image {
+	c := *im
+	c.App = append([]byte(nil), im.App...)
+	c.Device = append([]byte(nil), im.Device...)
+	if im.Engine != nil {
+		c.Engine = im.Engine.Clone()
+	}
+	return &c
+}

@@ -1,0 +1,185 @@
+package ckpt
+
+import (
+	"fmt"
+	"sort"
+
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/simnet"
+)
+
+// Server is one checkpoint server: it stores the local checkpoints of the
+// compute processes assigned to it, receiving each image as a pipelined
+// network flow (the paper's data connection) and, for Vcl, each channel-
+// state log as a separate transfer (the message connection).  Servers are
+// event-driven objects placed on a node of the simulated platform.
+type Server struct {
+	Index int
+	Node  int
+	net   *simnet.Network
+
+	images map[imgKey]*Image
+	logs   map[imgKey][]*mpi.Packet
+
+	// BytesReceived and ImagesStored accumulate statistics.
+	BytesReceived int64
+	ImagesStored  int
+}
+
+type imgKey struct{ rank, wave int }
+
+// NewServer places checkpoint server index on node of net.
+func NewServer(net *simnet.Network, index, node int) *Server {
+	return &Server{
+		Index:  index,
+		Node:   node,
+		net:    net,
+		images: make(map[imgKey]*Image),
+		logs:   make(map[imgKey][]*mpi.Packet),
+	}
+}
+
+// Receive starts the transfer of img from srcNode to the server.  The
+// returned flow may be cancelled if the sender dies.  onStored runs when
+// the image is fully stored.  The server keeps its own copy, so later
+// mutation of img by the sender is invisible.
+func (s *Server) Receive(img *Image, srcNode int, onStored func()) *simnet.Flow {
+	return s.ReceiveCapped(img, srcNode, 0, onStored)
+}
+
+// ReceiveCapped is Receive with a sender-side rate ceiling (0 = none),
+// modelling transfers paced by a single-threaded daemon.
+func (s *Server) ReceiveCapped(img *Image, srcNode int, cap simnet.Rate, onStored func()) *simnet.Flow {
+	stored := img.Clone()
+	return s.net.StartFlowCapped(srcNode, s.Node, img.Bytes(), cap, func() {
+		s.images[imgKey{stored.Rank, stored.Wave}] = stored
+		s.BytesReceived += stored.Bytes()
+		s.ImagesStored++
+		if onStored != nil {
+			onStored()
+		}
+	})
+}
+
+// ReceiveLogs transfers a set of logged in-transit messages (Vcl channel
+// state) for (rank, wave).  Logs from several channels may arrive in
+// separate calls; they accumulate in arrival order, which preserves
+// per-channel FIFO since each channel's log is shipped in one piece.
+func (s *Server) ReceiveLogs(rank, wave int, pkts []*mpi.Packet, srcNode int, onStored func()) *simnet.Flow {
+	cp := make([]*mpi.Packet, len(pkts))
+	var bytes int64
+	for i, p := range pkts {
+		cp[i] = p.Clone()
+		bytes += p.WireSize()
+	}
+	return s.net.StartFlow(srcNode, s.Node, bytes, func() {
+		k := imgKey{rank, wave}
+		s.logs[k] = append(s.logs[k], cp...)
+		s.BytesReceived += bytes
+		if onStored != nil {
+			onStored()
+		}
+	})
+}
+
+// Image returns the stored image for (rank, wave), or nil.
+func (s *Server) Image(rank, wave int) *Image { return s.images[imgKey{rank, wave}] }
+
+// Logs returns the stored channel-state messages for (rank, wave).
+func (s *Server) Logs(rank, wave int) []*mpi.Packet { return s.logs[imgKey{rank, wave}] }
+
+// Has reports whether a complete image for (rank, wave) is stored.
+func (s *Server) Has(rank, wave int) bool {
+	_, ok := s.images[imgKey{rank, wave}]
+	return ok
+}
+
+// GC discards every image and log from waves strictly older than wave —
+// the paper's "simple garbage collection reduces the size needed to store
+// the checkpoints" once a wave is fully committed.
+func (s *Server) GC(wave int) {
+	for k := range s.images {
+		if k.wave < wave {
+			delete(s.images, k)
+		}
+	}
+	for k := range s.logs {
+		if k.wave < wave {
+			delete(s.logs, k)
+		}
+	}
+}
+
+// GCRank discards one rank's images and logs older than wave —
+// uncoordinated checkpointing garbage-collects per process, since each
+// rank's recovery line advances independently.
+func (s *Server) GCRank(rank, wave int) {
+	for k := range s.images {
+		if k.rank == rank && k.wave < wave {
+			delete(s.images, k)
+		}
+	}
+	for k := range s.logs {
+		if k.rank == rank && k.wave < wave {
+			delete(s.logs, k)
+		}
+	}
+}
+
+// LogsSince returns every stored log for the rank from waves >= wave, in
+// chronological order (wave tags only ever increase, so ascending-wave
+// concatenation preserves arrival order).  This is the reception history a
+// message-logging recovery replays: messages delivered after snapshot
+// `wave`, including any logged under a later, never-committed checkpoint.
+func (s *Server) LogsSince(rank, wave int) []*mpi.Packet {
+	var tags []int
+	for k := range s.logs {
+		if k.rank == rank && k.wave >= wave {
+			tags = append(tags, k.wave)
+		}
+	}
+	sort.Ints(tags)
+	var out []*mpi.Packet
+	for _, w := range tags {
+		out = append(out, s.logs[imgKey{rank, w}]...)
+	}
+	return out
+}
+
+// Fetch starts the transfer of the stored image (and logs) for
+// (rank, wave) from the server to dstNode, calling onDone with them when
+// the transfer completes.  Coordinated recovery replays exactly the
+// committed wave's channel state (later, aborted waves' logs describe
+// messages the rolled-back senders will regenerate); allLogsSince selects
+// the message-logging semantics instead, where peers do not roll back and
+// the whole reception history since the image is replayed.  Fetching a
+// missing image panics: a committed wave always has a full image set
+// (tested invariant).
+func (s *Server) Fetch(rank, wave, dstNode int, onDone func(*Image, []*mpi.Packet)) *simnet.Flow {
+	return s.fetch(rank, wave, dstNode, false, onDone)
+}
+
+// FetchSince is Fetch with the message-logging log semantics.
+func (s *Server) FetchSince(rank, wave, dstNode int, onDone func(*Image, []*mpi.Packet)) *simnet.Flow {
+	return s.fetch(rank, wave, dstNode, true, onDone)
+}
+
+func (s *Server) fetch(rank, wave, dstNode int, allSince bool, onDone func(*Image, []*mpi.Packet)) *simnet.Flow {
+	img := s.Image(rank, wave)
+	if img == nil {
+		panic(fmt.Sprintf("ckpt: server %d has no image for rank %d wave %d", s.Index, rank, wave))
+	}
+	var logs []*mpi.Packet
+	if allSince {
+		logs = s.LogsSince(rank, wave)
+	} else {
+		logs = s.Logs(rank, wave)
+	}
+	size := img.Bytes()
+	for _, p := range logs {
+		size += p.WireSize()
+	}
+	return s.net.StartFlow(s.Node, dstNode, size, func() {
+		onDone(img.Clone(), logs)
+	})
+}

@@ -1,0 +1,325 @@
+// Package mlog implements uncoordinated checkpointing with pessimistic,
+// receiver-based message logging — the alternative fault-tolerance family
+// the paper positions coordinated checkpointing against (§2, and the
+// group's own comparison in "Improved message logging versus improved
+// coordinated checkpointing for fault tolerant MPI", Cluster 2004).
+//
+// Under the piecewise-deterministic assumption, receptions are the only
+// non-deterministic events, so logging every received message to stable
+// storage before delivering it makes a single process recoverable in
+// isolation: no marker waves, no global rollback.  The costs are exactly
+// the ones the paper cites — every message pays a synchronous round trip
+// to the checkpoint server before delivery, which "decreases the
+// performance in reliable environments, such as clusters" — and the
+// benefit is that a failure rolls back one process, not the world.
+//
+// Mechanics:
+//
+//   - Senders stamp every payload with a per-pair protocol sequence
+//     number and keep an unacknowledged-send buffer (volatile, hence part
+//     of the checkpoint image); receivers acknowledge once the message is
+//     safely logged, and retransmit-after-restart plus
+//     duplicate-suppression by sequence number give exactly-once
+//     delivery over the lossy restart boundary.
+//   - Each process checkpoints independently on its own timer; its image
+//     plus the logs recorded since that image reconstruct it.
+//   - Recovery restarts only the failed rank: it restores its image,
+//     re-delivers the held-but-unlogged messages serialized inside the
+//     image, replays the logged messages in their original arrival order,
+//     and retransmits its unacknowledged sends; live peers are told to
+//     retransmit theirs.
+package mlog
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"ftckpt/internal/core"
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/sim"
+)
+
+// OpAck is the control opcode acknowledging that a message is logged.
+const OpAck = 100
+
+// Mlog is one process's message-logging protocol instance.
+type Mlog struct {
+	h        core.Host
+	interval sim.Time
+
+	wave    int
+	sendSeq map[int]uint64 // next PSeq per destination
+	delUpTo map[int]uint64 // highest PSeq delivered (logged) per source
+	nextSeq map[int]uint64 // highest PSeq accepted into the log pipeline
+	unacked map[int][]*mpi.Packet
+	pending []*pendingMsg // accepted in order, waiting for the log store
+	// ooo holds packets that overtook a gap (organic traffic racing a
+	// retransmission after a peer restart); the retransmission fills the
+	// gap and releases them in sequence.
+	ooo map[int]map[uint64]*mpi.Packet
+
+	timer   sim.EventID
+	hasTick bool
+	waves   int
+
+	// LoggedMsgs counts messages logged; AcksSent the acknowledgements.
+	LoggedMsgs int
+	AcksSent   int
+}
+
+type pendingMsg struct {
+	pkt    *mpi.Packet
+	stored bool
+}
+
+// New builds an Mlog instance checkpointing every interval.
+func New(h core.Host, interval sim.Time) *Mlog {
+	return &Mlog{
+		h:        h,
+		interval: interval,
+		sendSeq:  map[int]uint64{},
+		delUpTo:  map[int]uint64{},
+		nextSeq:  map[int]uint64{},
+		unacked:  map[int][]*mpi.Packet{},
+		ooo:      map[int]map[uint64]*mpi.Packet{},
+	}
+}
+
+// Name returns "mlog".
+func (m *Mlog) Name() string { return "mlog" }
+
+// Waves returns the number of local (independent) checkpoints taken.
+func (m *Mlog) Waves() int { return m.waves }
+
+// Start arms the independent checkpoint timer, staggered by rank so the
+// uncoordinated checkpoints do not accidentally synchronize.
+func (m *Mlog) Start() {
+	if m.interval > 0 {
+		stagger := m.interval * sim.Time(m.h.Rank()) / sim.Time(m.h.Size())
+		m.hasTick = true
+		m.timer = m.h.After(m.interval+stagger, m.tick)
+	}
+	// Cover anything lost on the wire across our own restart.
+	m.retransmitAll()
+}
+
+// Stop cancels the timer.
+func (m *Mlog) Stop() {
+	if m.hasTick {
+		m.h.CancelTimer(m.timer)
+		m.hasTick = false
+	}
+}
+
+func (m *Mlog) tick() {
+	m.hasTick = false
+	m.checkpoint()
+	if m.interval > 0 {
+		m.hasTick = true
+		m.timer = m.h.After(m.interval, m.tick)
+	}
+}
+
+// checkpoint takes an independent local checkpoint: no coordination, no
+// markers — the image alone (with the protocol state inside) plus later
+// logs make this process recoverable.
+func (m *Mlog) checkpoint() {
+	m.wave++
+	m.waves++
+	w := m.wave
+	m.h.TakeCheckpoint(w, m.DeviceState(), func() {
+		// Logs older than this image are no longer needed.
+		m.h.CommitWave(w)
+	})
+}
+
+// OutPayload stamps and buffers every outgoing payload.
+func (m *Mlog) OutPayload(p *mpi.Packet) bool {
+	m.sendSeq[p.Dst]++
+	p.PSeq = m.sendSeq[p.Dst]
+	m.unacked[p.Dst] = append(m.unacked[p.Dst], p.Clone())
+	return true
+}
+
+// InPacket logs payloads before delivery and consumes protocol acks.
+func (m *Mlog) InPacket(p *mpi.Packet) bool {
+	switch p.Kind {
+	case mpi.KindControl:
+		if p.Tag != OpAck {
+			panic(fmt.Sprintf("mlog: unknown control opcode %d", p.Tag))
+		}
+		m.onAck(p.Src, p.PSeq)
+		return false
+	case mpi.KindMarker:
+		panic("mlog: unexpected marker (no coordinated waves)")
+	default:
+		if p.Src < 0 {
+			return true // service traffic is not application state
+		}
+		m.onPayload(p)
+		return false
+	}
+}
+
+// onPayload accepts payloads strictly in per-pair sequence order.
+func (m *Mlog) onPayload(p *mpi.Packet) {
+	switch {
+	case p.PSeq <= m.delUpTo[p.Src]:
+		// Duplicate of a logged message (retransmission after the ack
+		// was lost): drop, but re-acknowledge.
+		m.ack(p.Src, p.PSeq)
+	case p.PSeq <= m.nextSeq[p.Src]:
+		// Duplicate of a message still in the log pipeline: drop; the
+		// ack follows when its log is stored.
+	case p.PSeq == m.nextSeq[p.Src]+1:
+		m.accept(p)
+		// The gap may have released out-of-order successors.
+		for {
+			q, ok := m.ooo[p.Src][m.nextSeq[p.Src]+1]
+			if !ok {
+				break
+			}
+			delete(m.ooo[p.Src], q.PSeq)
+			m.accept(q)
+		}
+	default:
+		// Overtook a gap (organic traffic racing a retransmission after
+		// a restart): hold until the gap fills.
+		if m.ooo[p.Src] == nil {
+			m.ooo[p.Src] = map[uint64]*mpi.Packet{}
+		}
+		m.ooo[p.Src][p.PSeq] = p
+	}
+}
+
+// accept enqueues an in-sequence payload into the pessimistic log
+// pipeline: delivery waits until the log is on stable storage.
+func (m *Mlog) accept(p *mpi.Packet) {
+	m.nextSeq[p.Src] = p.PSeq
+	pm := &pendingMsg{pkt: p}
+	m.pending = append(m.pending, pm)
+	m.h.ShipLogs(m.wave, []*mpi.Packet{p}, func() {
+		pm.stored = true
+		m.drain()
+	})
+}
+
+// drain delivers the stored prefix of the pending queue, preserving the
+// original arrival order.
+func (m *Mlog) drain() {
+	for len(m.pending) > 0 && m.pending[0].stored {
+		pm := m.pending[0]
+		m.pending = m.pending[1:]
+		m.deliver(pm.pkt)
+	}
+}
+
+func (m *Mlog) deliver(p *mpi.Packet) {
+	m.delUpTo[p.Src] = p.PSeq
+	m.LoggedMsgs++
+	m.h.Engine().Deliver(p)
+	m.ack(p.Src, p.PSeq)
+}
+
+func (m *Mlog) ack(dst int, seq uint64) {
+	m.AcksSent++
+	m.h.Wire(dst, &mpi.Packet{Kind: mpi.KindControl, Tag: OpAck, PSeq: seq})
+}
+
+// onAck drops acknowledged messages (cumulative: logging is FIFO per
+// pair, so acks arrive in sequence order).
+func (m *Mlog) onAck(from int, seq uint64) {
+	q := m.unacked[from]
+	for len(q) > 0 && q[0].PSeq <= seq {
+		q = q[1:]
+	}
+	m.unacked[from] = q
+}
+
+// PeerRestarted retransmits the unacknowledged messages to a recovered
+// peer — in-flight messages died with its channels.
+func (m *Mlog) PeerRestarted(rank int) {
+	for _, p := range m.unacked[rank] {
+		m.h.Wire(rank, p.Clone())
+	}
+}
+
+func (m *Mlog) retransmitAll() {
+	for dst, q := range m.unacked {
+		for _, p := range q {
+			m.h.Wire(dst, p.Clone())
+		}
+	}
+}
+
+// devState is the protocol state stored inside images.
+type devState struct {
+	Wave    int
+	SendSeq map[int]uint64
+	DelUpTo map[int]uint64
+	Unacked map[int][]*mpi.Packet
+	Pending []*mpi.Packet // arrived before the snapshot, log not yet stored
+}
+
+// DeviceState serializes the protocol state into the image.
+func (m *Mlog) DeviceState() []byte {
+	ds := devState{
+		Wave:    m.wave,
+		SendSeq: m.sendSeq,
+		DelUpTo: m.delUpTo,
+		Unacked: m.unacked,
+	}
+	for _, pm := range m.pending {
+		ds.Pending = append(ds.Pending, pm.pkt)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ds); err != nil {
+		panic(fmt.Sprintf("mlog: encoding device state: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// Restore loads the image state and reconstructs the reception history:
+// held messages from inside the image first (they arrived before every
+// logged message), then the stored logs in arrival order.  Start will
+// retransmit the unacknowledged sends.
+func (m *Mlog) Restore(dev []byte, logs []*mpi.Packet, lastWave int) {
+	var ds devState
+	if len(dev) > 0 {
+		if err := gob.NewDecoder(bytes.NewReader(dev)).Decode(&ds); err != nil {
+			panic(fmt.Sprintf("mlog: decoding device state: %v", err))
+		}
+	}
+	m.wave = ds.Wave
+	if m.sendSeq = ds.SendSeq; m.sendSeq == nil {
+		m.sendSeq = map[int]uint64{}
+	}
+	if m.delUpTo = ds.DelUpTo; m.delUpTo == nil {
+		m.delUpTo = map[int]uint64{}
+	}
+	if m.unacked = ds.Unacked; m.unacked == nil {
+		m.unacked = map[int][]*mpi.Packet{}
+	}
+	m.pending = nil
+	m.ooo = map[int]map[uint64]*mpi.Packet{}
+	for _, p := range ds.Pending {
+		// Already persisted by the image itself: deliver directly.
+		m.deliver(p.Clone())
+	}
+	for _, p := range logs {
+		if p.PSeq <= m.delUpTo[p.Src] {
+			continue // also present in Pending (stored twice across the snapshot)
+		}
+		m.delUpTo[p.Src] = p.PSeq
+		m.LoggedMsgs++
+		m.h.Engine().Deliver(p.Clone())
+	}
+	m.nextSeq = map[int]uint64{}
+	for src, v := range m.delUpTo {
+		m.nextSeq[src] = v
+	}
+}
+
+var _ core.Protocol = (*Mlog)(nil)
+var _ core.PeerAware = (*Mlog)(nil)

@@ -1,0 +1,268 @@
+// Package pcl implements the paper's blocking coordinated checkpointing
+// protocol — the new MPICH2 implementation the paper introduces (§3, §4.2).
+//
+// Wave lifecycle, exactly as described:
+//
+//  1. Rank 0 starts a wave on a timeout, switches to checkpointing and
+//     sends markers to every other process.  Any process receiving its
+//     first marker of the wave does the same.
+//  2. After sending its markers a process sends no payload on any channel
+//     until it has taken its checkpoint: posted sends are delayed (the
+//     ft-sock request-post hook / the Nemesis "stopper" request).  They
+//     remain in process memory and are therefore stored inside the image.
+//  3. After receiving a peer's marker, payloads subsequently arriving from
+//     that peer are moved to a delayed-receive queue (the Nemesis delayed
+//     queue) instead of being matched.
+//  4. Once markers from every other process have been received — i.e. all
+//     channels are flushed — the process checkpoints (fork), releases the
+//     delayed sends and receives, resumes computing, and the image
+//     transfer proceeds in the background, competing with the resumed
+//     traffic for the network.
+//  5. Each process reports to rank 0 when its image is stored; rank 0 then
+//     commits the wave and re-arms the timeout ("the timeout for the next
+//     checkpoint wave is set as soon as every process has transferred its
+//     image").
+//
+// On restart, delayed sends found in the image are emitted again and the
+// delayed-receive queue is discarded (§4.2 Nemesis): its packets were sent
+// after their senders' snapshots and will be regenerated.
+package pcl
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"ftckpt/internal/core"
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/sim"
+)
+
+// Pcl is one process's blocking-protocol instance.  Rank 0 additionally
+// acts as the wave coordinator — the paper explicitly replaces MPICH-V's
+// dedicated checkpoint scheduler with the rank-0 MPI process.
+type Pcl struct {
+	h        core.Host
+	interval sim.Time
+
+	checkpointing bool
+	wave          int // current wave while checkpointing, else last entered
+	markerFrom    []bool
+	markers       int
+	delayedSend   []*mpi.Packet
+	delayedRecv   []*mpi.Packet
+	waves         int
+
+	// Coordinator state (rank 0 only).
+	timer   sim.EventID
+	hasTick bool
+	done    int
+
+	// Stats.
+	DelayedSends int
+	DelayedRecvs int
+}
+
+// New builds a Pcl instance with the given time between checkpoint waves.
+func New(h core.Host, interval sim.Time) *Pcl {
+	return &Pcl{h: h, interval: interval, markerFrom: make([]bool, h.Size())}
+}
+
+// Name returns "pcl".
+func (p *Pcl) Name() string { return "pcl" }
+
+// Waves returns the number of local checkpoints taken.
+func (p *Pcl) Waves() int { return p.waves }
+
+// Start arms the coordinator timer (rank 0) and re-emits delayed sends
+// restored from an image.
+func (p *Pcl) Start() {
+	for _, pkt := range p.delayedSend {
+		p.h.Wire(pkt.Dst, pkt)
+	}
+	p.delayedSend = nil
+	if p.h.Rank() == 0 && p.interval > 0 {
+		p.arm()
+	}
+}
+
+// Stop cancels the coordinator timer.
+func (p *Pcl) Stop() {
+	if p.hasTick {
+		p.h.CancelTimer(p.timer)
+		p.hasTick = false
+	}
+}
+
+func (p *Pcl) arm() {
+	p.hasTick = true
+	p.timer = p.h.After(p.interval, func() {
+		p.hasTick = false
+		p.initiate()
+	})
+}
+
+// initiate starts a new wave from the coordinator.
+func (p *Pcl) initiate() {
+	if p.checkpointing {
+		return // previous wave still flushing; should not happen (timer arms at commit)
+	}
+	p.enterWave(p.wave + 1)
+}
+
+// enterWave switches the process to checkpointing and floods markers.
+func (p *Pcl) enterWave(w int) {
+	p.checkpointing = true
+	p.wave = w
+	p.markers = 0
+	for i := range p.markerFrom {
+		p.markerFrom[i] = false
+	}
+	for dst := 0; dst < p.h.Size(); dst++ {
+		if dst != p.h.Rank() {
+			p.h.Wire(dst, core.Marker(w))
+		}
+	}
+	if p.markers == p.h.Size()-1 { // single-process job
+		p.takeCheckpoint()
+	}
+}
+
+// OutPayload delays every payload posted while the process is
+// checkpointing: markers were already sent on all channels, so any payload
+// must wait for the local checkpoint.
+func (p *Pcl) OutPayload(pkt *mpi.Packet) bool {
+	if p.checkpointing {
+		p.delayedSend = append(p.delayedSend, pkt)
+		p.DelayedSends++
+		return false
+	}
+	return true
+}
+
+// InPacket consumes markers and control packets and holds payloads from
+// flushed channels.
+func (p *Pcl) InPacket(pkt *mpi.Packet) bool {
+	switch pkt.Kind {
+	case mpi.KindMarker:
+		p.onMarker(pkt.Src, pkt.Wave)
+		return false
+	case mpi.KindControl:
+		p.onControl(pkt)
+		return false
+	default:
+		if p.checkpointing && pkt.Src >= 0 && p.markerFrom[pkt.Src] {
+			p.delayedRecv = append(p.delayedRecv, pkt)
+			p.DelayedRecvs++
+			return false
+		}
+		return true
+	}
+}
+
+func (p *Pcl) onMarker(src, w int) {
+	if !p.checkpointing {
+		if w <= p.wave {
+			return // stale marker from an already-completed wave
+		}
+		p.enterWave(w)
+	}
+	if w != p.wave {
+		panic(fmt.Sprintf("pcl: rank %d in wave %d got marker for wave %d", p.h.Rank(), p.wave, w))
+	}
+	if p.markerFrom[src] {
+		return
+	}
+	p.markerFrom[src] = true
+	p.markers++
+	if p.markers == p.h.Size()-1 {
+		p.takeCheckpoint()
+	}
+}
+
+// takeCheckpoint runs once all channels are flushed: capture the image
+// (with the delayed sends inside), then unfreeze.
+func (p *Pcl) takeCheckpoint() {
+	w := p.wave
+	p.h.TakeCheckpoint(w, p.DeviceState(), func() {
+		p.h.Wire(0, core.Done(w))
+	})
+	p.waves++
+	p.checkpointing = false
+	// Release delayed sends in posting order.
+	sends := p.delayedSend
+	p.delayedSend = nil
+	for _, pkt := range sends {
+		p.h.Wire(pkt.Dst, pkt)
+	}
+	// Handle the delayed receive queue before any newer packet.
+	recvs := p.delayedRecv
+	p.delayedRecv = nil
+	for _, pkt := range recvs {
+		p.h.Engine().Deliver(pkt)
+	}
+}
+
+// onControl handles OpCkptDone at the coordinator.
+func (p *Pcl) onControl(pkt *mpi.Packet) {
+	if pkt.Tag != core.OpCkptDone {
+		panic(fmt.Sprintf("pcl: unknown control opcode %d", pkt.Tag))
+	}
+	if p.h.Rank() != 0 {
+		panic("pcl: OpCkptDone at non-coordinator")
+	}
+	if pkt.Wave != p.wave {
+		return // from a wave aborted by a restart
+	}
+	p.done++
+	if p.done == p.h.Size() {
+		p.done = 0
+		p.h.CommitWave(p.wave)
+		if p.interval > 0 {
+			p.arm()
+		}
+	}
+}
+
+// devState is the gob wrapper for protocol state stored in images.
+type devState struct {
+	Wave  int
+	Sends []*mpi.Packet
+}
+
+// DeviceState serializes the delayed send queue (the paper: delayed
+// messages "still in the process memory are automatically stored in the
+// checkpoint").
+func (p *Pcl) DeviceState() []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(devState{Wave: p.wave, Sends: p.delayedSend}); err != nil {
+		panic(fmt.Sprintf("pcl: encoding device state: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// Restore loads image state: the delayed sends will be re-emitted by
+// Start; the delayed receive queue is discarded by construction (it was
+// never serialized).
+func (p *Pcl) Restore(dev []byte, logs []*mpi.Packet, lastWave int) {
+	if len(logs) != 0 {
+		panic("pcl: blocking protocol has no channel state to replay")
+	}
+	var ds devState
+	if len(dev) > 0 {
+		if err := gob.NewDecoder(bytes.NewReader(dev)).Decode(&ds); err != nil {
+			panic(fmt.Sprintf("pcl: decoding device state: %v", err))
+		}
+	}
+	p.checkpointing = false
+	p.wave = lastWave
+	p.delayedSend = ds.Sends
+	p.delayedRecv = nil
+	p.markers = 0
+	p.done = 0
+	for i := range p.markerFrom {
+		p.markerFrom[i] = false
+	}
+}
+
+var _ core.Protocol = (*Pcl)(nil)

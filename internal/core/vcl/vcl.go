@@ -1,0 +1,267 @@
+// Package vcl implements the paper's non-blocking coordinated
+// checkpointing protocol — MPICH-Vcl, a direct implementation of the
+// Chandy–Lamport distributed snapshot algorithm (§3, §4.1).
+//
+// A dedicated checkpoint scheduler regularly sends markers to every MPI
+// process.  When a process receives its first marker of a wave (from the
+// scheduler or from a peer), it records its local state immediately — the
+// fork-and-pipeline checkpoint — sends a marker on every outgoing channel,
+// and keeps computing.  Every payload received on a channel after the
+// local snapshot and before that channel's marker is logged by the
+// communication daemon as the channel's state and shipped to the
+// checkpoint server.  The process acknowledges the scheduler once its
+// image and logs are stored and every peer marker has arrived; the
+// scheduler commits the wave after collecting every acknowledgement.
+//
+// Computation is never interrupted; in exchange, every message pays the
+// daemon path (modelled by the engine's service profile) and a restart
+// replays the logged channel state before new traffic.
+package vcl
+
+import (
+	"fmt"
+
+	"ftckpt/internal/core"
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/sim"
+)
+
+// Vcl is one process's non-blocking protocol instance.
+type Vcl struct {
+	h core.Host
+
+	inWave      bool
+	wave        int
+	markerFrom  []bool
+	markers     int
+	logs        []*mpi.Packet
+	imageStored bool
+	logsStored  bool
+	waves       int
+
+	// LoggedMsgs and LoggedBytes count channel-state captured across the
+	// run (Fig. 1's message m).
+	LoggedMsgs  int
+	LoggedBytes int64
+}
+
+// New builds a Vcl process instance.
+func New(h core.Host) *Vcl {
+	return &Vcl{h: h, markerFrom: make([]bool, h.Size())}
+}
+
+// Name returns "vcl".
+func (v *Vcl) Name() string { return "vcl" }
+
+// Waves returns the number of local checkpoints taken.
+func (v *Vcl) Waves() int { return v.waves }
+
+// Start is a no-op: waves are driven by the scheduler.
+func (v *Vcl) Start() {}
+
+// Stop is a no-op: the process holds no timers.
+func (v *Vcl) Stop() {}
+
+// OutPayload never blocks: the non-blocking protocol lets all traffic
+// flow during a wave.
+func (v *Vcl) OutPayload(*mpi.Packet) bool { return true }
+
+// InPacket consumes markers and logs in-transit payloads.
+func (v *Vcl) InPacket(pkt *mpi.Packet) bool {
+	switch pkt.Kind {
+	case mpi.KindMarker:
+		v.onMarker(pkt.Src, pkt.Wave)
+		return false
+	case mpi.KindControl:
+		panic(fmt.Sprintf("vcl: unexpected control packet at process: %v", pkt))
+	default:
+		if v.inWave && pkt.Src >= 0 && !v.markerFrom[pkt.Src] {
+			// Received after the local snapshot, before the sender's
+			// marker: this is channel state (message m in Fig. 1).
+			v.logs = append(v.logs, pkt.Clone())
+			v.LoggedMsgs++
+			v.LoggedBytes += pkt.PayloadSize()
+		}
+		return true
+	}
+}
+
+func (v *Vcl) onMarker(src, w int) {
+	if !v.inWave {
+		if w <= v.wave {
+			return // stale
+		}
+		v.beginWave(w)
+	}
+	if w != v.wave {
+		panic(fmt.Sprintf("vcl: rank %d in wave %d got marker for wave %d", v.h.Rank(), v.wave, w))
+	}
+	if src == mpi.SchedulerID || src < 0 {
+		return // the scheduler's marker only triggers the wave
+	}
+	if v.markerFrom[src] {
+		return
+	}
+	v.markerFrom[src] = true
+	v.markers++
+	if v.markers == v.h.Size()-1 {
+		v.shipLogs()
+	}
+}
+
+// beginWave takes the local snapshot immediately and floods markers —
+// computation continues.
+func (v *Vcl) beginWave(w int) {
+	v.inWave = true
+	v.wave = w
+	v.markers = 0
+	v.imageStored = false
+	v.logsStored = false
+	v.logs = nil
+	for i := range v.markerFrom {
+		v.markerFrom[i] = false
+	}
+	v.h.TakeCheckpoint(w, nil, func() {
+		v.imageStored = true
+		v.maybeAck(w)
+	})
+	v.waves++
+	for dst := 0; dst < v.h.Size(); dst++ {
+		if dst != v.h.Rank() {
+			v.h.Wire(dst, core.Marker(w))
+		}
+	}
+	if v.h.Size() == 1 {
+		v.shipLogs()
+	}
+}
+
+// shipLogs runs once every peer marker has arrived: the channel state is
+// complete and goes to the checkpoint server over the message connection.
+func (v *Vcl) shipLogs() {
+	w := v.wave
+	v.h.ShipLogs(w, v.logs, func() {
+		v.logsStored = true
+		v.maybeAck(w)
+	})
+}
+
+// maybeAck acknowledges the scheduler once both transfers finished and the
+// wave's markers are all in.
+func (v *Vcl) maybeAck(w int) {
+	if !v.inWave || v.wave != w {
+		return // a restart reset the wave meanwhile
+	}
+	if v.imageStored && v.logsStored && v.markers == v.h.Size()-1 {
+		v.inWave = false
+		v.h.Wire(mpi.SchedulerID, core.Done(w))
+	}
+}
+
+// DeviceState is empty: Vcl's channel state lives on the server as logs.
+func (v *Vcl) DeviceState() []byte { return nil }
+
+// Restore replays the stored channel-state messages into the fresh engine
+// before any new traffic, in stored order (per-channel FIFO preserved).
+func (v *Vcl) Restore(dev []byte, logs []*mpi.Packet, lastWave int) {
+	v.inWave = false
+	v.wave = lastWave
+	v.logs = nil
+	v.markers = 0
+	for i := range v.markerFrom {
+		v.markerFrom[i] = false
+	}
+	for _, pkt := range logs {
+		v.h.Engine().Deliver(pkt.Clone())
+	}
+}
+
+var _ core.Protocol = (*Vcl)(nil)
+
+// Scheduler is the dedicated checkpoint scheduler of the MPICH-V runtime:
+// the only entity that initiates checkpoint waves.  It is an event-driven
+// service bound to the mpi.SchedulerID endpoint.
+type Scheduler struct {
+	fab      *mpi.Fabric
+	size     int
+	interval sim.Time
+	k        *sim.Kernel
+
+	wave    int
+	acks    int
+	timer   sim.EventID
+	hasTick bool
+	active  bool
+
+	// OnCommit is invoked with each committed wave number (wired to the
+	// runtime's registry).
+	OnCommit func(wave int)
+
+	// Committed counts committed waves.
+	Committed int
+}
+
+// NewScheduler places the scheduler on a node and binds its endpoint.
+func NewScheduler(k *sim.Kernel, fab *mpi.Fabric, size, node int, interval sim.Time) *Scheduler {
+	s := &Scheduler{fab: fab, size: size, interval: interval, k: k}
+	fab.Place(mpi.SchedulerID, node)
+	fab.Bind(mpi.SchedulerID, s.onPacket)
+	return s
+}
+
+// Start arms the first wave timeout.
+func (s *Scheduler) Start(lastWave int) {
+	s.wave = lastWave
+	s.acks = 0
+	s.active = true
+	if s.interval > 0 {
+		s.arm()
+	}
+}
+
+// Stop cancels the pending timeout (job end or restart in progress).
+func (s *Scheduler) Stop() {
+	s.active = false
+	if s.hasTick {
+		s.k.Cancel(s.timer)
+		s.hasTick = false
+	}
+}
+
+func (s *Scheduler) arm() {
+	s.hasTick = true
+	s.timer = s.k.After(s.interval, func() {
+		s.hasTick = false
+		s.initiate()
+	})
+}
+
+func (s *Scheduler) initiate() {
+	if !s.active {
+		return
+	}
+	s.wave++
+	s.acks = 0
+	for r := 0; r < s.size; r++ {
+		s.fab.Send(mpi.SchedulerID, r, core.Marker(s.wave))
+	}
+}
+
+func (s *Scheduler) onPacket(p *mpi.Packet) {
+	if !s.active || p.Kind != mpi.KindControl || p.Tag != core.OpCkptDone {
+		return
+	}
+	if p.Wave != s.wave {
+		return // late ack from an aborted wave
+	}
+	s.acks++
+	if s.acks == s.size {
+		s.Committed++
+		if s.OnCommit != nil {
+			s.OnCommit(s.wave)
+		}
+		if s.interval > 0 {
+			s.arm()
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package expt contains one harness per figure of the paper's evaluation
+// (§5, Figs. 5–10) plus the NetPIPE platform characterization (§5.4).
+// Each harness builds the figure's platform, workload and protocol
+// configuration, runs the simulation, and returns the rows/series the
+// paper plots.  cmd/figures prints them; bench_test.go wraps them in
+// testing.B benchmarks; EXPERIMENTS.md records paper-vs-measured shapes.
+package expt
+
+import (
+	"fmt"
+
+	"ftckpt/internal/ftpm"
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/nas"
+	"ftckpt/internal/platform"
+	"ftckpt/internal/sim"
+	"ftckpt/internal/simnet"
+)
+
+// Options tunes a harness run.
+type Options struct {
+	// Quick shrinks workloads (~10x fewer iterations, fewer sweep points)
+	// so the full suite smoke-tests in seconds.  Figure shapes survive;
+	// absolute values do not.
+	Quick bool
+	// Trace receives progress lines (nil = silent).
+	Trace func(format string, args ...any)
+	// Seed feeds the deterministic kernels.
+	Seed int64
+}
+
+func (o Options) tracef(format string, args ...any) {
+	if o.Trace != nil {
+		o.Trace(format, args...)
+	}
+}
+
+// btClass returns the BT class for a harness, shortened in Quick mode.
+func (o Options) btClass() nas.BTClassSpec {
+	c := nas.BTClassB
+	if o.Quick {
+		c.Iters = 20
+		c.Flops /= 10
+		c.BytesPerCell /= 20 // keep image transfers proportional to the shrunken run
+	}
+	return c
+}
+
+// cgClass returns the CG class for a harness, shortened in Quick mode.
+func (o Options) cgClass() nas.CGClassSpec {
+	c := nas.CGClassC
+	if o.Quick {
+		c.Iters = 8
+		c.Flops /= 9.375
+		c.BytesN /= 20
+	}
+	return c
+}
+
+// scaleInterval shrinks wave intervals in Quick mode so runs still
+// checkpoint.
+func (o Options) scaleInterval(d sim.Time) sim.Time {
+	if o.Quick {
+		return d / 10
+	}
+	return d
+}
+
+// Platform and profile shorthands (see internal/platform).
+func platformEthernet(nodes int) simnet.Topology { return platform.EthernetCluster(nodes) }
+func platformMyriGM(nodes int) simnet.Topology   { return platform.MyrinetGM(nodes) }
+func platformMyriTCP(nodes int) simnet.Topology  { return platform.MyrinetTCP(nodes) }
+func pclSockProfile() mpi.Profile                { return platform.PclSock }
+func pclNemesisProfile() mpi.Profile             { return platform.PclNemesis }
+func vclProfile() mpi.Profile                    { return platform.Vcl }
+
+// newBT builds a BT-model program factory.
+func newBT(class nas.BTClassSpec) func(rank, size int) mpi.Program {
+	return func(rank, size int) mpi.Program { return nas.NewBTModel(class, rank, size) }
+}
+
+// newCG builds a CG-model program factory.
+func newCG(class nas.CGClassSpec) func(rank, size int) mpi.Program {
+	return func(rank, size int) mpi.Program { return nas.NewCGModel(class, rank, size) }
+}
+
+// run executes one configured job.
+func run(cfg ftpm.Config) (ftpm.Result, error) {
+	cfg.Deadline = 0
+	return ftpm.Run(cfg)
+}
+
+// FmtTime renders a virtual duration in seconds for table output.
+func FmtTime(t sim.Time) string { return fmt.Sprintf("%.1fs", t.Seconds()) }

@@ -1,0 +1,219 @@
+package expt
+
+import (
+	"testing"
+)
+
+// quick returns fast harness options for smoke tests.
+func quick() Options { return Options{Quick: true, Seed: 1} }
+
+func TestFig5Shape(t *testing.T) {
+	rows, err := Fig5(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	// Pcl completion time decreases as checkpoint servers are added.
+	if first.PclTime <= last.PclTime {
+		t.Errorf("Pcl time did not decrease with servers: 1→%v, 8→%v", first.PclTime, last.PclTime)
+	}
+	// Vcl converts faster transfers into waves at near-constant time:
+	// its relative spread stays well below Pcl's.
+	pclSpread := float64(first.PclTime-last.PclTime) / float64(last.PclTime)
+	vclSpread := float64(first.VclTime-last.VclTime) / float64(last.VclTime)
+	if vclSpread < 0 {
+		vclSpread = -vclSpread
+	}
+	if vclSpread >= pclSpread {
+		t.Errorf("Vcl spread %.3f not below Pcl spread %.3f", vclSpread, pclSpread)
+	}
+	if last.VclWaves < first.VclWaves {
+		t.Errorf("Vcl waves decreased with servers: %d→%d", first.VclWaves, last.VclWaves)
+	}
+	for _, r := range rows {
+		if r.PclWaves == 0 || r.VclWaves == 0 {
+			t.Errorf("no waves at %d servers: %+v", r.Servers, r)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	rows, err := Fig6(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index rows by (interval, np).
+	type key struct {
+		iv int64
+		np int
+	}
+	m := map[key]Fig6Row{}
+	for _, r := range rows {
+		m[key{int64(r.Interval), r.NP}] = r
+	}
+	fast, slow := int64(Fig6Intervals[0]), int64(Fig6Intervals[2])
+	for _, np := range fig6Sizes(true) {
+		f, s := m[key{fast, np}], m[key{slow, np}]
+		if f.Pcl < f.None || s.Pcl < s.None {
+			t.Errorf("np=%d: checkpointed run faster than baseline", np)
+		}
+		// High checkpoint frequency costs the blocking protocol more.
+		fastOv := float64(f.Pcl-f.None) / float64(f.None)
+		slowOv := float64(s.Pcl-s.None) / float64(s.None)
+		if fastOv < slowOv {
+			t.Errorf("np=%d: pcl overhead at 10s (%.3f) below 60s (%.3f)", np, fastOv, slowOv)
+		}
+	}
+	// Process count has no blow-up effect on relative overhead at the low
+	// frequency (paper: "increasing the number of nodes has no measurable
+	// impact"): compare smallest and largest np at the slow interval.
+	smallest := m[key{slow, 4}]
+	largest := m[key{slow, 64}]
+	ovS := float64(smallest.Pcl-smallest.None) / float64(smallest.None)
+	ovL := float64(largest.Pcl-largest.None) / float64(largest.None)
+	if ovL > 8*ovS+0.15 {
+		t.Errorf("pcl overhead grows strongly with np: %.3f (np=4) vs %.3f (np=64)", ovS, ovL)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	rows, err := Fig7(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := map[string]Fig7Row{} // interval == 0
+	most := map[string]Fig7Row{} // most frequent checkpointing
+	for _, r := range rows {
+		if r.Interval == 0 {
+			base[r.Stack] = r
+		}
+		if prev, ok := most[r.Stack]; !ok || r.Waves > prev.Waves {
+			most[r.Stack] = r
+		}
+	}
+	// CG is latency-bound: the daemon architecture makes Vcl's base run
+	// far slower than Pcl over Nemesis/GM, and slower than Pcl over TCP.
+	if base["vcl"].Time <= base["pcl-nemesis"].Time {
+		t.Errorf("vcl base %v not above pcl-nemesis base %v", base["vcl"].Time, base["pcl-nemesis"].Time)
+	}
+	if base["vcl"].Time <= base["pcl-sock"].Time {
+		t.Errorf("vcl base %v not above pcl-sock base %v", base["vcl"].Time, base["pcl-sock"].Time)
+	}
+	// Pcl completion grows with the number of waves.
+	for _, st := range []string{"pcl-sock", "pcl-nemesis"} {
+		if most[st].Waves > 0 && most[st].Time <= base[st].Time {
+			t.Errorf("%s: %d waves did not increase completion (%v vs %v)",
+				st, most[st].Waves, most[st].Time, base[st].Time)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	rows, err := Fig8(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For every size, completion grows with waves; the per-wave slope is
+	// of the same order across sizes (paper: impact of checkpoints is not
+	// sensitive to process count).
+	slopes := map[int]float64{}
+	base := map[int]Fig8Row{}
+	for _, r := range rows {
+		if r.Interval == 0 {
+			base[r.NP] = r
+		}
+	}
+	for _, r := range rows {
+		if r.Interval != 0 && r.Waves > 0 {
+			s := (r.Time - base[r.NP].Time).Seconds() / float64(r.Waves)
+			if cur, ok := slopes[r.NP]; !ok || s > cur {
+				slopes[r.NP] = s
+			}
+		}
+	}
+	if len(slopes) < 2 {
+		t.Fatalf("not enough checkpointed points: %v", slopes)
+	}
+	var mn, mx float64
+	first := true
+	for _, s := range slopes {
+		if s < 0 {
+			t.Fatalf("negative slope: %v", slopes)
+		}
+		if first {
+			mn, mx, first = s, s, false
+			continue
+		}
+		if s < mn {
+			mn = s
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	if mx > 25*mn {
+		t.Errorf("per-wave cost varies wildly across sizes: %v", slopes)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	rows, err := Fig9(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base Fig9Row
+	for _, r := range rows {
+		if r.Interval == 0 {
+			base = r
+		}
+	}
+	for _, r := range rows {
+		if r.Interval == 0 {
+			continue
+		}
+		if r.Waves == 0 {
+			t.Errorf("no waves at interval %v", r.Interval)
+			continue
+		}
+		if r.Time <= base.Time {
+			t.Errorf("checkpointed grid run not slower: %+v vs base %v", r, base.Time)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	rows, err := Fig10(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Waves == 0 {
+			t.Errorf("np=%d: no waves", r.NP)
+		}
+		if r.Ckpt60 <= r.NoCkpt {
+			t.Errorf("np=%d: checkpointing free (%v vs %v)", r.NP, r.Ckpt60, r.NoCkpt)
+		}
+	}
+}
+
+func TestNetpipeGap(t *testing.T) {
+	rows, err := Netpipe(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := rows[0]
+	// Latency two orders of magnitude apart between clusters.
+	if small.InterRTT < 50*small.IntraRTT {
+		t.Errorf("WAN latency gap too small: %v vs %v", small.InterRTT, small.IntraRTT)
+	}
+	big := rows[len(rows)-1]
+	if big.IntraBW < 10*big.InterBW {
+		t.Errorf("WAN bandwidth gap too small: %.1f vs %.1f MB/s", big.IntraBW, big.InterBW)
+	}
+	if big.IntraBW < 80 || big.IntraBW > 120 {
+		t.Errorf("intra-cluster stream bandwidth %.1f MB/s outside GigE range", big.IntraBW)
+	}
+}

@@ -1,0 +1,74 @@
+package expt
+
+import (
+	"time"
+
+	"ftckpt/internal/ftpm"
+	"ftckpt/internal/sim"
+)
+
+// Fig5Row is one checkpoint-server count of Fig. 5: BT class B on 64
+// processes (32 dual-processor Ethernet nodes), 30 s between checkpoint
+// waves; completion time and completed waves for both implementations.
+type Fig5Row struct {
+	Servers  int
+	PclTime  sim.Time
+	PclWaves int
+	VclTime  sim.Time
+	VclWaves int
+}
+
+// Fig5 reproduces "Impact of the number of checkpoint servers on BT class
+// B for 64 processes with a given period of time between checkpoints".
+// Expected shape: Pcl's completion time decreases as servers are added
+// (the image transfer competes with the resumed communication for
+// bandwidth), while Vcl's stays nearly constant and converts the faster
+// transfers into additional waves.
+func Fig5(o Options) ([]Fig5Row, error) {
+	const np = 64
+	class := o.btClass()
+	if o.Quick {
+		// Keep images big enough that server count still governs the
+		// transfer time (the effect under study).
+		class.BytesPerCell = 333
+	}
+	interval := o.scaleInterval(30 * time.Second)
+	topo := func(servers int) ftpm.Config {
+		return ftpm.Config{
+			NP:           np,
+			ProcsPerNode: 2,
+			Interval:     interval,
+			Servers:      servers,
+			Topology:     platformEthernet(np/2 + servers + 1),
+			NewProgram:   newBT(class),
+			Seed:         o.Seed,
+		}
+	}
+	var rows []Fig5Row
+	for _, servers := range []int{1, 2, 4, 8} {
+		row := Fig5Row{Servers: servers}
+
+		cfg := topo(servers)
+		cfg.Protocol = ftpm.ProtoPcl
+		cfg.Profile = pclSockProfile()
+		res, err := run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.PclTime, row.PclWaves = res.Completion, res.WavesCommitted
+
+		cfg = topo(servers)
+		cfg.Protocol = ftpm.ProtoVcl
+		cfg.Profile = vclProfile()
+		res, err = run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.VclTime, row.VclWaves = res.Completion, res.WavesCommitted
+
+		o.tracef("fig5 servers=%d pcl=%v/%dw vcl=%v/%dw",
+			servers, row.PclTime, row.PclWaves, row.VclTime, row.VclWaves)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,103 @@
+package expt
+
+import (
+	"time"
+
+	"ftckpt/internal/ftpm"
+	"ftckpt/internal/sim"
+)
+
+// Fig6Row is one (interval, process-count) point of Fig. 6: BT class B
+// completion time for a checkpoint-free run and for both protocols, with
+// 9 checkpoint servers.
+type Fig6Row struct {
+	Interval sim.Time
+	NP       int
+	PPN      int
+	None     sim.Time
+	Pcl      sim.Time
+	PclWaves int
+	Vcl      sim.Time
+	VclWaves int
+}
+
+// Fig6Intervals are the four checkpoint frequencies of the figure.
+var Fig6Intervals = []sim.Time{10 * time.Second, 30 * time.Second, 60 * time.Second, 120 * time.Second}
+
+// fig6Sizes returns the square process counts of the figure; the paper
+// had 150 machines, so deployments beyond 144 processes use both
+// processors of a node (shared NIC — the visible performance dip).
+func fig6Sizes(quick bool) []int {
+	if quick {
+		return []int{4, 16, 64}
+	}
+	return []int{4, 9, 16, 25, 36, 49, 64, 81, 100, 121, 144, 169, 196, 225, 256}
+}
+
+// Fig6PPN reproduces the paper's deployment rule for a process count.
+func Fig6PPN(np int) int {
+	if np > 144 {
+		return 2
+	}
+	return 1
+}
+
+// Fig6 reproduces "Execution time as function of the number of processes
+// for four checkpoint frequencies".  Expected shape: at 10 s between
+// checkpoints the blocking protocol degrades badly; at lower frequencies
+// both protocols converge to a constant overhead; the process count
+// itself has no measurable impact on checkpoint overhead.
+func Fig6(o Options) ([]Fig6Row, error) {
+	const servers = 9
+	class := o.btClass()
+	intervals := Fig6Intervals
+	if o.Quick {
+		intervals = []sim.Time{10 * time.Second, 60 * time.Second}
+	}
+	var rows []Fig6Row
+	for _, iv := range intervals {
+		for _, np := range fig6Sizes(o.Quick) {
+			ppn := Fig6PPN(np)
+			base := ftpm.Config{
+				NP:           np,
+				ProcsPerNode: ppn,
+				Servers:      servers,
+				Topology:     platformEthernet((np+ppn-1)/ppn + servers + 1),
+				NewProgram:   newBT(class),
+				Seed:         o.Seed,
+			}
+			row := Fig6Row{Interval: iv, NP: np, PPN: ppn}
+
+			cfg := base
+			cfg.Profile = pclSockProfile()
+			res, err := run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			row.None = res.Completion
+
+			cfg = base
+			cfg.Protocol = ftpm.ProtoPcl
+			cfg.Profile = pclSockProfile()
+			cfg.Interval = o.scaleInterval(iv)
+			if res, err = run(cfg); err != nil {
+				return nil, err
+			}
+			row.Pcl, row.PclWaves = res.Completion, res.WavesCommitted
+
+			cfg = base
+			cfg.Protocol = ftpm.ProtoVcl
+			cfg.Profile = vclProfile()
+			cfg.Interval = o.scaleInterval(iv)
+			if res, err = run(cfg); err != nil {
+				return nil, err
+			}
+			row.Vcl, row.VclWaves = res.Completion, res.WavesCommitted
+
+			o.tracef("fig6 interval=%v np=%d none=%v pcl=%v(%dw) vcl=%v(%dw)",
+				iv, np, row.None, row.Pcl, row.PclWaves, row.Vcl, row.VclWaves)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

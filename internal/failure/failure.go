@@ -1,0 +1,51 @@
+// Package failure describes fault-injection plans for fault-tolerance
+// experiments.  The paper emulates failures by killing the MPI task, so
+// detection is immediate (the TCP connection breaks as soon as the task
+// dies); injectors here follow the same model.
+package failure
+
+import (
+	"math/rand"
+	"sort"
+
+	"ftckpt/internal/sim"
+)
+
+// Event kills one rank at a virtual time.
+type Event struct {
+	At   sim.Time
+	Rank int
+}
+
+// Plan is a scripted failure schedule.
+type Plan []Event
+
+// Sorted returns the plan ordered by time.
+func (p Plan) Sorted() Plan {
+	q := append(Plan(nil), p...)
+	sort.Slice(q, func(i, j int) bool { return q[i].At < q[j].At })
+	return q
+}
+
+// KillAt builds a single-failure plan.
+func KillAt(at sim.Time, rank int) Plan { return Plan{{At: at, Rank: rank}} }
+
+// Exponential draws failure inter-arrival times with the given MTTF,
+// choosing victim ranks uniformly — the memoryless failure model used for
+// MTTF-vs-checkpoint-interval tuning studies (paper §6).
+type Exponential struct {
+	MTTF sim.Time
+	rng  *rand.Rand
+}
+
+// NewExponential seeds an exponential failure source.
+func NewExponential(mttf sim.Time, seed int64) *Exponential {
+	return &Exponential{MTTF: mttf, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the delay until the next failure and the victim among np
+// ranks.
+func (e *Exponential) Next(np int) (sim.Time, int) {
+	d := sim.Time(e.rng.ExpFloat64() * float64(e.MTTF))
+	return d, e.rng.Intn(np)
+}

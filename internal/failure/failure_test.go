@@ -1,0 +1,58 @@
+package failure
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPlanSorted(t *testing.T) {
+	p := Plan{{At: 3 * time.Second, Rank: 1}, {At: time.Second, Rank: 2}, {At: 2 * time.Second, Rank: 0}}
+	s := p.Sorted()
+	if s[0].Rank != 2 || s[1].Rank != 0 || s[2].Rank != 1 {
+		t.Fatalf("sorted %v", s)
+	}
+	// Original untouched.
+	if p[0].Rank != 1 {
+		t.Fatal("Sorted mutated the input")
+	}
+}
+
+func TestKillAt(t *testing.T) {
+	p := KillAt(5*time.Second, 3)
+	if len(p) != 1 || p[0].At != 5*time.Second || p[0].Rank != 3 {
+		t.Fatalf("plan %v", p)
+	}
+}
+
+func TestExponentialStatistics(t *testing.T) {
+	e := NewExponential(10*time.Second, 1)
+	var sum time.Duration
+	const n = 2000
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		d, r := e.Next(8)
+		if d < 0 || r < 0 || r >= 8 {
+			t.Fatalf("draw %v %d", d, r)
+		}
+		seen[r] = true
+		sum += d
+	}
+	mean := sum / n
+	if mean < 9*time.Second || mean > 11*time.Second {
+		t.Fatalf("mean inter-arrival %v, want ≈10s", mean)
+	}
+	if len(seen) != 8 {
+		t.Fatalf("victims %v", seen)
+	}
+}
+
+func TestExponentialDeterministic(t *testing.T) {
+	a, b := NewExponential(time.Second, 7), NewExponential(time.Second, 7)
+	for i := 0; i < 10; i++ {
+		d1, r1 := a.Next(4)
+		d2, r2 := b.Next(4)
+		if d1 != d2 || r1 != r2 {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package ftpm is the fault tolerant process manager: the runtime that
+// launches an MPI job on the simulated platform, wires each process to its
+// checkpointing protocol and checkpoint server, monitors for failures,
+// and restarts every process from the last committed wave when one occurs.
+//
+// It replaces MPICH2's MPD with the paper's FTPM (§4.2): an mpiexec-like
+// dispatcher plus per-process managers, a machinefile mapping compute
+// nodes to checkpoint servers, and a database recording each process's
+// business card, the last successful wave and which server holds which
+// local checkpoint.
+package ftpm
+
+import (
+	"errors"
+	"fmt"
+
+	"ftckpt/internal/failure"
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/sim"
+	"ftckpt/internal/simnet"
+	"ftckpt/internal/trace"
+)
+
+// Proto selects the checkpointing protocol of a run.
+type Proto string
+
+// Protocols.
+const (
+	// ProtoNone disables checkpointing (baseline runs).
+	ProtoNone Proto = "none"
+	// ProtoPcl is the blocking protocol (MPICH2 implementation).
+	ProtoPcl Proto = "pcl"
+	// ProtoVcl is the non-blocking protocol (MPICH-V implementation).
+	ProtoVcl Proto = "vcl"
+	// ProtoMlog is uncoordinated checkpointing with pessimistic
+	// receiver-based message logging — the §2 alternative family: no
+	// marker waves, single-process recovery, higher failure-free cost.
+	ProtoMlog Proto = "mlog"
+)
+
+// DefaultVclProcessLimit reproduces the paper's Vcl dispatcher limit: it
+// multiplexes with select(), whose fd-set caps the job at roughly 300
+// processes (§5.4).
+const DefaultVclProcessLimit = 300
+
+// Config describes one job.
+type Config struct {
+	// NP is the number of MPI processes.
+	NP int
+	// ProcsPerNode co-locates processes on nodes (the paper's
+	// bi-processor deployments: 2 processes share one NIC).
+	ProcsPerNode int
+	// Protocol and Interval select checkpointing; Interval is the time
+	// between checkpoint waves (re-armed when a wave's images are all
+	// stored, as in the paper).  Interval 0 with a protocol set means
+	// protocol infrastructure without periodic waves.
+	Protocol Proto
+	Interval sim.Time
+	// Servers is the number of checkpoint servers; processes are assigned
+	// round-robin (rank mod Servers) unless ServerOf is set.
+	Servers  int
+	ServerOf func(rank int) int
+	// Placement overrides the default rank→node mapping
+	// (rank/ProcsPerNode); ServerNodes the default server placement
+	// (after the compute nodes); ServiceNode the scheduler/dispatcher
+	// node.  Platform presets use these to keep each process's checkpoint
+	// server inside its own cluster, as the paper's grid machinefile does.
+	Placement   func(rank int) int
+	ServerNodes []int
+	ServiceNode int
+	// Topology is the platform; Profile the communication service profile.
+	Topology simnet.Topology
+	Profile  mpi.Profile
+	// NewProgram builds rank's application (fresh start).
+	NewProgram func(rank, size int) mpi.Program
+	// Failures is a scripted fault-injection plan; MTTF adds memoryless
+	// failures on top (0 disables).
+	Failures failure.Plan
+	MTTF     sim.Time
+	// RestartDelay models the runtime's respawn cost before image
+	// fetches begin.
+	RestartDelay sim.Time
+	// NodeLoss makes a failure take down the whole node (every process on
+	// it) and remove the machine from the pool, as when a machine — not
+	// just a task — dies.  The dispatcher remaps the victims to spare
+	// nodes while any remain, then overbooks surviving compute nodes (the
+	// paper: "this may lead to overloading of some processors ... one has
+	// to overbook processors to have available spare nodes").
+	NodeLoss bool
+	// SpareNodes reserves that many extra nodes after the service node.
+	SpareNodes int
+	// Deadline aborts the simulation (protocol-deadlock guard in tests);
+	// 0 means none.
+	Deadline sim.Time
+	// VclProcessLimit overrides the Vcl dispatcher's select() limit;
+	// -1 removes it (what-if studies), 0 means the default.
+	VclProcessLimit int
+	// Seed feeds the deterministic kernel.
+	Seed int64
+	// Trace, when set, receives runtime progress lines.
+	Trace func(format string, args ...any)
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Completion is the job's virtual completion time.
+	Completion sim.Time
+	// WavesCommitted counts committed checkpoint waves; LastWave is the
+	// final recovery line.
+	WavesCommitted int
+	LastWave       int
+	// LocalCkpts sums local checkpoints across processes and restarts.
+	LocalCkpts int
+	// Restarts counts rollback/recovery episodes.
+	Restarts int
+	// Messages and PayloadBytes count application traffic; CkptBytes the
+	// data received by checkpoint servers; LoggedMsgs/LoggedBytes the
+	// Vcl channel state.
+	Messages     int64
+	PayloadBytes int64
+	CkptBytes    int64
+	LoggedMsgs   int
+	LoggedBytes  int64
+	// WaveBreakdown separates per-wave snapshot-straggle and transfer
+	// durations (committed waves only).
+	WaveBreakdown trace.Summary
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("completion=%v waves=%d restarts=%d ckptMB=%.1f",
+		r.Completion, r.WavesCommitted, r.Restarts, float64(r.CkptBytes)/float64(1<<20))
+}
+
+// Validate checks a configuration, applying defaults in place.
+func (c *Config) Validate() error {
+	if c.NP <= 0 {
+		return errors.New("ftpm: NP must be positive")
+	}
+	if c.ProcsPerNode <= 0 {
+		c.ProcsPerNode = 1
+	}
+	if c.Protocol == "" {
+		c.Protocol = ProtoNone
+	}
+	switch c.Protocol {
+	case ProtoNone, ProtoPcl, ProtoVcl, ProtoMlog:
+	default:
+		return fmt.Errorf("ftpm: unknown protocol %q", c.Protocol)
+	}
+	if c.Protocol != ProtoNone {
+		if c.Servers <= 0 {
+			return errors.New("ftpm: checkpointing requires at least one server")
+		}
+	}
+	if c.NewProgram == nil {
+		return errors.New("ftpm: NewProgram is required")
+	}
+	if c.Protocol == ProtoVcl {
+		limit := c.VclProcessLimit
+		if limit == 0 {
+			limit = DefaultVclProcessLimit
+		}
+		if limit > 0 && c.NP > limit {
+			return fmt.Errorf("ftpm: Vcl dispatcher multiplexes with select(): %d processes exceed the ~%d socket limit (paper §5.4); set VclProcessLimit=-1 to override", c.NP, limit)
+		}
+	}
+	if c.ServerNodes != nil && len(c.ServerNodes) != c.Servers {
+		return fmt.Errorf("ftpm: ServerNodes has %d entries for %d servers", len(c.ServerNodes), c.Servers)
+	}
+	if c.SpareNodes < 0 {
+		return errors.New("ftpm: SpareNodes must be non-negative")
+	}
+	if c.Placement == nil {
+		computeNodes := (c.NP + c.ProcsPerNode - 1) / c.ProcsPerNode
+		need := computeNodes + c.Servers + 1 + c.SpareNodes // +1 service node
+		if c.ServerNodes != nil {
+			need = computeNodes + c.SpareNodes
+		}
+		if c.Topology.TotalNodes() < need {
+			return fmt.Errorf("ftpm: topology has %d nodes, need %d (%d compute + %d servers + 1 service)",
+				c.Topology.TotalNodes(), need, computeNodes, c.Servers)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,621 @@
+package ftpm
+
+import (
+	"errors"
+	"fmt"
+
+	"ftckpt/internal/ckpt"
+	"ftckpt/internal/core"
+	"ftckpt/internal/core/mlog"
+	"ftckpt/internal/core/pcl"
+	"ftckpt/internal/core/vcl"
+	"ftckpt/internal/failure"
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/sim"
+	"ftckpt/internal/simnet"
+	"ftckpt/internal/trace"
+)
+
+// Job is one running MPI job under the fault tolerant process manager.
+type Job struct {
+	cfg Config
+	k   *sim.Kernel
+	net *simnet.Network
+	fab *mpi.Fabric
+
+	computeNodes int
+	serviceNode  int
+	servers      []*ckpt.Server
+	scheduler    *vcl.Scheduler
+	procs        []*procRun
+	nodeMap      []int // current rank→node mapping (changes on node loss)
+	spares       []int
+	deadNodes    map[int]bool
+
+	gen          int
+	running      bool
+	finished     int
+	finishedRank []bool
+
+	lastWave   int
+	rankWave   []int // per-rank recovery lines (uncoordinated protocols)
+	recovering []bool
+	commits    int
+	restarts   int
+	localCkpts int
+	loggedMsgs int
+	loggedByte int64
+
+	expFail *failure.Exponential
+	rec     *trace.Recorder
+	res     Result
+	doneRes bool
+}
+
+// Run executes the job described by cfg and returns its result.
+func Run(cfg Config) (Result, error) {
+	job, err := NewJob(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return job.Run()
+}
+
+// NewJob validates cfg and builds the platform, servers and scheduler.
+func NewJob(cfg Config) (*Job, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	job := &Job{cfg: cfg, k: sim.New(cfg.Seed), rec: trace.New()}
+	job.net = simnet.New(job.k, cfg.Topology)
+	job.fab = mpi.NewFabric(job.net)
+	job.computeNodes = (cfg.NP + cfg.ProcsPerNode - 1) / cfg.ProcsPerNode
+	switch {
+	case cfg.ServiceNode > 0:
+		job.serviceNode = cfg.ServiceNode
+	case cfg.Placement != nil:
+		job.serviceNode = cfg.Topology.TotalNodes() - 1
+	default:
+		job.serviceNode = job.computeNodes + cfg.Servers
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		node := job.computeNodes + i
+		if cfg.ServerNodes != nil {
+			node = cfg.ServerNodes[i]
+		}
+		job.servers = append(job.servers, ckpt.NewServer(job.net, i, node))
+	}
+	job.nodeMap = make([]int, cfg.NP)
+	job.deadNodes = map[int]bool{}
+	for r := 0; r < cfg.NP; r++ {
+		if cfg.Placement != nil {
+			job.nodeMap[r] = cfg.Placement(r)
+		} else {
+			job.nodeMap[r] = r / cfg.ProcsPerNode
+		}
+		job.fab.Place(r, job.nodeMap[r])
+	}
+	for i := 0; i < cfg.SpareNodes; i++ {
+		job.spares = append(job.spares, job.serviceNode+1+i)
+	}
+	job.procs = make([]*procRun, cfg.NP)
+	job.rankWave = make([]int, cfg.NP)
+	job.recovering = make([]bool, cfg.NP)
+	if cfg.Protocol == ProtoVcl {
+		job.scheduler = vcl.NewScheduler(job.k, job.fab, cfg.NP, job.serviceNode, cfg.Interval)
+		job.scheduler.OnCommit = job.commitWave
+	}
+	return job, nil
+}
+
+// Kernel exposes the simulation kernel (for tests injecting extra events).
+func (job *Job) Kernel() *sim.Kernel { return job.k }
+
+// Programs returns the final program state of every rank (valid after Run
+// returns successfully) — the analogue of inspecting each process's result
+// after MPI_Finalize.
+func (job *Job) Programs() []mpi.Program {
+	out := make([]mpi.Program, job.cfg.NP)
+	for r, pr := range job.procs {
+		if pr != nil {
+			out[r] = pr.prog
+		}
+	}
+	return out
+}
+
+// Run launches the job and runs the simulation to completion.
+func (job *Job) Run() (Result, error) {
+	for _, ev := range job.cfg.Failures.Sorted() {
+		ev := ev
+		job.k.At(ev.At, func() {
+			if job.running && ev.Rank >= 0 && ev.Rank < job.cfg.NP {
+				job.onFailure(ev.Rank)
+			}
+		})
+	}
+	if job.cfg.MTTF > 0 {
+		job.expFail = failure.NewExponential(job.cfg.MTTF, job.cfg.Seed+1)
+		job.scheduleMTTF()
+	}
+	if job.cfg.Deadline > 0 {
+		job.k.At(job.cfg.Deadline, func() {
+			job.k.Stop(fmt.Errorf("ftpm: deadline %v exceeded", job.cfg.Deadline))
+		})
+	}
+	job.launch(0)
+	err := job.k.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	if !job.doneRes {
+		return Result{}, errors.New("ftpm: simulation ended before job completion")
+	}
+	return job.res, nil
+}
+
+func (job *Job) nodeOfRank(r int) int { return job.nodeMap[r] }
+
+// loseNode removes a machine from the pool and remaps its ranks onto a
+// spare node, or overbooks surviving compute nodes when no spare remains.
+// It returns the ranks that were running on the lost node.
+func (job *Job) loseNode(node int) []int {
+	job.deadNodes[node] = true
+	var victims []int
+	for r, n := range job.nodeMap {
+		if n == node {
+			victims = append(victims, r)
+		}
+	}
+	var target int
+	if len(job.spares) > 0 {
+		target = job.spares[0]
+		job.spares = job.spares[1:]
+		job.tracef("node %d lost; remapping ranks %v to spare node %d", node, victims, target)
+	} else {
+		// Overbook: reuse the next surviving compute node.
+		target = -1
+		for n := 0; n < job.computeNodes; n++ {
+			if !job.deadNodes[n] {
+				target = n
+				break
+			}
+		}
+		if target < 0 {
+			panic("ftpm: every compute node lost")
+		}
+		job.tracef("node %d lost, no spares; overbooking ranks %v onto node %d", node, victims, target)
+	}
+	for _, r := range victims {
+		job.nodeMap[r] = target
+		job.fab.Place(r, target)
+	}
+	return victims
+}
+
+func (job *Job) server(rank int) *ckpt.Server {
+	if job.cfg.ServerOf != nil {
+		return job.servers[job.cfg.ServerOf(rank)]
+	}
+	return job.servers[rank%len(job.servers)]
+}
+
+func (job *Job) tracef(format string, args ...any) {
+	if job.cfg.Trace != nil {
+		job.cfg.Trace("[%12v] "+format, append([]any{job.k.Now()}, args...)...)
+	}
+}
+
+func (job *Job) scheduleMTTF() {
+	d, r := job.expFail.Next(job.cfg.NP)
+	job.k.After(d, func() {
+		if job.doneRes {
+			return
+		}
+		if job.running {
+			job.onFailure(r)
+		}
+		job.scheduleMTTF()
+	})
+}
+
+// launch starts every process, fresh (wave 0) or restored from wave.
+func (job *Job) launch(wave int) {
+	job.finished = 0
+	job.finishedRank = make([]bool, job.cfg.NP)
+	if wave == 0 {
+		for r := 0; r < job.cfg.NP; r++ {
+			job.spawn(r, nil, nil)
+		}
+		job.startSchedulers()
+		return
+	}
+	// Restart: fetch every image (in parallel, contending for server
+	// NICs), then start all processes together so every engine is bound
+	// before the first re-execution message flies.
+	job.tracef("restart: fetching %d images for wave %d", job.cfg.NP, wave)
+	type restored struct {
+		img  *ckpt.Image
+		logs []*mpi.Packet
+	}
+	pending := make([]restored, job.cfg.NP)
+	remaining := job.cfg.NP
+	gen := job.gen
+	for r := 0; r < job.cfg.NP; r++ {
+		r := r
+		job.server(r).Fetch(r, wave, job.nodeOfRank(r), func(img *ckpt.Image, logs []*mpi.Packet) {
+			if job.gen != gen {
+				return
+			}
+			pending[r] = restored{img, logs}
+			remaining--
+			if remaining == 0 {
+				for q := 0; q < job.cfg.NP; q++ {
+					job.spawn(q, pending[q].img, pending[q].logs)
+				}
+				job.startSchedulers()
+			}
+		})
+	}
+}
+
+func (job *Job) startSchedulers() {
+	job.running = true
+	if job.scheduler != nil {
+		job.scheduler.Start(job.lastWave)
+	}
+}
+
+func (job *Job) spawn(rank int, img *ckpt.Image, logs []*mpi.Packet) {
+	pr := &procRun{job: job, rank: rank, node: job.nodeOfRank(rank), gen: job.gen, img: img, replay: logs}
+	job.procs[rank] = pr
+	job.k.Go(fmt.Sprintf("g%d.rank%d", job.gen, rank), pr.body)
+}
+
+func (job *Job) newProtocol(pr *procRun) core.Protocol {
+	switch job.cfg.Protocol {
+	case ProtoPcl:
+		return pcl.New(pr, job.cfg.Interval)
+	case ProtoVcl:
+		return vcl.New(pr)
+	case ProtoMlog:
+		return mlog.New(pr, job.cfg.Interval)
+	default:
+		return core.None{}
+	}
+}
+
+// onFailure implements the paper's recovery: the dispatcher detects the
+// broken connection immediately (tasks are killed, not machines), signals
+// every process to exit, and relaunches the application from the last
+// committed wave.
+func (job *Job) onFailure(rank int) {
+	if !job.running {
+		return
+	}
+	if job.cfg.Protocol == ProtoMlog {
+		if job.cfg.NodeLoss {
+			for _, v := range job.loseNode(job.nodeMap[rank]) {
+				job.onFailureLocal(v)
+			}
+		} else {
+			job.onFailureLocal(rank)
+		}
+		return
+	}
+	if job.cfg.NodeLoss {
+		job.loseNode(job.nodeMap[rank])
+	}
+	job.tracef("rank %d failed; killing job, restarting from wave %d", rank, job.lastWave)
+	job.running = false
+	job.restarts++
+	job.gen++
+	for _, pr := range job.procs {
+		if pr == nil {
+			continue
+		}
+		job.harvest(pr)
+		pr.teardown()
+	}
+	if job.scheduler != nil {
+		job.scheduler.Stop()
+	}
+	wave := job.lastWave
+	job.k.After(job.cfg.RestartDelay, func() {
+		if job.doneRes {
+			return
+		}
+		job.launch(wave)
+	})
+}
+
+// onFailureLocal implements message logging's single-process recovery:
+// only the failed rank is torn down and restarted from its own image and
+// logs; everyone else keeps computing and is told to retransmit.
+func (job *Job) onFailureLocal(rank int) {
+	pr := job.procs[rank]
+	if pr == nil || job.recovering[rank] {
+		return
+	}
+	job.tracef("rank %d failed; local recovery from its wave %d", rank, job.rankWave[rank])
+	job.restarts++
+	job.recovering[rank] = true
+	job.harvest(pr)
+	pr.teardown()
+	wave := job.rankWave[rank]
+	job.k.After(job.cfg.RestartDelay, func() {
+		if job.doneRes {
+			return
+		}
+		if wave == 0 {
+			// No image yet: restart from scratch and replay the whole
+			// reception history recorded since launch.
+			job.respawnLocal(rank, nil, job.server(rank).LogsSince(rank, 0))
+			return
+		}
+		job.server(rank).FetchSince(rank, wave, job.nodeOfRank(rank), func(img *ckpt.Image, logs []*mpi.Packet) {
+			if job.doneRes {
+				return
+			}
+			job.respawnLocal(rank, img, logs)
+		})
+	})
+}
+
+func (job *Job) respawnLocal(rank int, img *ckpt.Image, logs []*mpi.Packet) {
+	job.recovering[rank] = false
+	job.spawn(rank, img, logs)
+	// Once the fresh engine is bound (the LP runs before queued events),
+	// live peers retransmit their unacknowledged messages.
+	job.k.After(0, func() {
+		for r, other := range job.procs {
+			if r == rank || other == nil || other.proto == nil {
+				continue
+			}
+			if pa, ok := other.proto.(core.PeerAware); ok {
+				pa.PeerRestarted(rank)
+			}
+		}
+	})
+}
+
+// harvest accumulates a process incarnation's statistics.
+func (job *Job) harvest(pr *procRun) {
+	if pr.harvested || pr.proto == nil {
+		return
+	}
+	pr.harvested = true
+	job.localCkpts += pr.proto.Waves()
+	if v, ok := pr.proto.(*vcl.Vcl); ok {
+		job.loggedMsgs += v.LoggedMsgs
+		job.loggedByte += v.LoggedBytes
+	}
+	if ml, ok := pr.proto.(*mlog.Mlog); ok {
+		job.loggedMsgs += ml.LoggedMsgs
+	}
+}
+
+// commitRank advances one rank's private recovery line (uncoordinated
+// checkpointing).
+func (job *Job) commitRank(r, w int) {
+	if w > job.rankWave[r] {
+		job.rankWave[r] = w
+	}
+	job.commits++
+	job.rec.Commit(w, job.k.Now())
+	job.server(r).GCRank(r, w)
+}
+
+func (job *Job) commitWave(w int) {
+	job.lastWave = w
+	job.commits++
+	job.rec.Commit(w, job.k.Now())
+	job.tracef("wave %d committed", w)
+	for _, s := range job.servers {
+		s.GC(w)
+	}
+}
+
+func (job *Job) procFinished(pr *procRun) {
+	if job.procs[pr.rank] != pr || job.finishedRank[pr.rank] {
+		return
+	}
+	job.finishedRank[pr.rank] = true
+	job.finished++
+	if job.finished < job.cfg.NP {
+		return
+	}
+	// Job complete.
+	job.running = false
+	for _, p := range job.procs {
+		job.harvest(p)
+		if p.proto != nil {
+			p.proto.Stop()
+		}
+	}
+	if job.scheduler != nil {
+		job.scheduler.Stop()
+	}
+	var ckptBytes int64
+	for _, s := range job.servers {
+		ckptBytes += s.BytesReceived
+	}
+	job.res = Result{
+		Completion:     job.k.Now(),
+		WaveBreakdown:  job.rec.Summarize(),
+		WavesCommitted: job.commits,
+		LastWave:       job.lastWave,
+		LocalCkpts:     job.localCkpts,
+		Restarts:       job.restarts,
+		Messages:       job.fab.MsgCount,
+		PayloadBytes:   job.fab.PayloadBytes,
+		CkptBytes:      ckptBytes,
+		LoggedMsgs:     job.loggedMsgs,
+		LoggedBytes:    job.loggedByte,
+	}
+	job.doneRes = true
+	job.tracef("job complete: %v", job.res)
+	job.k.Stop(nil)
+}
+
+// procRun is one process incarnation; it implements core.Host.
+type procRun struct {
+	job    *Job
+	rank   int
+	node   int
+	gen    int
+	lp     *sim.Proc
+	eng    *mpi.Engine
+	prog   mpi.Program
+	proto  core.Protocol
+	img    *ckpt.Image
+	replay []*mpi.Packet
+	done   bool
+	flows  []*simnet.Flow
+	timers []sim.EventID
+
+	harvested bool
+}
+
+func (pr *procRun) body(p *sim.Proc) {
+	pr.lp = p
+	pr.eng = mpi.NewEngine(pr.rank, pr.job.cfg.NP, p, pr.job.cfg.Profile, pr.job.fab)
+	pr.proto = pr.job.newProtocol(pr)
+	pr.eng.SetFilter(pr.proto)
+	var dev []byte
+	restore := pr.img != nil || pr.replay != nil
+	if pr.img != nil {
+		prog, err := ckpt.DecodeProgram(pr.img.App)
+		if err != nil {
+			panic(fmt.Sprintf("ftpm: rank %d: %v", pr.rank, err))
+		}
+		pr.prog = prog
+		pr.eng.RestoreImage(pr.img.Engine)
+		pr.done = pr.img.Done
+		dev = pr.img.Device
+	} else {
+		pr.prog = pr.job.cfg.NewProgram(pr.rank, pr.job.cfg.NP)
+	}
+	if restore {
+		pr.proto.Restore(dev, pr.replay, pr.job.lastWave)
+	}
+	pr.img, pr.replay = nil, nil
+	p.Yield() // every engine binds before any body communicates
+	pr.proto.Start()
+	for !pr.done {
+		pr.done = pr.prog.Step(pr.eng)
+	}
+	pr.eng.Finalize()
+	pr.job.procFinished(pr)
+}
+
+// teardown kills an incarnation after a failure.
+func (pr *procRun) teardown() {
+	if pr.proto != nil {
+		pr.proto.Stop()
+	}
+	if pr.eng != nil {
+		pr.eng.Close()
+	}
+	pr.job.fab.Unbind(pr.rank)
+	for _, f := range pr.flows {
+		f.Cancel()
+	}
+	pr.flows = nil
+	for _, id := range pr.timers {
+		pr.job.k.Cancel(id)
+	}
+	pr.timers = nil
+	if pr.lp != nil {
+		pr.job.k.Kill(pr.lp, fmt.Errorf("ftpm: rank %d torn down", pr.rank))
+	}
+}
+
+// --- core.Host ----------------------------------------------------------
+
+// Rank returns the process rank.
+func (pr *procRun) Rank() int { return pr.rank }
+
+// Size returns the job size.
+func (pr *procRun) Size() int { return pr.job.cfg.NP }
+
+// Engine returns the process engine.
+func (pr *procRun) Engine() *mpi.Engine { return pr.eng }
+
+// Wire sends a raw packet on the FIFO channel to dst.
+func (pr *procRun) Wire(dst int, p *mpi.Packet) {
+	p.Dst = dst
+	pr.job.fab.Send(pr.rank, dst, p)
+}
+
+// TakeCheckpoint captures the local image and ships it in the background.
+func (pr *procRun) TakeCheckpoint(wave int, dev []byte, onStored func()) {
+	app, err := ckpt.EncodeProgram(pr.prog)
+	if err != nil {
+		panic(fmt.Sprintf("ftpm: rank %d: %v", pr.rank, err))
+	}
+	img := &ckpt.Image{
+		Rank:      pr.rank,
+		Wave:      wave,
+		App:       app,
+		Engine:    pr.eng.CaptureImage(),
+		Device:    dev,
+		Footprint: pr.prog.Footprint(),
+		Done:      pr.done,
+	}
+	gen := pr.gen
+	prof := pr.job.cfg.Profile
+	pr.job.rec.LocalCkpt(wave, pr.job.k.Now())
+	// The fork'd clone and the pipelined transfer steal CPU and memory
+	// bandwidth from the application until the image is stored.
+	if prof.CkptSteal > 0 {
+		pr.eng.AddSteal(prof.CkptSteal)
+	}
+	fl := pr.job.server(pr.rank).ReceiveCapped(img, pr.node, prof.ShipBW, func() {
+		if prof.CkptSteal > 0 {
+			pr.eng.SubSteal(prof.CkptSteal)
+		}
+		pr.job.rec.Stored(wave, pr.job.k.Now())
+		if pr.job.gen == gen && onStored != nil {
+			onStored()
+		}
+	})
+	pr.flows = append(pr.flows, fl)
+}
+
+// ShipLogs transfers logged channel-state packets to the server.
+func (pr *procRun) ShipLogs(wave int, pkts []*mpi.Packet, onStored func()) {
+	gen := pr.gen
+	fl := pr.job.server(pr.rank).ReceiveLogs(pr.rank, wave, pkts, pr.node, func() {
+		if pr.job.gen == gen && onStored != nil {
+			onStored()
+		}
+	})
+	pr.flows = append(pr.flows, fl)
+}
+
+// CommitWave advances the recovery line: the global one for coordinated
+// protocols (coordinator only), this rank's private one for uncoordinated
+// protocols.
+func (pr *procRun) CommitWave(w int) {
+	if pr.job.cfg.Protocol == ProtoMlog {
+		pr.job.commitRank(pr.rank, w)
+		return
+	}
+	pr.job.commitWave(w)
+}
+
+// Now returns the virtual time.
+func (pr *procRun) Now() sim.Time { return pr.job.k.Now() }
+
+// After schedules a protocol timer.
+func (pr *procRun) After(d sim.Time, fn func()) sim.EventID {
+	id := pr.job.k.After(d, fn)
+	pr.timers = append(pr.timers, id)
+	return id
+}
+
+// CancelTimer cancels a protocol timer.
+func (pr *procRun) CancelTimer(id sim.EventID) { pr.job.k.Cancel(id) }
+
+var _ core.Host = (*procRun)(nil)

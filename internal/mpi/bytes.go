@@ -1,0 +1,33 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// EncodeF64s serializes a float64 slice little-endian (8 bytes each).
+func EncodeF64s(x []float64) []byte {
+	b := make([]byte, 8*len(x))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+// DecodeF64s is the inverse of EncodeF64s.
+func DecodeF64s(b []byte) []float64 {
+	if len(b)%8 != 0 {
+		panic("mpi: DecodeF64s: length not a multiple of 8")
+	}
+	x := make([]float64, len(b)/8)
+	for i := range x {
+		x[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return x
+}
+
+// EncodeF64 serializes a single float64.
+func EncodeF64(v float64) []byte { return EncodeF64s([]float64{v}) }
+
+// DecodeF64 deserializes a single float64.
+func DecodeF64(b []byte) float64 { return DecodeF64s(b)[0] }

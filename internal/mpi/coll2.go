@@ -1,0 +1,145 @@
+package mpi
+
+import "fmt"
+
+// Additional collectives: Gather, Scatter and ReduceScatterBlock, written
+// as resumable state machines like the core set in coll.go.  These use
+// linear root algorithms (the NAS kernels use them rarely and on small
+// payloads; tree variants would only change constants).
+
+// Additional collective kinds.
+const (
+	CollGather CollKind = 32 + iota
+	CollScatter
+	CollReduceScatter
+)
+
+// GatherB collects one block from every rank on root (indexed by rank);
+// other ranks receive nil.
+func (e *Engine) GatherB(root int, block []byte) [][]byte {
+	e.enterOp()
+	defer e.exitOp()
+	e.Stats.Collectives++
+	cs, fresh := e.beginColl(CollGather)
+	p := e.size
+	tag := collTag(CollGather, cs.Seq, 0)
+	if e.rank != root {
+		if fresh {
+			cs.Blocks = nil
+		}
+		if !cs.Sent {
+			e.chargeSend(block, 0)
+			e.sendPayload(root, tag, block, 0)
+			cs.Sent = true
+		}
+		e.endColl()
+		return nil
+	}
+	if fresh {
+		cs.Blocks = make([][]byte, p)
+		cs.Blocks[root] = append([]byte(nil), block...)
+	}
+	for cs.Round < p {
+		src := cs.Round
+		if src == root {
+			cs.Round++
+			continue
+		}
+		pkt := e.recvMatch(src, tag)
+		cs.Blocks[src] = pkt.Data
+		cs.Round++
+	}
+	out := cs.Blocks
+	e.endColl()
+	return out
+}
+
+// ScatterB distributes blocks[i] from root to rank i and returns each
+// rank's block.  blocks is only read on root.
+func (e *Engine) ScatterB(root int, blocks [][]byte) []byte {
+	e.enterOp()
+	defer e.exitOp()
+	e.Stats.Collectives++
+	cs, fresh := e.beginColl(CollScatter)
+	p := e.size
+	tag := collTag(CollScatter, cs.Seq, 0)
+	if e.rank == root {
+		if len(blocks) != p {
+			panic(fmt.Sprintf("mpi: Scatter needs %d blocks, got %d", p, len(blocks)))
+		}
+		if fresh {
+			cs.Data = append([]byte(nil), blocks[root]...)
+		}
+		for cs.Round < p {
+			dst := cs.Round
+			if dst == root {
+				cs.Round++
+				continue
+			}
+			e.chargeSend(blocks[dst], 0)
+			e.sendPayload(dst, tag, blocks[dst], 0)
+			cs.Round++
+		}
+		out := cs.Data
+		e.endColl()
+		return out
+	}
+	pkt := e.recvMatch(root, tag)
+	out := pkt.Data
+	e.endColl()
+	return out
+}
+
+// ReduceScatterBlock reduces x element-wise with op and returns to each
+// rank its own equal block of the result (len(x) must be a multiple of
+// the process count).  Implemented as reduce-to-0 plus scatter.
+func (e *Engine) ReduceScatterBlock(op ReduceOp, x []float64) []float64 {
+	if len(x)%e.size != 0 {
+		panic(fmt.Sprintf("mpi: ReduceScatterBlock length %d not divisible by %d", len(x), e.size))
+	}
+	e.enterOp()
+	defer e.exitOp()
+	e.Stats.Collectives++
+	cs, fresh := e.beginColl(CollReduceScatter)
+	p := e.size
+	if fresh {
+		cs.Op = op
+		cs.Mask = 1
+		cs.Stage = 0
+		cs.AccF = append([]float64(nil), x...)
+	}
+	if cs.Stage == 0 {
+		e.reduceSteps(cs, 0, CollReduceScatter)
+		cs.Stage = 1
+		cs.Round = 0
+	}
+	// Scatter the blocks from rank 0 (stage 1).
+	blk := len(x) / p
+	tag := collTag(CollReduceScatter, cs.Seq, 1)
+	if e.rank == 0 {
+		for cs.Round < p {
+			dst := cs.Round
+			if dst != 0 {
+				buf := EncodeF64s(cs.AccF[dst*blk : (dst+1)*blk])
+				e.chargeSend(buf, 0)
+				e.sendPayload(dst, tag, buf, 0)
+			}
+			cs.Round++
+		}
+		out := append([]float64(nil), cs.AccF[:blk]...)
+		e.endColl()
+		return out
+	}
+	pkt := e.recvMatch(0, tag)
+	out := DecodeF64s(pkt.Data)
+	e.endColl()
+	return out
+}
+
+// Probe reports without blocking whether a payload matching (src, tag) is
+// already available.
+func (e *Engine) Probe(src, tag int) bool {
+	e.enterOp()
+	defer e.exitOp()
+	return e.findMatch(src, tag) >= 0
+}

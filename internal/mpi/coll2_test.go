@@ -1,0 +1,112 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestGatherScatter(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		for _, root := range []int{0, p - 1} {
+			p, root := p, root
+			t.Run(fmt.Sprintf("p=%d root=%d", p, root), func(t *testing.T) {
+				w := newWorld(t, p)
+				gathered := make([][][]byte, p)
+				scattered := make([][]byte, p)
+				err := w.Run(func(e *Engine) {
+					gathered[e.Rank()] = e.GatherB(root, []byte{byte(e.Rank() + 1)})
+					var blocks [][]byte
+					if e.Rank() == root {
+						blocks = make([][]byte, p)
+						for i := range blocks {
+							blocks[i] = []byte{byte(100 + i)}
+						}
+					}
+					scattered[e.Rank()] = e.ScatterB(root, blocks)
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for r := 0; r < p; r++ {
+					if r == root {
+						for i, b := range gathered[r] {
+							if len(b) != 1 || b[0] != byte(i+1) {
+								t.Fatalf("root gathered[%d] = %v", i, b)
+							}
+						}
+					} else if gathered[r] != nil {
+						t.Fatalf("non-root %d gathered %v", r, gathered[r])
+					}
+					if len(scattered[r]) != 1 || scattered[r][0] != byte(100+r) {
+						t.Fatalf("rank %d scattered %v", r, scattered[r])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestReduceScatterBlock(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 6} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			w := newWorld(t, p)
+			results := make([][]float64, p)
+			err := w.Run(func(e *Engine) {
+				x := make([]float64, 2*p)
+				for i := range x {
+					x[i] = float64(e.Rank()*len(x) + i)
+				}
+				results[e.Rank()] = e.ReduceScatterBlock(OpSum, x)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 2 * p
+			for r, got := range results {
+				if len(got) != 2 {
+					t.Fatalf("rank %d block %v", r, got)
+				}
+				for j := 0; j < 2; j++ {
+					idx := r*2 + j
+					want := 0.0
+					for rr := 0; rr < p; rr++ {
+						want += float64(rr*n + idx)
+					}
+					if got[j] != want {
+						t.Fatalf("rank %d elem %d = %v, want %v", r, j, got[j], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestProbe(t *testing.T) {
+	w := newWorld(t, 2)
+	var before, after bool
+	err := w.Run(func(e *Engine) {
+		if e.Rank() == 0 {
+			e.Compute(time.Millisecond)
+			e.Send(1, 3, nil, 0)
+		} else {
+			before = e.Probe(0, 3)
+			e.Compute(2 * time.Millisecond)
+			after = e.Probe(0, 3)
+			e.Recv(0, 3)
+			if e.Probe(0, 3) {
+				t.Error("Probe true after the message was consumed")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before {
+		t.Fatal("Probe true before the send")
+	}
+	if !after {
+		t.Fatal("Probe false after arrival")
+	}
+}

@@ -1,0 +1,422 @@
+package mpi
+
+import (
+	"fmt"
+
+	"ftckpt/internal/sim"
+)
+
+// Filter is the fault-tolerance protocol's view of the device, mirroring
+// the paper's hook points.  A nil-equivalent pass-through is used when
+// checkpointing is disabled.
+//
+// OutPayload is consulted before a payload packet reaches the wire; the
+// protocol returns false to hold it (Pcl's delayed sends) and later emits
+// it with Engine.WireSend.  InPacket sees every packet arriving from the
+// wire; the protocol returns false to consume it (markers, control) or to
+// hold it (Pcl's delayed receive queue — re-injected later with
+// Engine.Deliver), and true to let it reach the matching engine (it may
+// also copy it first, as Vcl's logging does).
+type Filter interface {
+	OutPayload(p *Packet) bool
+	InPacket(p *Packet) bool
+}
+
+// PassFilter is the no-protocol filter: everything passes.
+type PassFilter struct{}
+
+// OutPayload always passes.
+func (PassFilter) OutPayload(*Packet) bool { return true }
+
+// InPacket always passes.
+func (PassFilter) InPacket(*Packet) bool { return true }
+
+// Stats counts an engine's activity.
+type Stats struct {
+	SendCalls    int64
+	RecvCalls    int64
+	Collectives  int64
+	PayloadBytes int64
+	BlockedTime  sim.Time
+}
+
+// Engine is one MPI process's communication engine: eager sends, blocking
+// receives with (source, tag) matching and wildcards, and resumable
+// collectives.  All methods except HandleWire, Deliver, WireSend,
+// CaptureImage and RestoreImage must be called from the process's own LP.
+type Engine struct {
+	rank, size int
+	lp         *sim.Proc
+	prof       Profile
+	fab        *Fabric
+	filter     Filter
+	cond       *sim.Cond
+
+	// inbox holds wire packets not yet run through the filter: with a
+	// synchronous profile (MPICH2-style progress engine) packets arriving
+	// while the application computes wait here until the next MPI call.
+	inbox      []*Packet
+	daemonBusy sim.Time
+
+	unexpected []*Packet
+	opDepth    int
+	waiting    bool
+	waitSrc    int
+	waitTag    int
+
+	collSeq uint64
+	coll    *CollState
+	closed  bool
+	steal   float64 // background checkpoint work stealing compute speed
+
+	// Stat counters, exported for experiment harnesses.
+	Stats Stats
+}
+
+// NewEngine builds the engine for rank running on LP lp over fabric fab.
+// The engine binds itself as the fabric handler for rank.
+func NewEngine(rank, size int, lp *sim.Proc, prof Profile, fab *Fabric) *Engine {
+	if size <= 0 || rank < 0 || rank >= size {
+		panic(fmt.Sprintf("mpi: invalid rank %d of %d", rank, size))
+	}
+	e := &Engine{
+		rank: rank, size: size, lp: lp, prof: prof, fab: fab,
+		filter: PassFilter{},
+		cond:   sim.NewCond(lp.Kernel()),
+	}
+	fab.Bind(rank, e.HandleWire)
+	return e
+}
+
+// Rank returns this process's rank.
+func (e *Engine) Rank() int { return e.rank }
+
+// Size returns the number of MPI processes.
+func (e *Engine) Size() int { return e.size }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() sim.Time { return e.lp.Now() }
+
+// LP returns the process's logical process.
+func (e *Engine) LP() *sim.Proc { return e.lp }
+
+// Fabric returns the fabric the engine sends through.
+func (e *Engine) Fabric() *Fabric { return e.fab }
+
+// Profile returns the engine's service profile.
+func (e *Engine) Profile() Profile { return e.prof }
+
+// SetFilter installs the fault-tolerance protocol filter.
+func (e *Engine) SetFilter(f Filter) {
+	if f == nil {
+		f = PassFilter{}
+	}
+	e.filter = f
+}
+
+// Compute consumes d of virtual CPU time.  It is not an MPI call: with a
+// synchronous profile, protocol packets arriving meanwhile wait for the
+// next MPI call, exactly as with MPICH2's in-call progress engine.  While
+// background checkpoint work is in flight (AddSteal), compute runs slower.
+func (e *Engine) Compute(d sim.Time) {
+	if e.steal > 0 {
+		d = sim.Time(float64(d) * (1 + e.steal))
+	}
+	e.lp.Advance(d)
+}
+
+// AddSteal registers background work (an in-flight checkpoint transfer)
+// stealing a fraction of the process's compute speed; SubSteal removes it.
+func (e *Engine) AddSteal(f float64) { e.steal += f }
+
+// SubSteal removes previously registered background work.
+func (e *Engine) SubSteal(f float64) {
+	e.steal -= f
+	if e.steal < 0 {
+		e.steal = 0
+	}
+}
+
+// --- wire-side path (event context) -----------------------------------
+
+// HandleWire accepts a packet from the fabric.  It applies the daemon
+// service time (store-and-forward, preserving order) if the profile has
+// one, then either processes the packet immediately (asynchronous daemon,
+// or the application is inside an MPI call) or defers it to the inbox.
+func (e *Engine) HandleWire(p *Packet) {
+	if e.closed {
+		return
+	}
+	if svc := e.prof.daemonService(p.PayloadSize()); svc > 0 {
+		k := e.lp.Kernel()
+		now := k.Now()
+		ready := e.daemonBusy
+		if ready < now {
+			ready = now
+		}
+		ready += svc
+		e.daemonBusy = ready
+		k.At(ready, func() { e.admit(p) })
+		return
+	}
+	e.admit(p)
+}
+
+// Close marks the engine dead (its process was killed): packets still in
+// the pipeline — e.g. scheduled daemon-service events — are discarded
+// instead of mutating a defunct process's state.
+func (e *Engine) Close() { e.closed = true }
+
+func (e *Engine) admit(p *Packet) {
+	if e.closed {
+		return
+	}
+	if e.prof.Async || e.opDepth > 0 {
+		e.process(p)
+		return
+	}
+	e.inbox = append(e.inbox, p)
+}
+
+func (e *Engine) process(p *Packet) {
+	if e.filter.InPacket(p) {
+		e.Deliver(p)
+	}
+}
+
+// Deliver hands a payload packet to the matching engine.  Protocols call
+// it to re-inject held or replayed messages.  Delivery to a closed engine
+// (a torn-down incarnation) is dropped.
+func (e *Engine) Deliver(p *Packet) {
+	if e.closed {
+		return
+	}
+	if p.Kind != KindPayload {
+		panic(fmt.Sprintf("mpi: %v reached the matching engine", p))
+	}
+	e.unexpected = append(e.unexpected, p)
+	if e.waiting && match(p, e.waitSrc, e.waitTag) {
+		e.cond.Signal()
+	}
+}
+
+// WireSend transmits a packet directly, bypassing the outgoing gate.
+// Protocols use it for markers, control messages and released delayed
+// sends.  The packet must already carry Dst.
+func (e *Engine) WireSend(p *Packet) { e.fab.Send(e.rank, p.Dst, p) }
+
+// --- op bracketing ------------------------------------------------------
+
+func (e *Engine) enterOp() {
+	e.opDepth++
+	if e.opDepth == 1 {
+		e.drainInbox()
+	}
+}
+
+func (e *Engine) exitOp() { e.opDepth-- }
+
+func (e *Engine) drainInbox() {
+	for len(e.inbox) > 0 {
+		p := e.inbox[0]
+		e.inbox = e.inbox[1:]
+		e.process(p)
+	}
+}
+
+// advanceInOp parks inside an MPI call; packets arriving meanwhile are
+// processed immediately (the progress engine is polling).
+func (e *Engine) advanceInOp(d sim.Time) { e.lp.Advance(d) }
+
+// --- point-to-point -----------------------------------------------------
+
+// Send transmits data (and/or a modelled vsize) to dst with an application
+// tag (tag must be >= 0).  Sends are eager: the call returns once the
+// message is handed to the device; it never blocks waiting for the
+// receiver, so a checkpoint can never split a send.
+func (e *Engine) Send(dst, tag int, data []byte, vsize int64) {
+	if tag < 0 {
+		panic("mpi: application tags must be >= 0")
+	}
+	e.enterOp()
+	defer e.exitOp()
+	e.Stats.SendCalls++
+	e.chargeSend(data, vsize)
+	e.sendPayload(dst, tag, data, vsize)
+}
+
+// chargeSend consumes the CPU cost of a send call.  It runs before the
+// packet is built, so a checkpoint taken while parked here restores to a
+// state where the send never happened and re-execution emits it once.
+func (e *Engine) chargeSend(data []byte, vsize int64) {
+	size := int64(len(data))
+	if vsize > size {
+		size = vsize
+	}
+	if c := e.prof.sendCost(size); c > 0 {
+		e.advanceInOp(c)
+	}
+}
+
+// sendPayload builds and emits a payload packet through the outgoing gate.
+func (e *Engine) sendPayload(dst, tag int, data []byte, vsize int64) {
+	var buf []byte
+	if len(data) > 0 {
+		buf = append([]byte(nil), data...)
+	}
+	p := &Packet{Src: e.rank, Dst: dst, Kind: KindPayload, Tag: tag, Data: buf, VSize: vsize}
+	e.Stats.PayloadBytes += p.PayloadSize()
+	if e.filter.OutPayload(p) {
+		e.fab.Send(e.rank, dst, p)
+	}
+}
+
+// Recv blocks until a payload matching (src, tag) is available and returns
+// it.  src may be AnySource; tag may be AnyTag (matching only application
+// tags >= 0).
+func (e *Engine) Recv(src, tag int) *Packet {
+	e.enterOp()
+	defer e.exitOp()
+	e.Stats.RecvCalls++
+	return e.recvMatch(src, tag)
+}
+
+func (e *Engine) recvMatch(src, tag int) *Packet {
+	for {
+		if i := e.findMatch(src, tag); i >= 0 {
+			if c := e.prof.recvCost(e.unexpected[i].PayloadSize()); c > 0 {
+				e.advanceInOp(c)
+				// The queue may have grown while parked; re-find the
+				// first match (never lost: only recvMatch removes).
+				i = e.findMatch(src, tag)
+			}
+			p := e.unexpected[i]
+			e.unexpected = append(e.unexpected[:i], e.unexpected[i+1:]...)
+			return p
+		}
+		e.waiting, e.waitSrc, e.waitTag = true, src, tag
+		t0 := e.lp.Now()
+		e.cond.Wait(e.lp)
+		e.Stats.BlockedTime += e.lp.Now() - t0
+		e.waiting = false
+	}
+}
+
+func (e *Engine) findMatch(src, tag int) int {
+	for i, p := range e.unexpected {
+		if match(p, src, tag) {
+			return i
+		}
+	}
+	return -1
+}
+
+func match(p *Packet, src, tag int) bool {
+	if src != AnySource && p.Src != src {
+		return false
+	}
+	switch tag {
+	case AnyTag:
+		return p.Tag >= 0 // wildcards never match internal collective tags
+	default:
+		return p.Tag == tag
+	}
+}
+
+// Sendrecv sends to dst and receives from src, resumable across a
+// checkpoint: if a snapshot is taken while blocked in the receive, the
+// restored process does not send again.
+func (e *Engine) Sendrecv(dst, sendTag int, data []byte, vsize int64, src, recvTag int) *Packet {
+	e.enterOp()
+	defer e.exitOp()
+	e.Stats.SendCalls++
+	e.Stats.RecvCalls++
+	cs, _ := e.beginColl(CollSendrecv)
+	if !cs.Sent {
+		e.chargeSend(data, vsize)
+		e.sendPayload(dst, sendTag, data, vsize)
+		cs.Sent = true
+	}
+	p := e.recvMatch(src, recvTag)
+	e.endColl()
+	return p
+}
+
+// --- checkpoint support --------------------------------------------------
+
+// EngineImage is the engine state stored inside a process checkpoint: the
+// received-but-unconsumed messages and the progress of any in-flight
+// collective operation.
+type EngineImage struct {
+	Unexpected []*Packet
+	CollSeq    uint64
+	Coll       *CollState
+}
+
+// CaptureImage snapshots the engine.  It may be called from event context
+// while the process LP is parked — the kernel serializes execution, so the
+// state is quiescent.
+func (e *Engine) CaptureImage() *EngineImage {
+	img := &EngineImage{CollSeq: e.collSeq}
+	for _, p := range e.unexpected {
+		img.Unexpected = append(img.Unexpected, p.Clone())
+	}
+	if e.coll != nil {
+		img.Coll = e.coll.clone()
+	}
+	return img
+}
+
+// RestoreImage loads a captured image into a fresh engine (after restart).
+func (e *Engine) RestoreImage(img *EngineImage) {
+	e.unexpected = nil
+	for _, p := range img.Unexpected {
+		e.unexpected = append(e.unexpected, p.Clone())
+	}
+	e.collSeq = img.CollSeq
+	e.coll = nil
+	if img.Coll != nil {
+		e.coll = img.Coll.clone()
+		e.coll.Resumed = true
+	}
+}
+
+// Clone deep-copies an engine image.
+func (img *EngineImage) Clone() *EngineImage {
+	c := &EngineImage{CollSeq: img.CollSeq}
+	for _, p := range img.Unexpected {
+		c.Unexpected = append(c.Unexpected, p.Clone())
+	}
+	if img.Coll != nil {
+		c.Coll = img.Coll.clone()
+	}
+	return c
+}
+
+// Debug renders the engine's blocking state for diagnostics: what the
+// process is waiting for and what is queued.
+func (e *Engine) Debug() string {
+	s := fmt.Sprintf("rank %d", e.rank)
+	if e.waiting {
+		s += fmt.Sprintf(" waiting(src=%d tag=%d)", e.waitSrc, e.waitTag)
+	}
+	if e.coll != nil {
+		s += fmt.Sprintf(" in %v(seq=%d stage=%d mask=%d round=%d sent=%v)",
+			e.coll.Kind, e.coll.Seq, e.coll.Stage, e.coll.Mask, e.coll.Round, e.coll.Sent)
+	}
+	s += fmt.Sprintf(" unexpected=%d inbox=%d", len(e.unexpected), len(e.inbox))
+	for _, p := range e.unexpected {
+		s += fmt.Sprintf(" [%d:%d]", p.Src, p.Tag)
+	}
+	return s
+}
+
+// StateBytes estimates the engine's contribution to the checkpoint image
+// size (unconsumed messages are part of the process memory).
+func (img *EngineImage) StateBytes() int64 {
+	var n int64 = 64
+	for _, p := range img.Unexpected {
+		n += p.PayloadSize() + packetHeader
+	}
+	return n
+}

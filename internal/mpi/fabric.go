@@ -1,0 +1,108 @@
+package mpi
+
+import (
+	"fmt"
+
+	"ftckpt/internal/simnet"
+)
+
+// Fabric places endpoints (MPI ranks and runtime services) on simulated
+// nodes and provides a FIFO channel per ordered endpoint pair, created
+// lazily on first use — as MPICH2 opens TCP connections on the first
+// communication between two processes.  Unbinding an endpoint (process
+// death) closes every channel touching it, dropping in-flight packets like
+// a socket reset; channels are recreated fresh (sequence numbers restart)
+// when the endpoint is bound again, modelling the communication-layer
+// reinitialization the paper's restart performs.
+type Fabric struct {
+	net      *simnet.Network
+	nodeOf   map[int]int
+	handlers map[int]func(*Packet)
+	chans    map[[2]int]*simnet.Channel
+	seq      map[[2]int]uint64
+
+	// MsgCount and PayloadBytes accumulate global traffic statistics.
+	MsgCount     int64
+	PayloadBytes int64
+}
+
+// NewFabric wraps a simulated network.
+func NewFabric(net *simnet.Network) *Fabric {
+	return &Fabric{
+		net:      net,
+		nodeOf:   make(map[int]int),
+		handlers: make(map[int]func(*Packet)),
+		chans:    make(map[[2]int]*simnet.Channel),
+		seq:      make(map[[2]int]uint64),
+	}
+}
+
+// Net exposes the underlying network (for bulk image flows).
+func (f *Fabric) Net() *simnet.Network { return f.net }
+
+// Place assigns an endpoint to a node.  An endpoint must be placed before
+// it sends, receives, or is bound.
+func (f *Fabric) Place(id, node int) {
+	if node < 0 || node >= f.net.NumNodes() {
+		panic(fmt.Sprintf("mpi: endpoint %d placed on invalid node %d", id, node))
+	}
+	f.nodeOf[id] = node
+}
+
+// NodeOf returns the node an endpoint lives on.
+func (f *Fabric) NodeOf(id int) int {
+	n, ok := f.nodeOf[id]
+	if !ok {
+		panic(fmt.Sprintf("mpi: endpoint %d not placed", id))
+	}
+	return n
+}
+
+// Placed reports whether the endpoint has been placed on a node.
+func (f *Fabric) Placed(id int) bool {
+	_, ok := f.nodeOf[id]
+	return ok
+}
+
+// Bind registers the packet handler for an endpoint.  The handler runs as
+// an event callback for every packet addressed to the endpoint.
+func (f *Fabric) Bind(id int, h func(*Packet)) {
+	f.handlers[id] = h
+}
+
+// Unbind removes an endpoint's handler and resets every channel touching
+// it.  Queued and in-flight packets are lost.
+func (f *Fabric) Unbind(id int) {
+	delete(f.handlers, id)
+	for key, ch := range f.chans {
+		if key[0] == id || key[1] == id {
+			ch.Close()
+			delete(f.chans, key)
+			delete(f.seq, key)
+		}
+	}
+}
+
+// Send transmits a packet from src to dst over their FIFO channel.  The
+// packet's Seq is assigned here.  Sending to an unplaced endpoint panics
+// (programming error); sending to an unbound one silently drops at
+// delivery time (peer died).
+func (f *Fabric) Send(src, dst int, p *Packet) {
+	p.Src, p.Dst = src, dst
+	key := [2]int{src, dst}
+	ch, ok := f.chans[key]
+	if !ok {
+		ch = f.net.NewChannel(f.NodeOf(src), f.NodeOf(dst), func(payload any) {
+			pkt := payload.(*Packet)
+			if h, bound := f.handlers[pkt.Dst]; bound {
+				h(pkt)
+			}
+		})
+		f.chans[key] = ch
+	}
+	f.seq[key]++
+	p.Seq = f.seq[key]
+	f.MsgCount++
+	f.PayloadBytes += p.PayloadSize()
+	ch.Send(p, p.WireSize())
+}

@@ -1,0 +1,119 @@
+// Package mpi implements the message-passing layer of the reproduction: a
+// compact MPI-like library (point-to-point matching with tags and
+// any-source, blocking send/receive, and the collectives the NAS kernels
+// need) structured like MPICH's device stack so that fault-tolerance
+// protocols can hook the exact points the paper instruments:
+//
+//   - an outgoing gate consulted before every payload reaches the wire
+//     (where MPICH2-Pcl's ft-sock channel delays request posts and Nemesis
+//     enqueues its "stopper" request), and
+//   - an incoming filter seeing every packet before the matching engine
+//     (where MPICH-Vcl's daemon logs in-transit messages and Pcl's delayed
+//     receive queue holds post-marker packets).
+//
+// Engines run as logical processes on the sim kernel; the Fabric maps
+// endpoints (MPI ranks and runtime services) onto simulated nodes and
+// gives each ordered endpoint pair a FIFO channel, as TCP connections do
+// in the paper's implementations.
+//
+// Every piece of engine state that can exist while a process is blocked —
+// the unexpected-message queue, progress within a collective, a pending
+// send-receive — is serializable, so a coordinated checkpoint can capture
+// a process image at any point inside the progress engine, which is what
+// BLCR gives the paper's implementations at the OS level.
+package mpi
+
+import "fmt"
+
+// Endpoint identifiers.  MPI processes use their rank (0..size-1); runtime
+// services use reserved negative identifiers.
+const (
+	// AnySource matches a message from any rank.
+	AnySource = -1
+	// AnyTag matches a message with any application tag.
+	AnyTag = -1
+)
+
+// Service endpoint identifiers (never valid ranks).
+const (
+	// SchedulerID is the Vcl checkpoint scheduler endpoint.
+	SchedulerID = -2
+	// DispatcherID is the FTPM dispatcher endpoint.
+	DispatcherID = -3
+	// serverBase anchors checkpoint-server endpoints.
+	serverBase = -10
+)
+
+// ServerID returns the endpoint identifier of checkpoint server i.
+func ServerID(i int) int { return serverBase - i }
+
+// IsServer reports whether an endpoint identifier names a checkpoint server.
+func IsServer(id int) bool { return id <= serverBase }
+
+// Kind discriminates what a packet is.
+type Kind uint8
+
+const (
+	// KindPayload is application data subject to matching.
+	KindPayload Kind = iota
+	// KindMarker is a checkpoint-wave marker (Chandy–Lamport / Pcl flush).
+	KindMarker
+	// KindControl is a protocol or runtime control message, consumed by
+	// the protocol filter or a service handler, never by the matching
+	// engine.
+	KindControl
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPayload:
+		return "payload"
+	case KindMarker:
+		return "marker"
+	case KindControl:
+		return "control"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// packetHeader approximates the per-message envelope bytes on the wire.
+const packetHeader = 64
+
+// Packet is one message on a channel.  Payload packets carry either real
+// bytes in Data (real kernels) or only a modelled size in VSize (workload
+// models); both contribute to transfer time.
+type Packet struct {
+	Src, Dst int    // endpoint identifiers
+	Kind     Kind   // payload / marker / control
+	Tag      int    // application tag (payload) or protocol opcode (control)
+	Seq      uint64 // per-channel sequence, assigned by the Fabric
+	Wave     int    // checkpoint wave number (markers, control)
+	PSeq     uint64 // protocol sequence (message logging: per-pair, survives restarts)
+	Data     []byte
+	VSize    int64 // modelled payload size when Data is empty or symbolic
+}
+
+// PayloadSize returns the number of payload bytes the packet represents.
+func (p *Packet) PayloadSize() int64 {
+	if int64(len(p.Data)) > p.VSize {
+		return int64(len(p.Data))
+	}
+	return p.VSize
+}
+
+// WireSize returns the bytes the packet occupies on the wire.
+func (p *Packet) WireSize() int64 { return p.PayloadSize() + packetHeader }
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s %d->%d tag=%d seq=%d wave=%d size=%d",
+		p.Kind, p.Src, p.Dst, p.Tag, p.Seq, p.Wave, p.PayloadSize())
+}
+
+// Clone returns a deep copy (used when logging channel state).
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.Data != nil {
+		q.Data = append([]byte(nil), p.Data...)
+	}
+	return &q
+}

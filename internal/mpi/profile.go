@@ -1,0 +1,90 @@
+package mpi
+
+import "ftckpt/internal/sim"
+
+// Profile is the service profile of a communication stack: the software
+// costs a message pays in addition to the network model.  The paper's three
+// stacks differ exactly here:
+//
+//   - MPICH2 ft-sock (Pcl over TCP): a thin channel; small per-call
+//     overheads, no daemon.
+//   - MPICH2 Nemesis/GM (Pcl over Myrinet): minimal overheads and the
+//     native low latency of the GM network (captured by the topology).
+//   - MPICH-V ch_v (Vcl): every message crosses a separate communication
+//     daemon through two Unix sockets, adding a per-message
+//     store-and-forward latency and copy cost — the reason Vcl's base
+//     performance trails on latency-bound benchmarks (paper, Fig. 7).
+type Profile struct {
+	Name string
+
+	// SendOverhead is CPU time consumed in the sender's send call
+	// (marshalling, syscalls).
+	SendOverhead sim.Time
+
+	// RecvOverhead is CPU time consumed when a receive completes.
+	RecvOverhead sim.Time
+
+	// CopyBW, when non-zero, adds size/CopyBW of CPU time to each send
+	// call and receive completion — the user/kernel copy cost of a TCP
+	// stack (lower for zero-copy-capable stacks like Nemesis/GM).
+	CopyBW float64 // bytes per second
+
+	// DaemonLatency is the per-message store-and-forward service latency
+	// added by a communication daemon (total across hops); zero for
+	// in-process channels.
+	DaemonLatency sim.Time
+
+	// DaemonCopyBW, when non-zero, adds size/DaemonCopyBW to the daemon
+	// service time, modelling the extra memory copies.
+	DaemonCopyBW float64 // bytes per second
+
+	// CkptSteal is the fraction of the process's compute speed lost while
+	// its checkpoint image is being written and transferred: the fork'd
+	// clone's copy-on-write faults and the pipelined read-and-send compete
+	// for the node's CPU and memory bandwidth (the paper's dual-processor
+	// nodes run one MPI process per CPU, so there is no idle core to
+	// absorb this).  Compute(d) takes d*(1+CkptSteal) while a transfer is
+	// in flight.
+	CkptSteal float64
+
+	// ShipBW, when non-zero, caps the rate of the process's own image
+	// transfer — MPICH-V's single-threaded daemon interleaves image
+	// shipping with message handling, pacing the transfer, while
+	// MPICH2's fork'd clone streams at full speed.
+	ShipBW float64 // bytes per second
+
+	// Async reports whether protocol packets (markers) are handled
+	// asynchronously by a daemon even while the application computes
+	// (MPICH-V architecture).  When false, packets are processed only
+	// inside MPI calls, as in MPICH2's single-threaded progress engine —
+	// so a long computation stalls a Pcl checkpoint wave, as in reality.
+	Async bool
+}
+
+// daemonService returns the daemon service time for a packet, zero when
+// the profile has no daemon.
+func (pr *Profile) daemonService(size int64) sim.Time {
+	d := pr.DaemonLatency
+	if pr.DaemonCopyBW > 0 {
+		d += sim.Time(float64(size) / pr.DaemonCopyBW * 1e9)
+	}
+	return d
+}
+
+// sendCost is the CPU time of one send call.
+func (pr *Profile) sendCost(size int64) sim.Time {
+	c := pr.SendOverhead
+	if pr.CopyBW > 0 {
+		c += sim.Time(float64(size) / pr.CopyBW * 1e9)
+	}
+	return c
+}
+
+// recvCost is the CPU time of one receive completion.
+func (pr *Profile) recvCost(size int64) sim.Time {
+	c := pr.RecvOverhead
+	if pr.CopyBW > 0 {
+		c += sim.Time(float64(size) / pr.CopyBW * 1e9)
+	}
+	return c
+}

@@ -1,0 +1,40 @@
+package mpi
+
+// Program is a resumable MPI application: a state machine advanced by
+// Step, whose entire state lives in the (gob-serializable) implementing
+// struct.  This is the checkpointable execution model of the reproduction
+// (DESIGN.md §5.2): a goroutine stack cannot be serialized, so the
+// coordinated checkpoint captures the Program struct plus the engine's
+// pending-operation state while the process is parked, and a restarted
+// process re-enters Step.
+//
+// Contract for implementations:
+//
+//   - Step executes one phase and returns true when the program has
+//     completed.  A phase performs at most one blocking MPI operation
+//     (Recv, Sendrecv, a collective, or Compute), and any code before that
+//     operation must be idempotent — re-running the phase from its entry
+//     state must not duplicate effects.  Plain Send never blocks, so a
+//     phase may Send freely *after* its state no longer needs to be
+//     re-entered, or use Sendrecv, whose send half is resume-safe.
+//   - The concrete type must be registered with encoding/gob.
+//
+// Footprint reports the modelled resident memory of the process, which
+// sizes the checkpoint image exactly as system-level checkpointing does in
+// the paper ("the size of the checkpoint images is directly proportional
+// to the memory allocated").
+type Program interface {
+	Step(e *Engine) bool
+	Footprint() int64
+}
+
+// Finalize puts the engine in finalized mode: the inbox is drained and
+// protocol packets are thereafter processed asynchronously, so a process
+// whose program has completed keeps participating in marker exchanges —
+// the analogue of the progress engine running inside MPI_Finalize.  Must
+// be called from the process LP.
+func (e *Engine) Finalize() {
+	e.enterOp()
+	e.exitOp()
+	e.prof.Async = true
+}

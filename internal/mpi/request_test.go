@@ -1,0 +1,155 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"ftckpt/internal/sim"
+)
+
+func TestIsendIrecvWaitall(t *testing.T) {
+	w := newWorld(t, 3)
+	var got []string
+	err := w.Run(func(e *Engine) {
+		switch e.Rank() {
+		case 0:
+			e.Isend(2, 5, []byte("from0"), 0)
+		case 1:
+			e.Compute(time.Millisecond)
+			e.Isend(2, 6, []byte("from1"), 0)
+		case 2:
+			r1 := e.Irecv(1, 6)
+			r0 := e.Irecv(0, 5)
+			e.Waitall([]*Request{r1, r0})
+			got = append(got, string(r1.Packet.Data), string(r0.Packet.Data))
+			if !r1.Done() || !r0.Done() {
+				t.Error("requests not marked done")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "from1" || got[1] != "from0" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestWaitSingle(t *testing.T) {
+	w := newWorld(t, 2)
+	var data string
+	err := w.Run(func(e *Engine) {
+		if e.Rank() == 0 {
+			e.Send(1, 9, []byte("x"), 0)
+		} else {
+			p := e.Wait(e.Irecv(0, 9))
+			data = string(p.Data)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data != "x" {
+		t.Fatalf("data %q", data)
+	}
+}
+
+func TestIsendRequestIsComplete(t *testing.T) {
+	w := newWorld(t, 2)
+	err := w.Run(func(e *Engine) {
+		if e.Rank() == 0 {
+			r := e.Isend(1, 1, nil, 0)
+			if !r.Done() {
+				t.Error("Isend request not complete")
+			}
+			e.Waitall([]*Request{r}) // must not block
+		} else {
+			e.Recv(0, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWaitallResumeState verifies the checkpoint-resume contract: a
+// Waitall interrupted after consuming some packets restores them from the
+// serialized state instead of re-receiving.
+func TestWaitallResumeState(t *testing.T) {
+	// Build an engine image as a snapshot mid-Waitall would: round 1 of 2
+	// complete, its packet stored in Blocks.
+	done := &Packet{Src: 0, Tag: 7, Kind: KindPayload, Data: []byte("early"), VSize: 99}
+	img := &EngineImage{
+		Coll: &CollState{
+			Kind:   CollWaitall,
+			Round:  1,
+			Blocks: [][]byte{encodeWaitPacket(done), nil},
+		},
+	}
+
+	w := newWorld(t, 2)
+	var early, late string
+	err := w.RunRanked(func(rank int) func(e *Engine) {
+		return func(e *Engine) {
+			if rank == 0 {
+				e.Send(1, 8, []byte("late"), 0)
+				return
+			}
+			e.RestoreImage(img)
+			r1 := e.Irecv(0, 7)
+			r2 := e.Irecv(0, 8)
+			e.Waitall([]*Request{r1, r2})
+			early, late = string(r1.Packet.Data), string(r2.Packet.Data)
+			if r1.Packet.VSize != 99 {
+				t.Errorf("restored packet lost VSize: %v", r1.Packet)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early != "early" || late != "late" {
+		t.Fatalf("early=%q late=%q", early, late)
+	}
+}
+
+func TestWaitPacketCodec(t *testing.T) {
+	for _, p := range []*Packet{
+		{Src: 3, Tag: 17, VSize: 1 << 40, Data: []byte{1, 2, 3}, Kind: KindPayload},
+		{Src: 0, Tag: 0, Kind: KindPayload},
+		{Src: 511, Tag: -42, VSize: -1, Data: make([]byte, 1000), Kind: KindPayload},
+	} {
+		q := decodeWaitPacket(encodeWaitPacket(p))
+		if q.Src != p.Src || q.Tag != p.Tag || q.VSize != p.VSize || string(q.Data) != string(p.Data) {
+			t.Fatalf("round trip: %v -> %v", p, q)
+		}
+	}
+}
+
+func TestSteal(t *testing.T) {
+	k := sim.New(1)
+	w := NewWorld(k, testTopo(1), Profile{}, 1, 1)
+	var t1, t2 sim.Time
+	err := w.Run(func(e *Engine) {
+		e.Compute(time.Second)
+		t1 = e.Now()
+		e.AddSteal(0.5)
+		e.Compute(time.Second)
+		t2 = e.Now() - t1
+		e.SubSteal(0.5)
+		e.SubSteal(0.5) // extra SubSteal clamps at zero
+		e.Compute(time.Second)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != time.Second {
+		t.Fatalf("unstolen compute took %v", t1)
+	}
+	if t2 != 1500*time.Millisecond {
+		t.Fatalf("stolen compute took %v, want 1.5s", t2)
+	}
+	if k.Now() != 3500*time.Millisecond {
+		t.Fatalf("end %v, want 3.5s", k.Now())
+	}
+}

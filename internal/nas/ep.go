@@ -1,0 +1,89 @@
+package nas
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/sim"
+)
+
+// EP is a real implementation of the NAS EP (embarrassingly parallel)
+// kernel at reduced scale: each process generates pseudo-random pairs,
+// transforms the uniform deviates into Gaussian pairs by the Marsaglia
+// polar method, tallies them into annulus bins, and the bins are summed
+// with a final allreduce.  Communication is a single collective, which is
+// what makes EP the pure-compute end of the NAS spectrum.
+type EP struct {
+	Rank, Size int
+	Pairs      int   // pairs to generate on this process
+	Seed       int64 // base seed; rank offsets it
+	ChunkPairs int   // pairs per Step (checkpointable granularity)
+
+	Phase     int
+	Generated int
+	Counts    [10]float64
+	SumX      float64
+	SumY      float64
+	Totals    [10]float64 // global bins (set when done)
+}
+
+// NewEP builds rank's share of an EP run of totalPairs.
+func NewEP(rank, size, totalPairs int, seed int64) *EP {
+	pairs := totalPairs / size
+	return &EP{Rank: rank, Size: size, Pairs: pairs, Seed: seed, ChunkPairs: 4096}
+}
+
+// Step generates one chunk or performs the final reduction.
+func (e *EP) Step(eng *mpi.Engine) bool {
+	const (
+		epGen = iota
+		epReduce
+	)
+	switch e.Phase {
+	case epGen:
+		n := e.ChunkPairs
+		if rem := e.Pairs - e.Generated; n > rem {
+			n = rem
+		}
+		// A chunk's RNG is seeded by its position so re-execution after a
+		// rollback regenerates identical deviates.
+		rng := rand.New(rand.NewSource(e.Seed + int64(e.Rank)*1e9 + int64(e.Generated)))
+		for i := 0; i < n; i++ {
+			x := 2*rng.Float64() - 1
+			y := 2*rng.Float64() - 1
+			t := x*x + y*y
+			if t > 1 || t == 0 {
+				continue
+			}
+			f := math.Sqrt(-2 * math.Log(t) / t)
+			gx, gy := x*f, y*f
+			m := math.Max(math.Abs(gx), math.Abs(gy))
+			bin := int(m)
+			if bin > 9 {
+				bin = 9
+			}
+			e.Counts[bin]++
+			e.SumX += gx
+			e.SumY += gy
+		}
+		e.Generated += n
+		eng.Compute(sim.Time(float64(n) * 60 / EffectiveFlopRate * float64(time.Second)))
+		if e.Generated >= e.Pairs {
+			e.Phase = epReduce
+		}
+	case epReduce:
+		in := make([]float64, 12)
+		copy(in, e.Counts[:])
+		in[10], in[11] = e.SumX, e.SumY
+		out := eng.AllreduceF64(mpi.OpSum, in)
+		copy(e.Totals[:], out[:10])
+		e.SumX, e.SumY = out[10], out[11]
+		return true
+	}
+	return false
+}
+
+// Footprint is small: EP is compute-bound with negligible state.
+func (e *EP) Footprint() int64 { return 1 << 20 }

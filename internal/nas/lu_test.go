@@ -1,0 +1,96 @@
+package nas_test
+
+import (
+	"testing"
+	"time"
+
+	"ftckpt/internal/ftpm"
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/nas"
+)
+
+func shortLU() nas.LUClassSpec {
+	c := nas.LUClassA
+	c.Iters = 30
+	c.Flops /= 8
+	return c
+}
+
+func TestLUModelRuns(t *testing.T) {
+	for _, np := range []int{1, 2, 4, 6, 9} {
+		np := np
+		class := shortLU()
+		progs := runWorld(t, np, func(rank int) mpi.Program {
+			return nas.NewLUModel(class, rank, np)
+		})
+		var sums []float64
+		for _, p := range progs {
+			sums = append(sums, p.(*nas.LUModel).Checksum)
+		}
+		for _, s := range sums[1:] {
+			if s != sums[0] {
+				t.Fatalf("np=%d ranks disagree: %v", np, sums)
+			}
+		}
+	}
+}
+
+func TestLUGridFactorization(t *testing.T) {
+	for np, want := range map[int][2]int{
+		1:  {1, 1},
+		6:  {2, 3},
+		9:  {3, 3},
+		12: {3, 4},
+		64: {8, 8},
+	} {
+		l := nas.NewLUModel(nas.LUClassA, 0, np)
+		if l.PX != want[0] || l.PY != want[1] {
+			t.Fatalf("np=%d grid %dx%d, want %dx%d", np, l.PX, l.PY, want[0], want[1])
+		}
+	}
+}
+
+// TestLURecovery: the pipeline-dependency workload survives rollback with
+// an identical checksum (its wavefront makes it the most
+// ordering-sensitive of the models).
+func TestLURecovery(t *testing.T) {
+	class := shortLU()
+	mk := func(rank, size int) mpi.Program { return nas.NewLUModel(class, rank, size) }
+
+	job, err := ftpm.NewJob(recoveryCfg(4, mk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := job.Programs()[0].(*nas.LUModel).Checksum
+	half := job.Kernel().Now() / 2
+
+	for _, proto := range []ftpm.Proto{ftpm.ProtoPcl, ftpm.ProtoMlog} {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			cfg := recoveryCfg(4, mk)
+			cfg.Protocol = proto
+			cfg.Interval = half / 3
+			cfg.RestartDelay = time.Millisecond
+			cfg.Failures = failureAtHalfTime(half, 1)
+			job2, err := ftpm.NewJob(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := job2.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Restarts != 1 {
+				t.Fatalf("restarts = %d", res.Restarts)
+			}
+			for _, p := range job2.Programs() {
+				if got := p.(*nas.LUModel).Checksum; got != want {
+					t.Fatalf("checksum %v after recovery, want %v", got, want)
+				}
+			}
+		})
+	}
+}

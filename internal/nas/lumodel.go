@@ -1,0 +1,225 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/sim"
+)
+
+// LUClassSpec describes one NPB class of LU.
+type LUClassSpec struct {
+	Name   string
+	Grid   int
+	Iters  int
+	Flops  float64
+	BytesC int64
+}
+
+// LU classes (NPB-2.3).
+var (
+	LUClassA = LUClassSpec{Name: "A", Grid: 64, Iters: 250, Flops: 119.3e9, BytesC: 650}
+	LUClassB = LUClassSpec{Name: "B", Grid: 102, Iters: 250, Flops: 554.7e9, BytesC: 650}
+	LUClassC = LUClassSpec{Name: "C", Grid: 162, Iters: 250, Flops: 2274e9, BytesC: 650}
+)
+
+// LUClass looks an LU class up by name.
+func LUClass(name string) (LUClassSpec, error) {
+	switch name {
+	case "A":
+		return LUClassA, nil
+	case "B":
+		return LUClassB, nil
+	case "C":
+		return LUClassC, nil
+	}
+	return LUClassSpec{}, fmt.Errorf("nas: unknown LU class %q", name)
+}
+
+// MemPerProc returns the modelled resident set of one LU process.
+func (c LUClassSpec) MemPerProc(np int) int64 {
+	cells := int64(c.Grid) * int64(c.Grid) * int64(c.Grid)
+	return cells * c.BytesC / int64(np)
+}
+
+// luStages is the modelled pipeline depth per SSOR sweep (the k-planes
+// are aggregated into this many stages; the real code pipelines plane by
+// plane — more stages of proportionally smaller messages).
+const luStages = 8
+
+// LUModel reproduces the communication structure of NAS LU: an SSOR
+// solver whose lower and upper triangular sweeps propagate as wavefronts
+// across a 2D process grid — each pipeline stage receives small boundary
+// pencils from two upstream neighbours and forwards to two downstream
+// ones, making LU fine-grained and latency-sensitive like CG but with a
+// strict dependency chain.
+type LUModel struct {
+	Rank, Size int
+	PX, PY     int // process grid (PX*PY = Size)
+	Iters      int
+	It         int
+	Sweep      int // 0 = lower (SW→NE), 1 = upper (NE→SW)
+	Stage      int
+	Phase      int
+	SentA      bool // first downstream pencil of the stage already sent
+	CompStage  sim.Time
+	PencilB    int64
+	Mem        int64
+	Local      float64
+	Checksum   float64
+}
+
+// NewLUModel builds rank's LU model for an NPB class (any np; the process
+// grid is the most square factorization).
+func NewLUModel(class LUClassSpec, rank, np int) *LUModel {
+	px := int(math.Sqrt(float64(np)))
+	for np%px != 0 {
+		px--
+	}
+	py := np / px
+	stagesPerIter := 2 * luStages
+	perStage := class.Flops / float64(class.Iters*stagesPerIter) / float64(np) / EffectiveFlopRate
+	// A stage's pencil: one k-slab of a subdomain face, 5 components.
+	pencil := int64(class.Grid) / int64(px) * int64(class.Grid) / luStages * 5 * 8
+	if pencil < 256 {
+		pencil = 256
+	}
+	return &LUModel{
+		Rank: rank, Size: np, PX: px, PY: py,
+		Iters:     class.Iters,
+		CompStage: sim.Time(perStage * float64(time.Second)),
+		PencilB:   pencil,
+		Mem:       class.MemPerProc(np),
+		Local:     float64(rank + 1),
+	}
+}
+
+func (l *LUModel) x() int { return l.Rank % l.PX }
+func (l *LUModel) y() int { return l.Rank / l.PX }
+
+// upstream neighbours of the current sweep direction (-1 = none).
+func (l *LUModel) upstream() (a, b int) {
+	a, b = -1, -1
+	if l.Sweep == 0 { // lower sweep flows from (0,0)
+		if l.x() > 0 {
+			a = l.Rank - 1
+		}
+		if l.y() > 0 {
+			b = l.Rank - l.PX
+		}
+	} else { // upper sweep flows from (PX-1, PY-1)
+		if l.x() < l.PX-1 {
+			a = l.Rank + 1
+		}
+		if l.y() < l.PY-1 {
+			b = l.Rank + l.PX
+		}
+	}
+	return a, b
+}
+
+// downstream neighbours (the mirror of upstream).
+func (l *LUModel) downstream() (a, b int) {
+	a, b = -1, -1
+	if l.Sweep == 0 {
+		if l.x() < l.PX-1 {
+			a = l.Rank + 1
+		}
+		if l.y() < l.PY-1 {
+			b = l.Rank + l.PX
+		}
+	} else {
+		if l.x() > 0 {
+			a = l.Rank - 1
+		}
+		if l.y() > 0 {
+			b = l.Rank - l.PX
+		}
+	}
+	return a, b
+}
+
+// LU model phases (per pipeline stage).
+const (
+	luRecvA = iota
+	luRecvB
+	luComp
+	luSend
+	luNorm
+	luFinal
+)
+
+const luTag = 50
+
+// Step advances one phase.  Each stage: receive the two upstream pencils
+// (if any), compute, forward downstream (eager sends — resume-safe
+// because they follow the phase's blocking operation in luComp, which
+// mutates state only after its Compute).
+func (l *LUModel) Step(e *mpi.Engine) bool {
+	switch l.Phase {
+	case luRecvA:
+		if a, _ := l.upstream(); a >= 0 {
+			p := e.Recv(a, luTag)
+			l.Local = 0.7*l.Local + 0.3*mpi.DecodeF64(p.Data[:8])
+		}
+		l.Phase = luRecvB
+	case luRecvB:
+		if _, b := l.upstream(); b >= 0 {
+			p := e.Recv(b, luTag)
+			l.Local = 0.7*l.Local + 0.3*mpi.DecodeF64(p.Data[:8])
+		}
+		l.Phase = luComp
+	case luComp:
+		e.Compute(l.CompStage)
+		l.Local++
+		l.Phase = luSend
+	case luSend:
+		// Forward the wavefront.  Each send can park in its software
+		// overhead, so the stage tracks which sends completed: a snapshot
+		// taken mid-phase restores without duplicating the first pencil.
+		a, b := l.downstream()
+		if a >= 0 && !l.SentA {
+			e.Send(a, luTag, mpi.EncodeF64(l.Local), l.PencilB)
+			l.SentA = true
+		}
+		if b >= 0 {
+			e.Send(b, luTag, mpi.EncodeF64(l.Local), l.PencilB)
+		}
+		l.SentA = false
+		l.Stage++
+		if l.Stage < luStages {
+			l.Phase = luRecvA
+			break
+		}
+		l.Stage = 0
+		l.Sweep++
+		if l.Sweep < 2 {
+			l.Phase = luRecvA
+			break
+		}
+		l.Sweep = 0
+		l.It++
+		switch {
+		case l.It >= l.Iters:
+			l.Phase = luFinal
+		case l.It%25 == 0:
+			l.Phase = luNorm
+		default:
+			l.Phase = luRecvA
+		}
+	case luNorm:
+		s := e.AllreduceF64(mpi.OpSum, []float64{l.Local})
+		l.Checksum = s[0]
+		l.Phase = luRecvA
+	case luFinal:
+		s := e.AllreduceF64(mpi.OpSum, []float64{l.Local})
+		l.Checksum = s[0]
+		return true
+	}
+	return false
+}
+
+// Footprint reports the class resident set per process.
+func (l *LUModel) Footprint() int64 { return l.Mem }

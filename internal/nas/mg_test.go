@@ -1,0 +1,83 @@
+package nas_test
+
+import (
+	"testing"
+	"time"
+
+	"ftckpt/internal/ftpm"
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/nas"
+)
+
+func TestMGModelRuns(t *testing.T) {
+	for _, np := range []int{1, 2, 4, 8} {
+		np := np
+		class := nas.MGClassA
+		progs := runWorld(t, np, func(rank int) mpi.Program {
+			return nas.NewMGModel(class, rank, np)
+		})
+		var sums []float64
+		for _, p := range progs {
+			sums = append(sums, p.(*nas.MGModel).Checksum)
+		}
+		for _, s := range sums[1:] {
+			if s != sums[0] {
+				t.Fatalf("np=%d ranks disagree: %v", np, sums)
+			}
+		}
+	}
+}
+
+func TestMGModelRequiresPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-power-of-two np")
+		}
+	}()
+	nas.NewMGModel(nas.MGClassA, 0, 6)
+}
+
+func TestMGHaloShrinksWithLevel(t *testing.T) {
+	m := nas.NewMGModel(nas.MGClassB, 0, 4)
+	if m.Levels < 2 {
+		t.Fatalf("levels %d", m.Levels)
+	}
+	if m.FineBytes <= 0 {
+		t.Fatalf("fine halo %d", m.FineBytes)
+	}
+}
+
+func TestMGModelRecovery(t *testing.T) {
+	class := nas.MGClassB
+	mk := func(rank, size int) mpi.Program { return nas.NewMGModel(class, rank, size) }
+
+	job, err := ftpm.NewJob(recoveryCfg(4, mk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := job.Programs()[0].(*nas.MGModel).Checksum
+
+	cfg := recoveryCfg(4, mk)
+	cfg.Protocol = ftpm.ProtoVcl
+	cfg.Interval = 500 * time.Millisecond
+	cfg.Failures = failureAtHalf(t, job)
+	job2, err := ftpm.NewJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != 1 {
+		t.Fatalf("restarts = %d", res.Restarts)
+	}
+	for _, p := range job2.Programs() {
+		if got := p.(*nas.MGModel).Checksum; got != want {
+			t.Fatalf("checksum %v after recovery, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,469 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// A simulation is a set of logical processes (LPs) — ordinary goroutines
+// created with Kernel.Go — plus a heap of timed event callbacks.  The kernel
+// runs exactly one thing at a time: either a single LP (until it parks on a
+// timer or a Cond) or a single event callback.  Events with equal timestamps
+// fire in scheduling order, and woken LPs run in wake order, so a simulation
+// is bit-reproducible: the same program produces the same trace on every run.
+//
+// Virtual time is a time.Duration measured from the start of the simulation.
+// It only advances when every LP is parked and the earliest pending event is
+// popped; an LP that never parks therefore freezes time (and eventually the
+// kernel reports it as a livelock through the caller hanging — don't do
+// that).  LPs model the passage of computation time explicitly with
+// Proc.Advance.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is a virtual timestamp: the duration elapsed since the start of the
+// simulation.  It is an alias so that arithmetic with time.Duration
+// constants (sim.Time(30*time.Second), t + 5*time.Millisecond) is direct.
+type Time = time.Duration
+
+// procState tracks where an LP is in its lifecycle.
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateRunning
+	stateParked
+	stateDead
+)
+
+// Proc is a logical process: a goroutine whose execution interleaves with
+// the rest of the simulation only at kernel calls (Advance, Cond.Wait,
+// Yield).  All Proc methods must be called from the LP's own goroutine
+// while it holds the execution token, i.e. from inside the function passed
+// to Kernel.Go.
+type Proc struct {
+	k      *Kernel
+	id     int
+	name   string
+	wake   chan struct{}
+	state  procState
+	daemon bool
+	killed error // poison: delivered at the next kernel call
+}
+
+// ID returns the process identifier assigned by the kernel (dense,
+// starting at 0, in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the diagnostic name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel is a discrete-event scheduler.  Create one with New, add LPs with
+// Go and events with At/After, then call Run.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	byID    map[uint64]*event
+	runq    []*Proc
+	procs   []*Proc
+	live    int // non-daemon LPs not yet dead
+	yield   chan *Proc
+	running *Proc
+	stopped bool
+	stopErr error
+	started bool
+	rng     *rand.Rand
+	// Trace, when non-nil, receives a line for every LP wake and event
+	// dispatch.  Intended for debugging; off by default.
+	Trace func(t Time, format string, args ...any)
+}
+
+// New returns a kernel whose deterministic random source is seeded with
+// seed.  The source is available through Rand for workloads that need
+// reproducible pseudo-randomness tied to the simulation.
+func New(seed int64) *Kernel {
+	return &Kernel{
+		byID:  make(map[uint64]*event),
+		yield: make(chan *Proc),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Rand returns the kernel's deterministic random source.  It must only be
+// used from LPs and event callbacks (never concurrently with Run from
+// outside), which is the same discipline as every other kernel facility.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// event is a scheduled callback.
+type event struct {
+	t       Time
+	seq     uint64
+	fn      func()
+	index   int // heap index, -1 when popped/cancelled
+	id      uint64
+	cancled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// EventID identifies a scheduled event for cancellation.
+type EventID uint64
+
+// At schedules fn to run as an event callback at virtual time t.  If t is
+// in the past it runs at the current time, after already-pending work.
+func (k *Kernel) At(t Time, fn func()) EventID {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	ev := &event{t: t, seq: k.seq, fn: fn, id: k.seq}
+	heap.Push(&k.events, ev)
+	k.byID[ev.id] = ev
+	return EventID(ev.id)
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d Time, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Cancel revokes a pending event.  Cancelling an event that already fired
+// (or was already cancelled) is a no-op and reports false.
+func (k *Kernel) Cancel(id EventID) bool {
+	ev, ok := k.byID[uint64(id)]
+	if !ok || ev.cancled || ev.index < 0 {
+		return false
+	}
+	ev.cancled = true
+	heap.Remove(&k.events, ev.index)
+	delete(k.byID, uint64(id))
+	return true
+}
+
+// Go spawns a new LP running fn.  It may be called before Run or from any
+// LP or event callback during the simulation; the new LP becomes runnable
+// immediately but does not start executing until the scheduler selects it.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:    k,
+		id:   len(k.procs),
+		name: name,
+		wake: make(chan struct{}, 1),
+	}
+	k.procs = append(k.procs, p)
+	k.live++
+	p.state = stateRunnable
+	k.runq = append(k.runq, p)
+	go func() {
+		<-p.wake
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedPanic); !ok {
+					// Re-panicking here would crash on the LP's own
+					// goroutine without unwinding Run; record and stop.
+					k.stopped = true
+					k.stopErr = fmt.Errorf("sim: LP %q panicked: %v", p.name, r)
+				}
+			}
+			p.state = stateDead
+			if !p.daemon {
+				k.live--
+			}
+			k.yield <- p
+		}()
+		p.checkKilled()
+		fn(p)
+	}()
+	return p
+}
+
+// SetDaemon marks the LP as a daemon: the simulation may end while the LP
+// is still parked (servers, dispatchers).  Must be called from the LP
+// itself or before the LP has first run.
+func (p *Proc) SetDaemon(on bool) {
+	if p.daemon == on {
+		return
+	}
+	p.daemon = on
+	if p.state != stateDead {
+		if on {
+			p.k.live--
+		} else {
+			p.k.live++
+		}
+	}
+}
+
+// killedPanic unwinds a killed LP's stack.
+type killedPanic struct{ err error }
+
+// ErrKilled is the cause recorded when an LP is removed by Kernel.Kill
+// without a more specific reason.
+var ErrKilled = errors.New("sim: process killed")
+
+// Kill poisons an LP: the next kernel call it makes (or the pending one it
+// is parked in) panics internally and the LP exits.  cause may be nil, in
+// which case ErrKilled is used.  Killing a dead LP is a no-op.  An LP may
+// not kill itself; it should just return.
+func (k *Kernel) Kill(p *Proc, cause error) {
+	if p.state == stateDead || p.killed != nil {
+		return
+	}
+	if p == k.running {
+		panic("sim: LP cannot Kill itself")
+	}
+	if cause == nil {
+		cause = ErrKilled
+	}
+	p.killed = cause
+	if p.state == stateParked {
+		k.ready(p)
+	}
+}
+
+// Killed reports the poison error set by Kill, or nil.
+func (p *Proc) Killed() error { return p.killed }
+
+func (p *Proc) checkKilled() {
+	if p.killed != nil {
+		panic(killedPanic{p.killed})
+	}
+}
+
+// ready moves a parked LP to the run queue.  Dead or already-runnable LPs
+// are skipped, which lets stale timer callbacks fire harmlessly.
+func (k *Kernel) ready(p *Proc) {
+	if p.state != stateParked {
+		return
+	}
+	p.state = stateRunnable
+	k.runq = append(k.runq, p)
+}
+
+// park yields the token to the kernel and blocks until woken.
+func (p *Proc) park() {
+	p.checkKilled()
+	p.state = stateParked
+	p.k.running = nil
+	p.k.yield <- p
+	<-p.wake
+	p.checkKilled()
+}
+
+// Advance blocks the LP for d of virtual time, modelling computation or
+// idle waiting.  Negative durations advance by zero.
+func (p *Proc) Advance(d Time) {
+	p.checkKilled()
+	if d < 0 {
+		d = 0
+	}
+	id := p.k.After(d, func() { p.k.ready(p) })
+	// If the LP is killed while parked, the timer would otherwise fire
+	// later and drag virtual time forward for a dead process.
+	defer p.k.Cancel(id)
+	p.park()
+}
+
+// Yield reschedules the LP behind everything already runnable at the
+// current instant, without advancing time.
+func (p *Proc) Yield() {
+	p.checkKilled()
+	p.k.ready2(p)
+	p.park()
+}
+
+// ready2 is ready for a running LP that is about to park (Yield).
+func (k *Kernel) ready2(p *Proc) {
+	k.runq = append(k.runq, p)
+	// park() will set stateParked then the queued entry flips it back; to
+	// keep the state machine simple we mark it runnable when dequeued.
+}
+
+// Now returns the current virtual time (convenience mirror of Kernel.Now).
+func (p *Proc) Now() Time { return p.k.now }
+
+// Kernel returns the kernel this LP belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Stop ends the simulation after the currently executing step; Run returns
+// err (which may be nil for a normal early stop).
+func (k *Kernel) Stop(err error) {
+	k.stopped = true
+	if k.stopErr == nil {
+		k.stopErr = err
+	}
+}
+
+// ErrDeadlock is returned (wrapped) by Run when non-daemon LPs remain
+// parked but no event can ever wake them.
+var ErrDeadlock = errors.New("sim: deadlock")
+
+// Run executes the simulation until all non-daemon LPs have exited, Stop is
+// called, or no progress is possible.  It must be called exactly once, from
+// the goroutine that built the kernel.
+func (k *Kernel) Run() error {
+	if k.started {
+		return errors.New("sim: Run called twice")
+	}
+	k.started = true
+	defer k.cleanup()
+	for !k.stopped {
+		switch {
+		case len(k.runq) > 0:
+			p := k.runq[0]
+			k.runq = k.runq[1:]
+			if p.state == stateDead {
+				continue
+			}
+			p.state = stateRunning
+			k.running = p
+			if k.Trace != nil {
+				k.Trace(k.now, "run %s", p.name)
+			}
+			p.wake <- struct{}{}
+			<-k.yield
+			k.running = nil
+		case k.events.Len() > 0:
+			ev := heap.Pop(&k.events).(*event)
+			delete(k.byID, ev.id)
+			if ev.cancled {
+				continue
+			}
+			if ev.t < k.now {
+				return fmt.Errorf("sim: event time went backwards: %v < %v", ev.t, k.now)
+			}
+			k.now = ev.t
+			if k.Trace != nil {
+				k.Trace(k.now, "event")
+			}
+			ev.fn()
+		default:
+			if k.live > 0 {
+				return fmt.Errorf("%w at t=%v: %d live LP(s) parked forever: %v",
+					ErrDeadlock, k.now, k.live, k.parkedNames())
+			}
+			return nil
+		}
+	}
+	return k.stopErr
+}
+
+// cleanup unwinds every LP goroutine still alive when Run returns (parked
+// daemons, LPs outliving an early Stop) so that simulations do not leak
+// goroutines across tests.
+func (k *Kernel) cleanup() {
+	for _, p := range k.procs {
+		if p.state == stateDead {
+			continue
+		}
+		if p.killed == nil {
+			p.killed = ErrKilled
+		}
+		p.wake <- struct{}{}
+		<-k.yield
+	}
+}
+
+func (k *Kernel) parkedNames() []string {
+	var names []string
+	for _, p := range k.procs {
+		if p.state == stateParked && !p.daemon {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Cond is a condition variable integrated with the scheduler.  The usual
+// pattern is
+//
+//	for !pred() {
+//		cond.Wait(p)
+//	}
+//
+// Signal wakes the longest-waiting LP; Broadcast wakes all.  Because the
+// kernel is single-threaded there is no lock to hold around the predicate.
+type Cond struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to k.
+func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
+
+// Wait parks the LP until Signal or Broadcast (or Kill).  Spurious wakeups
+// are possible after a Broadcast race with Kill; always re-check the
+// predicate in a loop.
+func (c *Cond) Wait(p *Proc) {
+	p.checkKilled()
+	c.waiters = append(c.waiters, p)
+	defer c.remove(p)
+	p.park()
+}
+
+func (c *Cond) remove(p *Proc) {
+	for i, w := range c.waiters {
+		if w == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Signal wakes the longest-waiting LP, if any.
+func (c *Cond) Signal() {
+	for _, w := range c.waiters {
+		if w.state == stateParked {
+			c.k.ready(w)
+			return
+		}
+	}
+}
+
+// Broadcast wakes every waiting LP.
+func (c *Cond) Broadcast() {
+	for _, w := range c.waiters {
+		if w.state == stateParked {
+			c.k.ready(w)
+		}
+	}
+}

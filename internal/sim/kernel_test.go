@@ -1,0 +1,350 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAdvanceOrdering(t *testing.T) {
+	k := New(1)
+	var log []string
+	k.Go("a", func(p *Proc) {
+		p.Advance(20 * time.Millisecond)
+		log = append(log, fmt.Sprintf("a@%v", p.Now()))
+	})
+	k.Go("b", func(p *Proc) {
+		p.Advance(10 * time.Millisecond)
+		log = append(log, fmt.Sprintf("b@%v", p.Now()))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"b@10ms", "a@20ms"}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+}
+
+func TestEventsEqualTimeFIFO(t *testing.T) {
+	k := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("events out of order: %v", got)
+		}
+	}
+}
+
+func TestTimeNeverGoesBackwards(t *testing.T) {
+	k := New(1)
+	last := Time(0)
+	n := 0
+	var fire func()
+	fire = func() {
+		if k.Now() < last {
+			t.Fatalf("time went backwards: %v < %v", k.Now(), last)
+		}
+		last = k.Now()
+		n++
+		if n < 100 {
+			k.After(Time(n%7)*time.Millisecond, fire)
+		}
+	}
+	k.After(0, fire)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("fired %d times, want 100", n)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := New(1)
+	fired := false
+	id := k.After(time.Second, func() { fired = true })
+	k.After(time.Millisecond, func() {
+		if !k.Cancel(id) {
+			t.Error("Cancel reported false for pending event")
+		}
+		if k.Cancel(id) {
+			t.Error("second Cancel reported true")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if k.Now() != time.Millisecond {
+		t.Fatalf("end time %v, want 1ms", k.Now())
+	}
+}
+
+func TestCondSignalBroadcast(t *testing.T) {
+	k := New(1)
+	c := NewCond(k)
+	stage := 0
+	var woke []string
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		k.Go(name, func(p *Proc) {
+			for stage == 0 {
+				c.Wait(p)
+			}
+			woke = append(woke, name)
+			for stage < 2 {
+				c.Wait(p)
+			}
+			woke = append(woke, name+"'")
+		})
+	}
+	k.Go("sig", func(p *Proc) {
+		p.Advance(time.Millisecond)
+		stage = 1
+		c.Broadcast()
+		p.Advance(time.Millisecond)
+		stage = 2
+		c.Signal()
+		c.Signal()
+		c.Signal()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"w1", "w2", "w3", "w1'", "w2'", "w3'"}
+	if !reflect.DeepEqual(woke, want) {
+		t.Fatalf("wake order %v, want %v", woke, want)
+	}
+}
+
+func TestKillParkedLP(t *testing.T) {
+	k := New(1)
+	boom := errors.New("node crash")
+	cleanedUp := false
+	victim := k.Go("victim", func(p *Proc) {
+		defer func() { cleanedUp = true }()
+		p.Advance(time.Hour)
+		t.Error("victim survived Advance past kill")
+	})
+	k.After(time.Second, func() { k.Kill(victim, boom) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !cleanedUp {
+		t.Fatal("victim deferred cleanup did not run")
+	}
+	if victim.Killed() != boom {
+		t.Fatalf("Killed() = %v, want %v", victim.Killed(), boom)
+	}
+	if k.Now() != time.Second {
+		t.Fatalf("sim ended at %v, want 1s", k.Now())
+	}
+}
+
+func TestKillRunnableLPBeforeFirstRun(t *testing.T) {
+	k := New(1)
+	ran := false
+	var victim *Proc
+	k.Go("killer", func(p *Proc) {
+		k.Kill(victim, nil)
+	})
+	victim = k.Go("victim", func(p *Proc) { ran = true })
+	// The killer LP was spawned first, so it runs first and poisons the
+	// victim before the victim's body starts.
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("victim body ran despite pre-run kill")
+	}
+}
+
+func TestDaemonDoesNotBlockExit(t *testing.T) {
+	k := New(1)
+	c := NewCond(k)
+	k.Go("server", func(p *Proc) {
+		p.SetDaemon(true)
+		for {
+			c.Wait(p) // parked forever
+		}
+	})
+	k.Go("client", func(p *Proc) { p.Advance(time.Millisecond) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	k := New(1)
+	c := NewCond(k)
+	k.Go("stuck", func(p *Proc) { c.Wait(p) })
+	err := k.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := New(1)
+	stopErr := errors.New("enough")
+	k.Go("a", func(p *Proc) {
+		for i := 0; ; i++ {
+			p.Advance(time.Second)
+			if i == 4 {
+				k.Stop(stopErr)
+			}
+		}
+	})
+	if err := k.Run(); err != stopErr {
+		t.Fatalf("err = %v, want %v", err, stopErr)
+	}
+	if k.Now() != 5*time.Second {
+		t.Fatalf("stopped at %v, want 5s", k.Now())
+	}
+}
+
+func TestSpawnFromLP(t *testing.T) {
+	k := New(1)
+	var order []string
+	k.Go("parent", func(p *Proc) {
+		order = append(order, "parent")
+		k.Go("child", func(c *Proc) {
+			order = append(order, "child")
+			c.Advance(time.Millisecond)
+			order = append(order, "child-done")
+		})
+		p.Advance(2 * time.Millisecond)
+		order = append(order, "parent-done")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"parent", "child", "child-done", "parent-done"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+}
+
+func TestYieldFairness(t *testing.T) {
+	k := New(1)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Go(fmt.Sprintf("lp%d", i), func(p *Proc) {
+			for round := 0; round < 2; round++ {
+				order = append(order, i)
+				p.Yield()
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+}
+
+func TestLPPanicPropagates(t *testing.T) {
+	k := New(1)
+	k.Go("bad", func(p *Proc) { panic("kaboom") })
+	err := k.Run()
+	if err == nil {
+		t.Fatal("Run returned nil for panicking LP")
+	}
+}
+
+func TestRunTwice(t *testing.T) {
+	k := New(1)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err == nil {
+		t.Fatal("second Run did not error")
+	}
+}
+
+// runSchedule runs a randomized simulation derived from seed and returns a
+// trace of (time, lp, step) tuples.
+func runSchedule(seed int64, lps, steps int) []string {
+	k := New(seed)
+	rng := rand.New(rand.NewSource(seed))
+	delays := make([][]Time, lps)
+	for i := range delays {
+		delays[i] = make([]Time, steps)
+		for j := range delays[i] {
+			delays[i][j] = Time(rng.Intn(50)) * time.Millisecond
+		}
+	}
+	var trace []string
+	for i := 0; i < lps; i++ {
+		i := i
+		k.Go(fmt.Sprintf("lp%d", i), func(p *Proc) {
+			for j := 0; j < steps; j++ {
+				p.Advance(delays[i][j])
+				trace = append(trace, fmt.Sprintf("%d/%d@%v", i, j, p.Now()))
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	return trace
+}
+
+// TestDeterminism checks that identical programs produce identical traces —
+// the property every experiment in this repository relies on.
+func TestDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		a := runSchedule(seed, 5, 8)
+		b := runSchedule(seed, 5, 8)
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceMonotone checks that the per-LP step order and global time
+// monotonicity hold for arbitrary schedules.
+func TestTraceMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		trace := runSchedule(seed, 4, 6)
+		var last Time
+		for _, e := range trace {
+			var lp, step int
+			var at time.Duration
+			var rest string
+			if _, err := fmt.Sscanf(e, "%d/%d@%s", &lp, &step, &rest); err != nil {
+				return false
+			}
+			at, err := time.ParseDuration(rest)
+			if err != nil {
+				return false
+			}
+			if at < last {
+				return false
+			}
+			last = at
+		}
+		return len(trace) == 4*6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

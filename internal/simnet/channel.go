@@ -1,0 +1,165 @@
+package simnet
+
+import "ftckpt/internal/sim"
+
+// smallCutoff is the size below which a message takes the fast path: its
+// transfer time is charged against a per-node transmit horizon (so bursts
+// of control messages still serialize on the NIC) instead of joining the
+// fluid bandwidth-sharing machinery.  Without this, an n-process marker
+// flood creates O(n²) simultaneous flows whose every arrival reschedules
+// every flow on the shared NICs — quadratic simulation cost for messages
+// whose bandwidth footprint is negligible.  Messages at or above the
+// cutoff (application payloads, checkpoint images) use fluid flows and
+// contend normally.
+const smallCutoff = 4 << 10
+
+// A Channel is a FIFO, reliable, unidirectional message stream between two
+// nodes — the simulated analogue of one TCP connection between two MPI
+// peers.  Messages on a channel are transmitted one at a time in order
+// (back-to-back messages pipeline: the next transmission starts as soon as
+// the previous one leaves the bottleneck, not after its delivery), so the
+// FIFO property both checkpointing protocols assume holds by construction.
+// Distinct channels between the same pair of nodes compete for bandwidth
+// like distinct connections.
+type Channel struct {
+	net     *Network
+	src     int
+	dst     int
+	deliver func(payload any)
+	queue   []message
+	busy    bool
+	inFly   *Flow
+	closed  bool
+
+	// MsgsSent and BytesSent accumulate per-channel statistics.
+	MsgsSent  int
+	BytesSent Bytes
+}
+
+type message struct {
+	payload any
+	size    Bytes
+}
+
+// NewChannel opens a FIFO message channel from node src to node dst.
+// deliver runs as an event callback when each message arrives; it must not
+// block (hand off to an LP through a sim.Cond if needed).
+func (n *Network) NewChannel(src, dst int, deliver func(payload any)) *Channel {
+	return &Channel{net: n, src: src, dst: dst, deliver: deliver}
+}
+
+// Src returns the source node.
+func (c *Channel) Src() int { return c.src }
+
+// Dst returns the destination node.
+func (c *Channel) Dst() int { return c.dst }
+
+// Send enqueues a message.  It never blocks; the sender-side cost of
+// copying into the transmit path is modelled by the caller (device service
+// profiles), not here.
+func (c *Channel) Send(payload any, size Bytes) {
+	if c.closed {
+		return // messages to/from a dead node vanish, like a broken socket
+	}
+	c.MsgsSent++
+	c.BytesSent += size
+	c.queue = append(c.queue, message{payload, size})
+	if !c.busy {
+		c.startNext()
+	}
+}
+
+func (c *Channel) startNext() {
+	if c.closed || len(c.queue) == 0 {
+		c.busy = false
+		return
+	}
+	m := c.queue[0]
+	c.queue = c.queue[1:]
+	c.busy = true
+	if m.size < smallCutoff {
+		c.startSmall(m)
+		return
+	}
+	c.net.flowSeq++
+	f := &Flow{
+		net:       c.net,
+		seq:       c.net.flowSeq,
+		remaining: float64(m.size),
+		last:      c.net.k.Now(),
+		latency:   c.net.Latency(c.src, c.dst),
+	}
+	f.onDone = func() {
+		if c.closed {
+			return
+		}
+		c.net.BytesMoved += m.size
+		c.net.FlowsDone++
+		c.deliver(m.payload)
+	}
+	// The next message may start transmitting as soon as this one clears
+	// the bottleneck.
+	f.onXfer = func() { c.startNext() }
+	c.inFly = f
+	if c.src == c.dst {
+		f.doneEv = c.net.k.After(0, f.transferComplete)
+		return
+	}
+	f.res = c.net.pathResources(c.src, c.dst)
+	if c.net.Cluster(c.src) != c.net.Cluster(c.dst) {
+		f.cap = c.net.topo.WanFlowCap
+	}
+	c.net.reschedule(f.attach())
+}
+
+// startSmall transmits a message on the fast path: the unloaded path
+// bandwidth, serialized against the sender node's transmit horizon.
+func (c *Channel) startSmall(m message) {
+	c.inFly = nil
+	k := c.net.k
+	now := k.Now()
+	var svc sim.Time
+	if c.src != c.dst {
+		svc = sim.Time(float64(m.size) / c.net.Bandwidth(c.src, c.dst) * 1e9)
+	}
+	node := c.net.nodes[c.src]
+	ready := node.smallTxBusy
+	if ready < now {
+		ready = now
+	}
+	ready += svc
+	node.smallTxBusy = ready
+	lat := c.net.Latency(c.src, c.dst)
+	k.At(ready, func() {
+		if c.closed {
+			return
+		}
+		c.startNext()
+	})
+	k.At(ready+lat, func() {
+		if c.closed {
+			return
+		}
+		c.net.BytesMoved += m.size
+		c.net.FlowsDone++
+		c.deliver(m.payload)
+	})
+}
+
+// Close tears the channel down, dropping queued and in-flight messages —
+// the simulated analogue of a socket reset when a process dies.
+func (c *Channel) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.queue = nil
+	c.busy = false
+	if c.inFly != nil {
+		c.inFly.Cancel()
+		c.inFly = nil
+	}
+}
+
+// Closed reports whether Close was called.
+func (c *Channel) Closed() bool { return c.closed }

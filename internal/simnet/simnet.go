@@ -1,0 +1,363 @@
+// Package simnet is a flow-level network model on top of the sim kernel.
+//
+// The model is the one used by flow-level grid simulators: every transfer
+// (a point-to-point message or a bulk checkpoint-image stream) is a fluid
+// flow that crosses a set of capacity resources — the sender's NIC transmit
+// side, the receiver's NIC receive side and, between clusters, each
+// cluster's WAN uplink.  Each resource divides its bandwidth equally among
+// the flows crossing it and a flow progresses at the minimum of its shares
+// (a min-share approximation of max-min fairness).  Whenever a flow starts
+// or finishes, the remaining bytes of every flow sharing a resource with it
+// are settled at the old rate and their completion events are rescheduled
+// at the new rate.  Delivery happens one path latency after the last byte
+// is transmitted.
+//
+// This reproduces the effects the paper measures: checkpoint-image
+// transfers competing with application traffic for the NIC, two processes
+// sharing one NIC on dual-processor nodes, and the ~20x bandwidth / two
+// orders of magnitude latency gap between intra- and inter-cluster links.
+//
+// Channels (channel.go) add FIFO ordering on top of flows: a Channel
+// serializes its messages (one in flight at a time), so per-channel FIFO —
+// which both checkpointing protocols require — holds by construction.
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"ftckpt/internal/sim"
+)
+
+// Bytes counts payload sizes.
+type Bytes = int64
+
+// Rate is a bandwidth in bytes per second.
+type Rate = float64
+
+// Common size units.
+const (
+	KB Bytes = 1 << 10
+	MB Bytes = 1 << 20
+	GB Bytes = 1 << 30
+)
+
+// ClusterSpec describes one homogeneous cluster.
+type ClusterSpec struct {
+	Name    string
+	Nodes   int
+	NICBW   Rate     // per-node NIC bandwidth, each direction
+	Latency sim.Time // one-way intra-cluster message latency
+}
+
+// Topology describes the whole platform.
+type Topology struct {
+	Clusters   []ClusterSpec
+	WanLatency sim.Time // one-way latency between any two clusters
+	WanBW      Rate     // capacity of each cluster's WAN uplink
+	// WanFlowCap caps each individual inter-cluster flow's throughput
+	// (TCP window / RTT limiting on high-latency paths) independently of
+	// the shared uplink capacity; 0 disables.  This is what makes a
+	// single stream ~20x slower between clusters than inside one, as the
+	// paper measures with NetPIPE, without starving aggregate traffic.
+	WanFlowCap Rate
+}
+
+// TotalNodes returns the number of nodes across all clusters.
+func (t Topology) TotalNodes() int {
+	n := 0
+	for _, c := range t.Clusters {
+		n += c.Nodes
+	}
+	return n
+}
+
+// resource is a capacity shared equally by the flows crossing it.
+type resource struct {
+	name  string
+	bw    Rate
+	flows map[*Flow]struct{}
+}
+
+func (r *resource) share() Rate {
+	if len(r.flows) == 0 {
+		return r.bw
+	}
+	return r.bw / Rate(len(r.flows))
+}
+
+// node is one machine with two independent NIC directions.
+type node struct {
+	id      int
+	cluster int
+	tx, rx  *resource
+	// smallTxBusy is the fast-path transmit horizon: small messages
+	// serialize against it instead of joining the fluid flow machinery.
+	smallTxBusy sim.Time
+}
+
+// Flow is an in-progress bulk transfer.
+type Flow struct {
+	net       *Network
+	seq       uint64 // creation order, for deterministic rescheduling
+	res       []*resource
+	cap       Rate    // per-flow rate ceiling (WAN), 0 = none
+	remaining float64 // bytes
+	rate      Rate
+	last      sim.Time
+	latency   sim.Time
+	doneEv    sim.EventID
+	onDone    func()
+	onXfer    func() // optional: runs when the last byte clears the bottleneck
+	done      bool
+	cancelled bool
+}
+
+// Network is the simulated platform.
+type Network struct {
+	k     *sim.Kernel
+	topo  Topology
+	nodes []*node
+	// wanUp[i] is cluster i's uplink, nil for single-cluster topologies.
+	wanUp   []*resource
+	flowSeq uint64
+
+	// BytesMoved and FlowsDone accumulate delivery statistics.
+	BytesMoved Bytes
+	FlowsDone  int
+}
+
+// New builds the platform described by topo on kernel k.
+func New(k *sim.Kernel, topo Topology) *Network {
+	n := &Network{k: k, topo: topo}
+	for ci, c := range topo.Clusters {
+		if c.Nodes <= 0 {
+			panic(fmt.Sprintf("simnet: cluster %q has %d nodes", c.Name, c.Nodes))
+		}
+		if c.NICBW <= 0 {
+			panic(fmt.Sprintf("simnet: cluster %q has non-positive NIC bandwidth", c.Name))
+		}
+		for i := 0; i < c.Nodes; i++ {
+			id := len(n.nodes)
+			n.nodes = append(n.nodes, &node{
+				id:      id,
+				cluster: ci,
+				tx:      &resource{name: fmt.Sprintf("n%d.tx", id), bw: c.NICBW, flows: map[*Flow]struct{}{}},
+				rx:      &resource{name: fmt.Sprintf("n%d.rx", id), bw: c.NICBW, flows: map[*Flow]struct{}{}},
+			})
+		}
+	}
+	if len(topo.Clusters) > 1 {
+		if topo.WanBW <= 0 {
+			panic("simnet: multi-cluster topology needs WanBW > 0")
+		}
+		n.wanUp = make([]*resource, len(topo.Clusters))
+		for ci := range topo.Clusters {
+			n.wanUp[ci] = &resource{name: fmt.Sprintf("wan%d", ci), bw: topo.WanBW, flows: map[*Flow]struct{}{}}
+		}
+	}
+	return n
+}
+
+// Kernel returns the simulation kernel the network runs on.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// NumNodes returns the number of nodes in the platform.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// Cluster returns the cluster index of a node.
+func (n *Network) Cluster(nodeID int) int { return n.nodes[nodeID].cluster }
+
+// Latency returns the one-way latency between two nodes.
+func (n *Network) Latency(src, dst int) sim.Time {
+	a, b := n.nodes[src], n.nodes[dst]
+	if a.cluster == b.cluster {
+		return n.topo.Clusters[a.cluster].Latency
+	}
+	return n.topo.WanLatency
+}
+
+// Bandwidth returns the unloaded bottleneck bandwidth of one src→dst flow.
+func (n *Network) Bandwidth(src, dst int) Rate {
+	bw := math.Inf(1)
+	for _, r := range n.pathResources(src, dst) {
+		if r.bw < bw {
+			bw = r.bw
+		}
+	}
+	if n.Cluster(src) != n.Cluster(dst) && n.topo.WanFlowCap > 0 && n.topo.WanFlowCap < bw {
+		bw = n.topo.WanFlowCap
+	}
+	return bw
+}
+
+// pathResources returns the capacity resources a src→dst flow crosses.
+func (n *Network) pathResources(src, dst int) []*resource {
+	a, b := n.nodes[src], n.nodes[dst]
+	res := []*resource{a.tx, b.rx}
+	if a.cluster != b.cluster {
+		res = append(res, n.wanUp[a.cluster], n.wanUp[b.cluster])
+	}
+	return res
+}
+
+// StartFlow begins a bulk transfer of size bytes from node src to node dst.
+// onDone runs as an event one path latency after the last byte is
+// transmitted.  A zero-size flow pays only the latency.  Must be called
+// from an LP or event callback.
+func (n *Network) StartFlow(src, dst int, size Bytes, onDone func()) *Flow {
+	return n.StartFlowCapped(src, dst, size, 0, onDone)
+}
+
+// StartFlowCapped is StartFlow with a per-flow rate ceiling (0 = none) —
+// used for transfers paced at the sender, like MPICH-V's daemon
+// interleaving image shipping with message handling.
+func (n *Network) StartFlowCapped(src, dst int, size Bytes, cap Rate, onDone func()) *Flow {
+	n.flowSeq++
+	f := &Flow{
+		net:       n,
+		seq:       n.flowSeq,
+		cap:       cap,
+		remaining: float64(size),
+		last:      n.k.Now(),
+		latency:   n.Latency(src, dst),
+		onDone: func() {
+			n.BytesMoved += size
+			n.FlowsDone++
+			if onDone != nil {
+				onDone()
+			}
+		},
+	}
+	if src == dst {
+		// Loopback: latency only (applied by transferComplete); intra-node
+		// copies are not network flows.
+		f.doneEv = n.k.After(0, f.transferComplete)
+		return f
+	}
+	f.res = n.pathResources(src, dst)
+	if n.Cluster(src) != n.Cluster(dst) {
+		if wc := n.topo.WanFlowCap; wc > 0 && (f.cap == 0 || wc < f.cap) {
+			f.cap = wc
+		}
+	}
+	affected := f.attach()
+	n.reschedule(affected)
+	return f
+}
+
+// attach inserts the flow into its resources and returns every flow whose
+// rate may have changed (including f itself).
+func (f *Flow) attach() map[*Flow]struct{} {
+	affected := map[*Flow]struct{}{f: {}}
+	for _, r := range f.res {
+		for g := range r.flows {
+			affected[g] = struct{}{}
+		}
+		r.flows[f] = struct{}{}
+	}
+	return affected
+}
+
+// detach removes the flow from its resources and returns the remaining
+// flows whose rate may have changed.
+func (f *Flow) detach() map[*Flow]struct{} {
+	affected := map[*Flow]struct{}{}
+	for _, r := range f.res {
+		delete(r.flows, f)
+		for g := range r.flows {
+			affected[g] = struct{}{}
+		}
+	}
+	f.res = nil
+	return affected
+}
+
+// reschedule settles progress and recomputes rate and completion time for
+// every affected live flow.  In the min-share model a flow's rate depends
+// only on the population counts of its own resources, so a single pass is
+// exact for the resources whose membership changed.
+func (n *Network) reschedule(affected map[*Flow]struct{}) {
+	now := n.k.Now()
+	// Iterate in flow-creation order: map iteration order would make
+	// equal-time completions fire nondeterministically.
+	ordered := make([]*Flow, 0, len(affected))
+	for g := range affected {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
+	for _, g := range ordered {
+		if g.done || g.cancelled {
+			continue
+		}
+		if g.rate > 0 {
+			g.remaining -= g.rate * (now - g.last).Seconds()
+			if g.remaining < 0 {
+				g.remaining = 0
+			}
+		}
+		g.last = now
+		rate := math.Inf(1)
+		for _, r := range g.res {
+			if s := r.share(); s < rate {
+				rate = s
+			}
+		}
+		if g.cap > 0 && rate > g.cap {
+			rate = g.cap
+		}
+		g.rate = rate
+		if g.doneEv != 0 {
+			n.k.Cancel(g.doneEv)
+			g.doneEv = 0
+		}
+		var dt sim.Time
+		if g.remaining > 0 && !math.IsInf(g.rate, 1) {
+			dt = sim.Time(g.remaining / g.rate * float64(time.Second))
+			if dt < 0 {
+				dt = 0
+			}
+		}
+		g.doneEv = n.k.After(dt, g.transferComplete)
+	}
+}
+
+// transferComplete fires when the last byte leaves the bottleneck; the
+// delivery callback runs one path latency later.
+func (f *Flow) transferComplete() {
+	if f.done || f.cancelled {
+		return
+	}
+	f.done = true
+	f.doneEv = 0
+	f.remaining = 0
+	if f.res != nil {
+		affected := f.detach()
+		f.net.reschedule(affected)
+	}
+	f.net.k.After(f.latency, func() {
+		if !f.cancelled {
+			f.onDone()
+		}
+	})
+	if f.onXfer != nil {
+		f.onXfer()
+	}
+}
+
+// Cancel aborts the flow; onDone will not run.  Safe to call at any point,
+// including after completion (then it only suppresses a pending delivery).
+func (f *Flow) Cancel() {
+	f.cancelled = true
+	if f.doneEv != 0 {
+		f.net.k.Cancel(f.doneEv)
+		f.doneEv = 0
+	}
+	if !f.done && f.res != nil {
+		affected := f.detach()
+		f.net.reschedule(affected)
+	}
+	f.done = true
+}

@@ -1,0 +1,133 @@
+// Package trace collects per-wave lifecycle statistics of a run: when each
+// checkpoint wave took its local checkpoints, when the images finished
+// storing, and when the wave committed.  The derived durations separate
+// the two cost components the paper's analysis distinguishes — the
+// synchronization/snapshot phase and the image-transfer phase — and feed
+// the wave-breakdown output of cmd/ftrun and the ablation benchmarks.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"ftckpt/internal/sim"
+)
+
+// WaveStat is the lifecycle of one checkpoint wave.
+type WaveStat struct {
+	Wave int
+	// FirstCkpt and LastCkpt bracket the local snapshots: for the
+	// blocking protocol the spread is the channel-flush straggle, for the
+	// non-blocking one it is marker propagation.
+	FirstCkpt sim.Time
+	LastCkpt  sim.Time
+	// LastStored is when the slowest image finished storing; Committed
+	// when the coordinator sealed the wave.
+	LastStored sim.Time
+	Committed  sim.Time
+	// Images counts local checkpoints taken in this wave.
+	Images int
+}
+
+// SnapshotSpread is the straggle between the first and last local
+// checkpoint of the wave.
+func (w WaveStat) SnapshotSpread() sim.Time { return w.LastCkpt - w.FirstCkpt }
+
+// TransferTime is the tail from the last snapshot to the last stored
+// image (the fork-and-pipeline window).
+func (w WaveStat) TransferTime() sim.Time { return w.LastStored - w.LastCkpt }
+
+// CycleTime is the whole wave, first snapshot to commit.
+func (w WaveStat) CycleTime() sim.Time { return w.Committed - w.FirstCkpt }
+
+func (w WaveStat) String() string {
+	return fmt.Sprintf("wave %d: %d images, spread %v, transfer %v, cycle %v",
+		w.Wave, w.Images, w.SnapshotSpread(), w.TransferTime(), w.CycleTime())
+}
+
+// Recorder accumulates wave statistics.  The zero value is unusable; use
+// New.  All methods run in simulation (single-threaded) context.
+type Recorder struct {
+	waves map[int]*WaveStat
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{waves: make(map[int]*WaveStat)} }
+
+func (r *Recorder) wave(w int) *WaveStat {
+	ws, ok := r.waves[w]
+	if !ok {
+		ws = &WaveStat{Wave: w, FirstCkpt: -1}
+		r.waves[w] = ws
+	}
+	return ws
+}
+
+// LocalCkpt records one process's local snapshot for wave w at time t.
+func (r *Recorder) LocalCkpt(w int, t sim.Time) {
+	ws := r.wave(w)
+	if ws.FirstCkpt < 0 || t < ws.FirstCkpt {
+		ws.FirstCkpt = t
+	}
+	if t > ws.LastCkpt {
+		ws.LastCkpt = t
+	}
+	ws.Images++
+}
+
+// Stored records that an image of wave w finished storing at time t.
+func (r *Recorder) Stored(w int, t sim.Time) {
+	ws := r.wave(w)
+	if t > ws.LastStored {
+		ws.LastStored = t
+	}
+}
+
+// Commit records the coordinator sealing wave w at time t.
+func (r *Recorder) Commit(w int, t sim.Time) { r.wave(w).Committed = t }
+
+// Committed returns the statistics of every committed wave, ordered by
+// wave number.  Waves aborted by a restart (never committed) are omitted.
+func (r *Recorder) Committed() []WaveStat {
+	var out []WaveStat
+	for _, ws := range r.waves {
+		if ws.Committed > 0 {
+			out = append(out, *ws)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Wave < out[j].Wave })
+	return out
+}
+
+// Summary aggregates committed waves.
+type Summary struct {
+	Waves          int
+	MeanSpread     sim.Time
+	MeanTransfer   sim.Time
+	MeanCycle      sim.Time
+	MaxSpread      sim.Time
+	TotalTransfers int
+}
+
+// Summarize reduces the committed waves to means and maxima.
+func (r *Recorder) Summarize() Summary {
+	waves := r.Committed()
+	s := Summary{Waves: len(waves)}
+	if len(waves) == 0 {
+		return s
+	}
+	for _, w := range waves {
+		s.MeanSpread += w.SnapshotSpread()
+		s.MeanTransfer += w.TransferTime()
+		s.MeanCycle += w.CycleTime()
+		if w.SnapshotSpread() > s.MaxSpread {
+			s.MaxSpread = w.SnapshotSpread()
+		}
+		s.TotalTransfers += w.Images
+	}
+	n := sim.Time(len(waves))
+	s.MeanSpread /= n
+	s.MeanTransfer /= n
+	s.MeanCycle /= n
+	return s
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWaveLifecycle(t *testing.T) {
+	r := New()
+	r.LocalCkpt(1, 10*time.Second)
+	r.LocalCkpt(1, 12*time.Second)
+	r.LocalCkpt(1, 11*time.Second)
+	r.Stored(1, 15*time.Second)
+	r.Stored(1, 18*time.Second)
+	r.Commit(1, 19*time.Second)
+
+	waves := r.Committed()
+	if len(waves) != 1 {
+		t.Fatalf("%d waves", len(waves))
+	}
+	w := waves[0]
+	if w.Images != 3 {
+		t.Fatalf("images %d", w.Images)
+	}
+	if w.SnapshotSpread() != 2*time.Second {
+		t.Fatalf("spread %v", w.SnapshotSpread())
+	}
+	if w.TransferTime() != 6*time.Second {
+		t.Fatalf("transfer %v", w.TransferTime())
+	}
+	if w.CycleTime() != 9*time.Second {
+		t.Fatalf("cycle %v", w.CycleTime())
+	}
+}
+
+func TestAbortedWaveOmitted(t *testing.T) {
+	r := New()
+	r.LocalCkpt(1, time.Second)
+	r.Stored(1, 2*time.Second)
+	r.Commit(1, 3*time.Second)
+	r.LocalCkpt(2, 4*time.Second) // wave 2 never commits (restart)
+	if got := r.Committed(); len(got) != 1 || got[0].Wave != 1 {
+		t.Fatalf("committed %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := New()
+	for w := 1; w <= 3; w++ {
+		base := time.Duration(w) * 10 * time.Second
+		r.LocalCkpt(w, base)
+		r.LocalCkpt(w, base+time.Duration(w)*time.Second)
+		r.Stored(w, base+5*time.Second)
+		r.Commit(w, base+6*time.Second)
+	}
+	s := r.Summarize()
+	if s.Waves != 3 || s.TotalTransfers != 6 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.MeanSpread != 2*time.Second { // (1+2+3)/3
+		t.Fatalf("mean spread %v", s.MeanSpread)
+	}
+	if s.MaxSpread != 3*time.Second {
+		t.Fatalf("max spread %v", s.MaxSpread)
+	}
+	if s.MeanCycle != 6*time.Second {
+		t.Fatalf("mean cycle %v", s.MeanCycle)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := New().Summarize()
+	if s.Waves != 0 || s.MeanCycle != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
