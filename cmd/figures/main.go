@@ -11,24 +11,32 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"text/tabwriter"
 
+	"ftckpt"
 	"ftckpt/internal/expt"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, 10, netpipe, all")
-		quick = flag.Bool("quick", false, "shrink workloads (~10x) — shapes survive, absolute values do not")
-		seed  = flag.Int64("seed", 1, "simulation seed")
-		v     = flag.Bool("v", false, "trace per-run progress")
+		fig    = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, 10, netpipe, all")
+		quick  = flag.Bool("quick", false, "shrink workloads (~10x) — shapes survive, absolute values do not")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		v      = flag.Bool("v", false, "trace per-run progress")
+		metDir = flag.String("metrics-dir", "", "also write each figure's aggregated metrics as <dir>/fig<N>.metrics.json")
 	)
 	flag.Parse()
 
 	o := expt.Options{Quick: *quick, Seed: *seed}
 	if *v {
 		o.Trace = log.Printf
+	}
+	if *metDir != "" {
+		if err := os.MkdirAll(*metDir, 0o755); err != nil {
+			fail(err)
+		}
 	}
 
 	runners := map[string]func(expt.Options) error{
@@ -42,19 +50,49 @@ func main() {
 	}
 	order := []string{"netpipe", "5", "6", "7", "8", "9", "10"}
 
+	// runOne regenerates one figure; with -metrics-dir every run of the
+	// figure folds into one fresh registry, dumped beside the data.
+	runOne := func(name string) error {
+		if *metDir != "" {
+			o.Metrics = ftckpt.NewMetrics()
+		}
+		if err := runners[name](o); err != nil {
+			return err
+		}
+		if *metDir == "" {
+			return nil
+		}
+		base := name
+		if name != "netpipe" {
+			base = "fig" + name
+		}
+		path := filepath.Join(*metDir, base+".metrics.json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = o.Metrics.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			fmt.Printf("metrics: %s\n", path)
+		}
+		return err
+	}
+
 	if *fig == "all" {
 		for _, name := range order {
-			if err := runners[name](o); err != nil {
+			if err := runOne(name); err != nil {
 				fail(err)
 			}
 		}
 		return
 	}
-	r, ok := runners[*fig]
-	if !ok {
+	if _, ok := runners[*fig]; !ok {
 		fail(fmt.Errorf("unknown figure %q", *fig))
 	}
-	if err := r(o); err != nil {
+	if err := runOne(*fig); err != nil {
 		fail(err)
 	}
 }

@@ -12,8 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"ftckpt"
@@ -35,6 +37,8 @@ func main() {
 		failRank = flag.Int("fail-rank", 0, "rank killed by -fail-at")
 		mttf     = flag.Duration("mttf", 0, "mean time to failure for random failures (0 = none)")
 		verbose  = flag.Bool("v", false, "trace runtime events")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace_event timeline (open in Perfetto) to this file")
+		metOut   = flag.String("metrics-out", "", "write the run's metrics to this file (.csv extension selects CSV, else JSON)")
 	)
 	flag.Parse()
 
@@ -58,11 +62,26 @@ func main() {
 	if *verbose {
 		o.Verbose = log.Printf
 	}
+	var col *ftckpt.Collector
+	if *traceOut != "" {
+		col = ftckpt.NewCollector()
+		o.Sink = col
+	}
 
 	rep, err := ftckpt.Run(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftrun:", err)
 		os.Exit(1)
+	}
+	if col != nil {
+		writeFile(*traceOut, col.WriteChromeTrace)
+	}
+	if *metOut != "" {
+		if strings.HasSuffix(*metOut, ".csv") {
+			writeFile(*metOut, rep.Metrics.WriteCSV)
+		} else {
+			writeFile(*metOut, rep.Metrics.WriteJSON)
+		}
 	}
 	fmt.Printf("workload          %s (class %s), np=%d ppn=%d on %s\n", *bench, *class, *np, *ppn, *plat)
 	fmt.Printf("protocol          %s", *proto)
@@ -85,4 +104,26 @@ func main() {
 	}
 	fmt.Printf("traffic           %d messages, %.1f MB payload\n", rep.Messages, rep.PayloadMB)
 	fmt.Printf("checksum          %v\n", rep.Checksum)
+	if *traceOut != "" {
+		fmt.Printf("timeline          %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+	}
+	if *metOut != "" {
+		fmt.Printf("metrics           %s\n", *metOut)
+	}
+}
+
+// writeFile writes one export, treating any failure as fatal: a run whose
+// requested artifacts cannot be saved should not exit 0.
+func writeFile(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftrun:", err)
+		os.Exit(1)
+	}
 }

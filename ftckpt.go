@@ -66,6 +66,13 @@ type Options struct {
 	MTTF     time.Duration
 	// Verbose receives runtime progress lines.
 	Verbose func(format string, args ...any)
+	// Sink receives every structured observability event of the run (see
+	// observe.go); a Collector here enables timeline export.
+	Sink Sink
+	// Metrics, when set, makes the run fold its counters and histograms
+	// into an existing registry instead of a private one — sharing one
+	// registry aggregates several runs.
+	Metrics *Metrics
 }
 
 // Report summarizes a completed run.
@@ -94,6 +101,10 @@ type Report struct {
 	MeanWaveSpread   time.Duration
 	MeanWaveTransfer time.Duration
 	MeanWaveCycle    time.Duration
+	// Metrics is the run's full metrics registry (blocked-time and wave
+	// histograms, per-channel logged bytes, per-server image bytes …),
+	// exportable with its WriteJSON / WriteCSV methods.
+	Metrics *Metrics
 }
 
 // Run executes the described job to completion (recovering from every
@@ -124,6 +135,7 @@ func Run(o Options) (Report, error) {
 		MeanWaveSpread:   res.WaveBreakdown.MeanSpread,
 		MeanWaveTransfer: res.WaveBreakdown.MeanTransfer,
 		MeanWaveCycle:    res.WaveBreakdown.MeanCycle,
+		Metrics:          res.Metrics,
 	}
 	if progs := job.Programs(); len(progs) > 0 {
 		rep.Checksum = checksum(progs[0])
@@ -182,6 +194,8 @@ func buildConfig(o Options) (ftpm.Config, error) {
 		Seed:         o.Seed,
 		MTTF:         o.MTTF,
 		Trace:        o.Verbose,
+		Sink:         o.Sink,
+		Metrics:      o.Metrics,
 	}
 	for _, f := range o.Failures {
 		cfg.Failures = append(cfg.Failures, failure.Event{At: f.At, Rank: f.Rank})

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ftckpt/internal/mpi"
+	"ftckpt/internal/obs"
 	"ftckpt/internal/simnet"
 )
 
@@ -20,6 +21,9 @@ type Server struct {
 
 	images map[imgKey]*Image
 	logs   map[imgKey][]*mpi.Packet
+
+	// obs receives image-store and log-ship begin/end events (nil-safe).
+	obs *obs.Hub
 
 	// BytesReceived and ImagesStored accumulate statistics.
 	BytesReceived int64
@@ -47,14 +51,25 @@ func (s *Server) Receive(img *Image, srcNode int, onStored func()) *simnet.Flow 
 	return s.ReceiveCapped(img, srcNode, 0, onStored)
 }
 
+// SetObs attaches the observability hub the server's transfer events go
+// to (nil disables).
+func (s *Server) SetObs(h *obs.Hub) { s.obs = h }
+
+func (s *Server) emit(t obs.EventType, rank, wave int, bytes int64) {
+	s.obs.Emit(obs.Event{Type: t, T: s.net.Kernel().Now(), Rank: rank, Wave: wave,
+		Channel: -1, Node: -1, Server: s.Index, Bytes: bytes})
+}
+
 // ReceiveCapped is Receive with a sender-side rate ceiling (0 = none),
 // modelling transfers paced by a single-threaded daemon.
 func (s *Server) ReceiveCapped(img *Image, srcNode int, cap simnet.Rate, onStored func()) *simnet.Flow {
 	stored := img.Clone()
+	s.emit(obs.EvImageStoreBegin, stored.Rank, stored.Wave, stored.Bytes())
 	return s.net.StartFlowCapped(srcNode, s.Node, img.Bytes(), cap, func() {
 		s.images[imgKey{stored.Rank, stored.Wave}] = stored
 		s.BytesReceived += stored.Bytes()
 		s.ImagesStored++
+		s.emit(obs.EvImageStoreEnd, stored.Rank, stored.Wave, stored.Bytes())
 		if onStored != nil {
 			onStored()
 		}
@@ -72,10 +87,12 @@ func (s *Server) ReceiveLogs(rank, wave int, pkts []*mpi.Packet, srcNode int, on
 		cp[i] = p.Clone()
 		bytes += p.WireSize()
 	}
+	s.emit(obs.EvLogShipBegin, rank, wave, bytes)
 	return s.net.StartFlow(srcNode, s.Node, bytes, func() {
 		k := imgKey{rank, wave}
 		s.logs[k] = append(s.logs[k], cp...)
 		s.BytesReceived += bytes
+		s.emit(obs.EvLogShipEnd, rank, wave, bytes)
 		if onStored != nil {
 			onStored()
 		}

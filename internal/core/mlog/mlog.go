@@ -37,6 +37,7 @@ import (
 
 	"ftckpt/internal/core"
 	"ftckpt/internal/mpi"
+	"ftckpt/internal/obs"
 	"ftckpt/internal/sim"
 )
 
@@ -128,6 +129,9 @@ func (m *Mlog) checkpoint() {
 	m.wave++
 	m.waves++
 	w := m.wave
+	now := m.h.Now()
+	m.h.Obs().Emit(obs.Event{Type: obs.EvLocalCkptBegin, T: now, Rank: m.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1})
+	m.h.Obs().Emit(obs.Event{Type: obs.EvLocalCkptEnd, T: now, Rank: m.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1})
 	m.h.TakeCheckpoint(w, m.DeviceState(), func() {
 		// Logs older than this image are no longer needed.
 		m.h.CommitWave(w)
@@ -218,6 +222,7 @@ func (m *Mlog) drain() {
 func (m *Mlog) deliver(p *mpi.Packet) {
 	m.delUpTo[p.Src] = p.PSeq
 	m.LoggedMsgs++
+	m.h.Obs().Emit(obs.Event{Type: obs.EvMessageLogged, T: m.h.Now(), Rank: m.h.Rank(), Wave: m.wave, Channel: p.Src, Node: -1, Server: -1, Bytes: p.PayloadSize()})
 	m.h.Engine().Deliver(p)
 	m.ack(p.Src, p.PSeq)
 }

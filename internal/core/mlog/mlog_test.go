@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ftckpt/internal/mpi"
+	"ftckpt/internal/obs"
 	"ftckpt/internal/sim"
 	"ftckpt/internal/simnet"
 )
@@ -24,6 +25,7 @@ type fakeHost struct {
 func (h *fakeHost) Rank() int           { return h.rank }
 func (h *fakeHost) Size() int           { return h.size }
 func (h *fakeHost) Engine() *mpi.Engine { return h.eng }
+func (h *fakeHost) Obs() *obs.Hub       { return nil }
 func (h *fakeHost) Wire(dst int, p *mpi.Packet) {
 	p.Dst = dst
 	h.wired = append(h.wired, p)

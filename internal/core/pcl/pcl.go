@@ -35,6 +35,7 @@ import (
 
 	"ftckpt/internal/core"
 	"ftckpt/internal/mpi"
+	"ftckpt/internal/obs"
 	"ftckpt/internal/sim"
 )
 
@@ -118,8 +119,14 @@ func (p *Pcl) enterWave(w int) {
 	for i := range p.markerFrom {
 		p.markerFrom[i] = false
 	}
+	now := p.h.Now()
+	p.h.Obs().Emit(obs.Event{Type: obs.EvLocalCkptBegin, T: now, Rank: p.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1})
+	// The send gate is closed until the local checkpoint: the per-rank
+	// blocked-send span the paper's flush-straggle analysis measures.
+	p.h.Obs().Emit(obs.Event{Type: obs.EvChannelBlocked, T: now, Rank: p.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1})
 	for dst := 0; dst < p.h.Size(); dst++ {
 		if dst != p.h.Rank() {
+			p.h.Obs().Emit(obs.Event{Type: obs.EvMarkerSent, T: now, Rank: p.h.Rank(), Wave: w, Channel: dst, Node: -1, Server: -1})
 			p.h.Wire(dst, core.Marker(w))
 		}
 	}
@@ -135,6 +142,7 @@ func (p *Pcl) OutPayload(pkt *mpi.Packet) bool {
 	if p.checkpointing {
 		p.delayedSend = append(p.delayedSend, pkt)
 		p.DelayedSends++
+		p.h.Obs().Emit(obs.Event{Type: obs.EvSendDelayed, T: p.h.Now(), Rank: p.h.Rank(), Wave: p.wave, Channel: pkt.Dst, Node: -1, Server: -1, Bytes: pkt.PayloadSize()})
 		return false
 	}
 	return true
@@ -154,6 +162,7 @@ func (p *Pcl) InPacket(pkt *mpi.Packet) bool {
 		if p.checkpointing && pkt.Src >= 0 && p.markerFrom[pkt.Src] {
 			p.delayedRecv = append(p.delayedRecv, pkt)
 			p.DelayedRecvs++
+			p.h.Obs().Emit(obs.Event{Type: obs.EvRecvDelayed, T: p.h.Now(), Rank: p.h.Rank(), Wave: p.wave, Channel: pkt.Src, Node: -1, Server: -1, Bytes: pkt.PayloadSize()})
 			return false
 		}
 		return true
@@ -175,6 +184,7 @@ func (p *Pcl) onMarker(src, w int) {
 	}
 	p.markerFrom[src] = true
 	p.markers++
+	p.h.Obs().Emit(obs.Event{Type: obs.EvMarkerRecv, T: p.h.Now(), Rank: p.h.Rank(), Wave: w, Channel: src, Node: -1, Server: -1})
 	if p.markers == p.h.Size()-1 {
 		p.takeCheckpoint()
 	}
@@ -189,6 +199,9 @@ func (p *Pcl) takeCheckpoint() {
 	})
 	p.waves++
 	p.checkpointing = false
+	now := p.h.Now()
+	p.h.Obs().Emit(obs.Event{Type: obs.EvLocalCkptEnd, T: now, Rank: p.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1})
+	p.h.Obs().Emit(obs.Event{Type: obs.EvChannelUnblocked, T: now, Rank: p.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1})
 	// Release delayed sends in posting order.
 	sends := p.delayedSend
 	p.delayedSend = nil

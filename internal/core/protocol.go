@@ -17,6 +17,7 @@ package core
 
 import (
 	"ftckpt/internal/mpi"
+	"ftckpt/internal/obs"
 	"ftckpt/internal/sim"
 )
 
@@ -59,6 +60,10 @@ type Host interface {
 	Now() sim.Time
 	After(d sim.Time, fn func()) sim.EventID
 	CancelTimer(id sim.EventID)
+	// Obs returns the runtime's observability hub (never panics; a nil
+	// hub is a valid no-op emitter).  Protocols emit marker, block/
+	// unblock, logging and snapshot events through it.
+	Obs() *obs.Hub
 }
 
 // Protocol is one process's checkpointing protocol instance.  It extends

@@ -23,6 +23,7 @@ import (
 
 	"ftckpt/internal/core"
 	"ftckpt/internal/mpi"
+	"ftckpt/internal/obs"
 	"ftckpt/internal/sim"
 )
 
@@ -81,6 +82,7 @@ func (v *Vcl) InPacket(pkt *mpi.Packet) bool {
 			v.logs = append(v.logs, pkt.Clone())
 			v.LoggedMsgs++
 			v.LoggedBytes += pkt.PayloadSize()
+			v.h.Obs().Emit(obs.Event{Type: obs.EvMessageLogged, T: v.h.Now(), Rank: v.h.Rank(), Wave: v.wave, Channel: pkt.Src, Node: -1, Server: -1, Bytes: pkt.PayloadSize()})
 		}
 		return true
 	}
@@ -104,6 +106,7 @@ func (v *Vcl) onMarker(src, w int) {
 	}
 	v.markerFrom[src] = true
 	v.markers++
+	v.h.Obs().Emit(obs.Event{Type: obs.EvMarkerRecv, T: v.h.Now(), Rank: v.h.Rank(), Wave: w, Channel: src, Node: -1, Server: -1})
 	if v.markers == v.h.Size()-1 {
 		v.shipLogs()
 	}
@@ -121,13 +124,19 @@ func (v *Vcl) beginWave(w int) {
 	for i := range v.markerFrom {
 		v.markerFrom[i] = false
 	}
+	now := v.h.Now()
+	v.h.Obs().Emit(obs.Event{Type: obs.EvLocalCkptBegin, T: now, Rank: v.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1})
 	v.h.TakeCheckpoint(w, nil, func() {
 		v.imageStored = true
 		v.maybeAck(w)
 	})
 	v.waves++
+	// The fork is immediate — computation never stops under Vcl, so the
+	// snapshot begin/end collapse to the same virtual instant.
+	v.h.Obs().Emit(obs.Event{Type: obs.EvLocalCkptEnd, T: now, Rank: v.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1})
 	for dst := 0; dst < v.h.Size(); dst++ {
 		if dst != v.h.Rank() {
+			v.h.Obs().Emit(obs.Event{Type: obs.EvMarkerSent, T: now, Rank: v.h.Rank(), Wave: w, Channel: dst, Node: -1, Server: -1})
 			v.h.Wire(dst, core.Marker(w))
 		}
 	}
@@ -193,6 +202,10 @@ type Scheduler struct {
 	hasTick bool
 	active  bool
 
+	// Obs, when set, receives the scheduler's marker-broadcast events
+	// (Rank = mpi.SchedulerID).
+	Obs *obs.Hub
+
 	// OnCommit is invoked with each committed wave number (wired to the
 	// runtime's registry).
 	OnCommit func(wave int)
@@ -243,6 +256,7 @@ func (s *Scheduler) initiate() {
 	s.wave++
 	s.acks = 0
 	for r := 0; r < s.size; r++ {
+		s.Obs.Emit(obs.Event{Type: obs.EvMarkerSent, T: s.k.Now(), Rank: mpi.SchedulerID, Wave: s.wave, Channel: r, Node: -1, Server: -1})
 		s.fab.Send(mpi.SchedulerID, r, core.Marker(s.wave))
 	}
 }

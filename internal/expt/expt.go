@@ -12,6 +12,7 @@ import (
 	"ftckpt/internal/ftpm"
 	"ftckpt/internal/mpi"
 	"ftckpt/internal/nas"
+	"ftckpt/internal/obs"
 	"ftckpt/internal/platform"
 	"ftckpt/internal/sim"
 	"ftckpt/internal/simnet"
@@ -27,6 +28,9 @@ type Options struct {
 	Trace func(format string, args ...any)
 	// Seed feeds the deterministic kernels.
 	Seed int64
+	// Metrics, when set, aggregates every run of the harness into one
+	// observability registry (cmd/figures dumps it next to each figure).
+	Metrics *obs.Metrics
 }
 
 func (o Options) tracef(format string, args ...any) {
@@ -84,9 +88,11 @@ func newCG(class nas.CGClassSpec) func(rank, size int) mpi.Program {
 	return func(rank, size int) mpi.Program { return nas.NewCGModel(class, rank, size) }
 }
 
-// run executes one configured job.
-func run(cfg ftpm.Config) (ftpm.Result, error) {
+// run executes one configured job, folding its metrics into the harness
+// registry when one is attached.
+func (o Options) run(cfg ftpm.Config) (ftpm.Result, error) {
 	cfg.Deadline = 0
+	cfg.Metrics = o.Metrics
 	return ftpm.Run(cfg)
 }
 

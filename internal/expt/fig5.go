@@ -51,7 +51,7 @@ func Fig5(o Options) ([]Fig5Row, error) {
 		cfg := topo(servers)
 		cfg.Protocol = ftpm.ProtoPcl
 		cfg.Profile = pclSockProfile()
-		res, err := run(cfg)
+		res, err := o.run(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -60,7 +60,7 @@ func Fig5(o Options) ([]Fig5Row, error) {
 		cfg = topo(servers)
 		cfg.Protocol = ftpm.ProtoVcl
 		cfg.Profile = vclProfile()
-		res, err = run(cfg)
+		res, err = o.run(cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -70,7 +70,7 @@ func Fig6(o Options) ([]Fig6Row, error) {
 
 			cfg := base
 			cfg.Profile = pclSockProfile()
-			res, err := run(cfg)
+			res, err := o.run(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -80,7 +80,7 @@ func Fig6(o Options) ([]Fig6Row, error) {
 			cfg.Protocol = ftpm.ProtoPcl
 			cfg.Profile = pclSockProfile()
 			cfg.Interval = o.scaleInterval(iv)
-			if res, err = run(cfg); err != nil {
+			if res, err = o.run(cfg); err != nil {
 				return nil, err
 			}
 			row.Pcl, row.PclWaves = res.Completion, res.WavesCommitted
@@ -89,7 +89,7 @@ func Fig6(o Options) ([]Fig6Row, error) {
 			cfg.Protocol = ftpm.ProtoVcl
 			cfg.Profile = vclProfile()
 			cfg.Interval = o.scaleInterval(iv)
-			if res, err = run(cfg); err != nil {
+			if res, err = o.run(cfg); err != nil {
 				return nil, err
 			}
 			row.Vcl, row.VclWaves = res.Completion, res.WavesCommitted

@@ -78,7 +78,7 @@ func Fig7(o Options) ([]Fig7Row, error) {
 				cfg.Protocol = st.proto
 				cfg.Interval = o.scaleInterval(iv)
 			}
-			res, err := run(cfg)
+			res, err := o.run(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -131,7 +131,7 @@ func Fig8(o Options) ([]Fig8Row, error) {
 				cfg.Protocol = ftpm.ProtoPcl
 				cfg.Interval = o.scaleInterval(iv)
 			}
-			res, err := run(cfg)
+			res, err := o.run(cfg)
 			if err != nil {
 				return nil, err
 			}

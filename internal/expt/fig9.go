@@ -65,7 +65,7 @@ func Fig9(o Options) ([]Fig9Row, error) {
 			cfg.Protocol = ftpm.ProtoPcl
 			cfg.Interval = o.scaleInterval(iv)
 		}
-		res, err := run(cfg)
+		res, err := o.run(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -101,7 +101,7 @@ func Fig10(o Options) ([]Fig10Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := run(cfg)
+		res, err := o.run(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -119,7 +119,7 @@ func Fig10(o Options) ([]Fig10Row, error) {
 			iv = 8 * time.Second // scaleInterval divides by ten again
 		}
 		cfg.Interval = o.scaleInterval(iv)
-		if res, err = run(cfg); err != nil {
+		if res, err = o.run(cfg); err != nil {
 			return nil, err
 		}
 		row.Ckpt60, row.Waves = res.Completion, res.WavesCommitted

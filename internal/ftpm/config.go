@@ -16,6 +16,7 @@ import (
 
 	"ftckpt/internal/failure"
 	"ftckpt/internal/mpi"
+	"ftckpt/internal/obs"
 	"ftckpt/internal/sim"
 	"ftckpt/internal/simnet"
 	"ftckpt/internal/trace"
@@ -97,8 +98,17 @@ type Config struct {
 	VclProcessLimit int
 	// Seed feeds the deterministic kernel.
 	Seed int64
-	// Trace, when set, receives runtime progress lines.
+	// Trace, when set, receives runtime progress lines (the legacy
+	// unstructured stream, rendered through an obs.TextSink).
 	Trace func(format string, args ...any)
+	// Sink, when set, receives every structured observability event of
+	// the run (markers, block/unblock spans, logged messages, image
+	// transfers, commits, failures, restarts).
+	Sink obs.Sink
+	// Metrics, when set, is the registry the run folds its metrics into —
+	// shared across runs to aggregate (cmd/figures); nil gives the job a
+	// private registry, exposed through Result.Metrics either way.
+	Metrics *obs.Metrics
 }
 
 // Result summarizes a completed run.
@@ -124,6 +134,10 @@ type Result struct {
 	// WaveBreakdown separates per-wave snapshot-straggle and transfer
 	// durations (committed waves only).
 	WaveBreakdown trace.Summary
+	// Metrics is the run's metrics registry: counters (markers, logged
+	// bytes per channel, image bytes per server), and virtual-time
+	// histograms (blocked-send spans, store transfers, wave phases).
+	Metrics *obs.Metrics
 }
 
 func (r Result) String() string {

@@ -11,6 +11,7 @@ import (
 	"ftckpt/internal/core/vcl"
 	"ftckpt/internal/failure"
 	"ftckpt/internal/mpi"
+	"ftckpt/internal/obs"
 	"ftckpt/internal/sim"
 	"ftckpt/internal/simnet"
 	"ftckpt/internal/trace"
@@ -48,6 +49,8 @@ type Job struct {
 
 	expFail *failure.Exponential
 	rec     *trace.Recorder
+	hub     *obs.Hub
+	met     *obs.Metrics
 	res     Result
 	doneRes bool
 }
@@ -67,8 +70,19 @@ func NewJob(cfg Config) (*Job, error) {
 		return nil, err
 	}
 	job := &Job{cfg: cfg, k: sim.New(cfg.Seed), rec: trace.New()}
+	job.met = cfg.Metrics
+	if job.met == nil {
+		job.met = obs.NewMetrics()
+	}
+	var text obs.Sink
+	if cfg.Trace != nil {
+		text = obs.NewTextSink(cfg.Trace)
+	}
+	job.hub = obs.NewHub(obs.NewMetricsSink(job.met), cfg.Sink, text)
 	job.net = simnet.New(job.k, cfg.Topology)
+	job.net.SetMetrics(job.met)
 	job.fab = mpi.NewFabric(job.net)
+	job.fab.SetMetrics(job.met)
 	job.computeNodes = (cfg.NP + cfg.ProcsPerNode - 1) / cfg.ProcsPerNode
 	switch {
 	case cfg.ServiceNode > 0:
@@ -83,7 +97,9 @@ func NewJob(cfg Config) (*Job, error) {
 		if cfg.ServerNodes != nil {
 			node = cfg.ServerNodes[i]
 		}
-		job.servers = append(job.servers, ckpt.NewServer(job.net, i, node))
+		s := ckpt.NewServer(job.net, i, node)
+		s.SetObs(job.hub)
+		job.servers = append(job.servers, s)
 	}
 	job.nodeMap = make([]int, cfg.NP)
 	job.deadNodes = map[int]bool{}
@@ -104,6 +120,7 @@ func NewJob(cfg Config) (*Job, error) {
 	if cfg.Protocol == ProtoVcl {
 		job.scheduler = vcl.NewScheduler(job.k, job.fab, cfg.NP, job.serviceNode, cfg.Interval)
 		job.scheduler.OnCommit = job.commitWave
+		job.scheduler.Obs = job.hub
 	}
 	return job, nil
 }
@@ -171,7 +188,8 @@ func (job *Job) loseNode(node int) []int {
 	if len(job.spares) > 0 {
 		target = job.spares[0]
 		job.spares = job.spares[1:]
-		job.tracef("node %d lost; remapping ranks %v to spare node %d", node, victims, target)
+		job.emit(obs.Event{Type: obs.EvNodeLost, Rank: -1, Wave: -1, Channel: -1, Node: node, Server: -1},
+			"node %d lost; remapping ranks %v to spare node %d", node, victims, target)
 	} else {
 		// Overbook: reuse the next surviving compute node.
 		target = -1
@@ -184,7 +202,8 @@ func (job *Job) loseNode(node int) []int {
 		if target < 0 {
 			panic("ftpm: every compute node lost")
 		}
-		job.tracef("node %d lost, no spares; overbooking ranks %v onto node %d", node, victims, target)
+		job.emit(obs.Event{Type: obs.EvNodeLost, Rank: -1, Wave: -1, Channel: -1, Node: node, Server: -1},
+			"node %d lost, no spares; overbooking ranks %v onto node %d", node, victims, target)
 	}
 	for _, r := range victims {
 		job.nodeMap[r] = target
@@ -200,10 +219,15 @@ func (job *Job) server(rank int) *ckpt.Server {
 	return job.servers[rank%len(job.servers)]
 }
 
-func (job *Job) tracef(format string, args ...any) {
-	if job.cfg.Trace != nil {
-		job.cfg.Trace("[%12v] "+format, append([]any{job.k.Now()}, args...)...)
+// emit stamps ev with the current virtual time, formats the optional
+// legacy progress line into Detail (rendered by the -v text sink), and
+// publishes the event to the job's hub.
+func (job *Job) emit(ev obs.Event, format string, args ...any) {
+	ev.T = job.k.Now()
+	if format != "" {
+		ev.Detail = fmt.Sprintf(format, args...)
 	}
+	job.hub.Emit(ev)
 }
 
 func (job *Job) scheduleMTTF() {
@@ -223,17 +247,25 @@ func (job *Job) scheduleMTTF() {
 func (job *Job) launch(wave int) {
 	job.finished = 0
 	job.finishedRank = make([]bool, job.cfg.NP)
+	restarting := job.gen > 0
 	if wave == 0 {
+		if restarting {
+			job.emit(obs.Event{Type: obs.EvRestartBegin, Rank: -1, Wave: 0, Channel: -1, Node: -1, Server: -1}, "")
+		}
 		for r := 0; r < job.cfg.NP; r++ {
 			job.spawn(r, nil, nil)
 		}
 		job.startSchedulers()
+		if restarting {
+			job.emit(obs.Event{Type: obs.EvRestartEnd, Rank: -1, Wave: 0, Channel: -1, Node: -1, Server: -1}, "")
+		}
 		return
 	}
 	// Restart: fetch every image (in parallel, contending for server
 	// NICs), then start all processes together so every engine is bound
 	// before the first re-execution message flies.
-	job.tracef("restart: fetching %d images for wave %d", job.cfg.NP, wave)
+	job.emit(obs.Event{Type: obs.EvRestartBegin, Rank: -1, Wave: wave, Channel: -1, Node: -1, Server: -1},
+		"restart: fetching %d images for wave %d", job.cfg.NP, wave)
 	type restored struct {
 		img  *ckpt.Image
 		logs []*mpi.Packet
@@ -254,6 +286,7 @@ func (job *Job) launch(wave int) {
 					job.spawn(q, pending[q].img, pending[q].logs)
 				}
 				job.startSchedulers()
+				job.emit(obs.Event{Type: obs.EvRestartEnd, Rank: -1, Wave: wave, Channel: -1, Node: -1, Server: -1}, "")
 			}
 		})
 	}
@@ -303,13 +336,18 @@ func (job *Job) onFailure(rank int) {
 		}
 		return
 	}
+	node := job.nodeMap[rank]
 	if job.cfg.NodeLoss {
-		job.loseNode(job.nodeMap[rank])
+		job.loseNode(node)
 	}
-	job.tracef("rank %d failed; killing job, restarting from wave %d", rank, job.lastWave)
+	job.emit(obs.Event{Type: obs.EvRankKilled, Rank: rank, Wave: job.lastWave, Channel: -1, Node: node, Server: -1},
+		"rank %d failed; killing job, restarting from wave %d", rank, job.lastWave)
 	job.running = false
 	job.restarts++
 	job.gen++
+	// Waves past the recovery line are aborted; their numbers will be
+	// reused by the relaunched incarnation, so drop their partial stats.
+	job.rec.Rollback(job.lastWave)
 	for _, pr := range job.procs {
 		if pr == nil {
 			continue
@@ -337,7 +375,8 @@ func (job *Job) onFailureLocal(rank int) {
 	if pr == nil || job.recovering[rank] {
 		return
 	}
-	job.tracef("rank %d failed; local recovery from its wave %d", rank, job.rankWave[rank])
+	job.emit(obs.Event{Type: obs.EvRankKilled, Rank: rank, Wave: job.rankWave[rank], Channel: -1, Node: job.nodeMap[rank], Server: -1},
+		"rank %d failed; local recovery from its wave %d", rank, job.rankWave[rank])
 	job.restarts++
 	job.recovering[rank] = true
 	job.harvest(pr)
@@ -347,6 +386,7 @@ func (job *Job) onFailureLocal(rank int) {
 		if job.doneRes {
 			return
 		}
+		job.emit(obs.Event{Type: obs.EvRestartBegin, Rank: rank, Wave: wave, Channel: -1, Node: -1, Server: -1}, "")
 		if wave == 0 {
 			// No image yet: restart from scratch and replay the whole
 			// reception history recorded since launch.
@@ -365,6 +405,7 @@ func (job *Job) onFailureLocal(rank int) {
 func (job *Job) respawnLocal(rank int, img *ckpt.Image, logs []*mpi.Packet) {
 	job.recovering[rank] = false
 	job.spawn(rank, img, logs)
+	job.emit(obs.Event{Type: obs.EvRestartEnd, Rank: rank, Wave: job.rankWave[rank], Channel: -1, Node: -1, Server: -1}, "")
 	// Once the fresh engine is bound (the LP runs before queued events),
 	// live peers retransmit their unacknowledged messages.
 	job.k.After(0, func() {
@@ -403,6 +444,7 @@ func (job *Job) commitRank(r, w int) {
 	}
 	job.commits++
 	job.rec.Commit(w, job.k.Now())
+	job.emit(obs.Event{Type: obs.EvWaveCommit, Rank: r, Wave: w, Channel: -1, Node: -1, Server: -1}, "")
 	job.server(r).GCRank(r, w)
 }
 
@@ -410,7 +452,13 @@ func (job *Job) commitWave(w int) {
 	job.lastWave = w
 	job.commits++
 	job.rec.Commit(w, job.k.Now())
-	job.tracef("wave %d committed", w)
+	job.emit(obs.Event{Type: obs.EvWaveCommit, Rank: -1, Wave: w, Channel: -1, Node: -1, Server: -1},
+		"wave %d committed", w)
+	if ws, ok := job.rec.Stat(w); ok {
+		job.met.Observe(obs.MWaveSpread, ws.SnapshotSpread())
+		job.met.Observe(obs.MWaveTransfer, ws.TransferTime())
+		job.met.Observe(obs.MWaveCycle, ws.CycleTime())
+	}
 	for _, s := range job.servers {
 		s.GC(w)
 	}
@@ -452,9 +500,12 @@ func (job *Job) procFinished(pr *procRun) {
 		CkptBytes:      ckptBytes,
 		LoggedMsgs:     job.loggedMsgs,
 		LoggedBytes:    job.loggedByte,
+		Metrics:        job.met,
 	}
 	job.doneRes = true
-	job.tracef("job complete: %v", job.res)
+	job.met.Set("job.completion_s", job.k.Now().Seconds())
+	job.emit(obs.Event{Type: obs.EvJobComplete, Rank: -1, Wave: job.lastWave, Channel: -1, Node: -1, Server: -1},
+		"job complete: %v", job.res)
 	job.k.Stop(nil)
 }
 
@@ -480,6 +531,7 @@ type procRun struct {
 func (pr *procRun) body(p *sim.Proc) {
 	pr.lp = p
 	pr.eng = mpi.NewEngine(pr.rank, pr.job.cfg.NP, p, pr.job.cfg.Profile, pr.job.fab)
+	pr.eng.SetMetrics(pr.job.met)
 	pr.proto = pr.job.newProtocol(pr)
 	pr.eng.SetFilter(pr.proto)
 	var dev []byte
@@ -541,6 +593,9 @@ func (pr *procRun) Size() int { return pr.job.cfg.NP }
 
 // Engine returns the process engine.
 func (pr *procRun) Engine() *mpi.Engine { return pr.eng }
+
+// Obs returns the runtime's observability hub.
+func (pr *procRun) Obs() *obs.Hub { return pr.job.hub }
 
 // Wire sends a raw packet on the FIFO channel to dst.
 func (pr *procRun) Wire(dst int, p *mpi.Packet) {

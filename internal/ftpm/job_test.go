@@ -148,8 +148,19 @@ func TestDeterminism(t *testing.T) {
 		}
 		a, _ := runOK(t, cfg)
 		b, _ := runOK(t, cfg)
+		var am, bm strings.Builder
+		if err := a.Metrics.WriteJSON(&am); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Metrics.WriteJSON(&bm); err != nil {
+			t.Fatal(err)
+		}
+		a.Metrics, b.Metrics = nil, nil
 		if a != b {
 			t.Fatalf("%s nondeterministic:\n%+v\n%+v", proto, a, b)
+		}
+		if am.String() != bm.String() {
+			t.Fatalf("%s metrics nondeterministic:\n%s\n%s", proto, am.String(), bm.String())
 		}
 	}
 }

@@ -1,0 +1,254 @@
+package ftpm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ftckpt/internal/failure"
+	"ftckpt/internal/obs"
+)
+
+// collectRun executes cfg with a Collector attached and returns both.
+func collectRun(t *testing.T, cfg Config) (Result, *obs.Collector) {
+	t.Helper()
+	col := obs.NewCollector()
+	cfg.Sink = col
+	res, _ := runOK(t, cfg)
+	return res, col
+}
+
+// monotonic fails if the events' virtual timestamps ever step backwards
+// (the hub serializes the simulation's single-threaded emission order).
+func monotonic(t *testing.T, col *obs.Collector) {
+	t.Helper()
+	last := time.Duration(-1)
+	for i, ev := range col.Events() {
+		if ev.T < last {
+			t.Fatalf("event %d (%v) at %v after %v", i, ev.Type, ev.T, last)
+		}
+		last = ev.T
+	}
+}
+
+func TestObsPclWaveEvents(t *testing.T) {
+	cfg := baseCfg(4)
+	cfg.Protocol = ProtoPcl
+	cfg.Interval = 20 * time.Millisecond
+	res, col := collectRun(t, cfg)
+	monotonic(t, col)
+	if res.WavesCommitted == 0 {
+		t.Fatal("no waves committed")
+	}
+
+	// Every rank sends a marker to every other rank each wave.
+	waves := col.Count(obs.EvWaveCommit)
+	np := cfg.NP
+	if sent := col.Count(obs.EvMarkerSent); sent < waves*np*(np-1) {
+		t.Fatalf("%d marker-sent for %d waves of %d ranks", sent, waves, np)
+	}
+	if recv := col.Count(obs.EvMarkerRecv); recv > col.Count(obs.EvMarkerSent) {
+		t.Fatalf("more markers received (%d) than sent (%d)", recv, col.Count(obs.EvMarkerSent))
+	}
+
+	// Pcl blocks sends for the whole wave: every block must be released,
+	// strictly later, on the same rank, and bracket that rank's snapshot.
+	blocks, unblocks := col.Filter(obs.EvChannelBlocked), col.Filter(obs.EvChannelUnblocked)
+	if len(blocks) == 0 || len(blocks) != len(unblocks) {
+		t.Fatalf("%d blocks vs %d unblocks", len(blocks), len(unblocks))
+	}
+	// Pair them in stream order per rank.
+	pending := map[int][]obs.Event{}
+	for _, ev := range col.Events() {
+		switch ev.Type {
+		case obs.EvChannelBlocked:
+			pending[ev.Rank] = append(pending[ev.Rank], ev)
+		case obs.EvChannelUnblocked:
+			q := pending[ev.Rank]
+			if len(q) == 0 {
+				t.Fatalf("rank %d unblocked while not blocked", ev.Rank)
+			}
+			b := q[len(q)-1]
+			pending[ev.Rank] = q[:len(q)-1]
+			if ev.T < b.T {
+				t.Fatalf("rank %d unblocked at %v before block at %v", ev.Rank, ev.T, b.T)
+			}
+			if ev.Wave != b.Wave {
+				t.Fatalf("rank %d block wave %d released as wave %d", ev.Rank, b.Wave, ev.Wave)
+			}
+		}
+	}
+	for r, q := range pending {
+		if len(q) != 0 {
+			t.Fatalf("rank %d finished blocked (%d spans open)", r, len(q))
+		}
+	}
+
+	// Snapshots happen inside the blocked window; one LocalCkptEnd per
+	// block, and the image stores the server acknowledged match Result.
+	if col.Count(obs.EvLocalCkptEnd) != len(blocks) {
+		t.Fatalf("%d snapshots for %d blocked windows", col.Count(obs.EvLocalCkptEnd), len(blocks))
+	}
+	if got := col.Count(obs.EvImageStoreEnd); got != res.LocalCkpts {
+		t.Fatalf("%d stored images, Result.LocalCkpts %d", got, res.LocalCkpts)
+	}
+	// Pcl logs nothing.
+	if n := col.Count(obs.EvMessageLogged); n != 0 {
+		t.Fatalf("pcl logged %d messages", n)
+	}
+}
+
+func TestObsVclLoggedMessages(t *testing.T) {
+	cfg := baseCfg(4)
+	cfg.Protocol = ProtoVcl
+	cfg.Interval = 15 * time.Millisecond
+	res, col := collectRun(t, cfg)
+	monotonic(t, col)
+	if res.WavesCommitted == 0 {
+		t.Fatal("no waves committed")
+	}
+	// The event stream's logged-message count and bytes must agree with
+	// the protocol's own accounting in Result.
+	logged := col.Filter(obs.EvMessageLogged)
+	if len(logged) != res.LoggedMsgs {
+		t.Fatalf("%d message-logged events, Result.LoggedMsgs %d", len(logged), res.LoggedMsgs)
+	}
+	var bytes int64
+	for _, ev := range logged {
+		if ev.Channel < 0 || ev.Channel == ev.Rank {
+			t.Fatalf("logged event with bad channel: %+v", ev)
+		}
+		bytes += ev.Bytes
+	}
+	if bytes != res.LoggedBytes {
+		t.Fatalf("logged %d bytes in events, Result.LoggedBytes %d", bytes, res.LoggedBytes)
+	}
+	// The scheduler (rank -2) initiates every wave's markers.
+	schedSent := 0
+	for _, ev := range col.Filter(obs.EvMarkerSent) {
+		if ev.Rank == -2 {
+			schedSent++
+		}
+	}
+	if schedSent == 0 {
+		t.Fatal("no scheduler-initiated markers")
+	}
+	// Non-blocking: no channel freeze events.
+	if col.Count(obs.EvChannelBlocked) != 0 || col.Count(obs.EvSendDelayed) != 0 {
+		t.Fatal("vcl emitted blocking events")
+	}
+}
+
+func TestObsRestartEvents(t *testing.T) {
+	cfg := baseCfg(4)
+	cfg.Protocol = ProtoPcl
+	cfg.Interval = 15 * time.Millisecond
+	cfg.RestartDelay = 2 * time.Millisecond
+	failAt := 40 * time.Millisecond
+	cfg.Failures = failure.Plan{{At: failAt, Rank: 2}}
+	res, col := collectRun(t, cfg)
+	monotonic(t, col)
+	if res.Restarts != 1 {
+		t.Fatalf("restarts %d", res.Restarts)
+	}
+
+	kills := col.Filter(obs.EvRankKilled)
+	if len(kills) != 1 {
+		t.Fatalf("%d rank-killed events", len(kills))
+	}
+	if kills[0].Rank != 2 || kills[0].T != failAt {
+		t.Fatalf("kill event %+v, want rank 2 at %v", kills[0], failAt)
+	}
+	begins, ends := col.Filter(obs.EvRestartBegin), col.Filter(obs.EvRestartEnd)
+	if len(begins) != 1 || len(ends) != 1 {
+		t.Fatalf("%d restart-begin, %d restart-end", len(begins), len(ends))
+	}
+	if begins[0].T < failAt+cfg.RestartDelay {
+		t.Fatalf("restart began at %v, before the %v respawn delay elapsed", begins[0].T, cfg.RestartDelay)
+	}
+	if ends[0].T < begins[0].T {
+		t.Fatalf("restart ended at %v before it began at %v", ends[0].T, begins[0].T)
+	}
+	if begins[0].Wave != kills[0].Wave {
+		t.Fatalf("restart wave %d != recovery line %d", begins[0].Wave, kills[0].Wave)
+	}
+	// Aggregates follow the events.
+	if res.Metrics.Counter(obs.MFailures) != 1 {
+		t.Fatal("failures counter wrong")
+	}
+	if h := res.Metrics.Hist(obs.MRestartTime); h == nil || h.Count != 1 {
+		t.Fatalf("restart histogram %+v", h)
+	}
+}
+
+func TestObsMlogLocalRecovery(t *testing.T) {
+	cfg := baseCfg(4)
+	cfg.Protocol = ProtoMlog
+	cfg.Interval = 15 * time.Millisecond
+	cfg.RestartDelay = time.Millisecond
+	cfg.Failures = failure.Plan{{At: 30 * time.Millisecond, Rank: 1}}
+	res, col := collectRun(t, cfg)
+	monotonic(t, col)
+	if res.Restarts != 1 {
+		t.Fatalf("restarts %d", res.Restarts)
+	}
+	// Pessimistic receiver-based logging: every delivered payload logs.
+	// Result.LoggedMsgs additionally counts messages the recovery replayed
+	// from the server (already logged once), so it bounds the event count
+	// from above.
+	if n := col.Count(obs.EvMessageLogged); n == 0 || n > res.LoggedMsgs {
+		t.Fatalf("%d message-logged events, Result.LoggedMsgs %d", n, res.LoggedMsgs)
+	}
+	// Single-process recovery: the restart span is on the failed rank, not
+	// the runtime track.
+	begins := col.Filter(obs.EvRestartBegin)
+	if len(begins) != 1 || begins[0].Rank != 1 {
+		t.Fatalf("restart-begin %+v, want rank 1", begins)
+	}
+	// Uncoordinated commits carry the committing rank.
+	sawRankCommit := false
+	for _, ev := range col.Filter(obs.EvWaveCommit) {
+		if ev.Rank >= 0 {
+			sawRankCommit = true
+		}
+	}
+	if !sawRankCommit {
+		t.Fatal("no per-rank commits")
+	}
+	// No coordination traffic at all.
+	if col.Count(obs.EvMarkerSent) != 0 {
+		t.Fatal("mlog sent markers")
+	}
+}
+
+// TestObsTextSinkCompat checks the -v stream still carries the legacy
+// lines, rendered from event Detail, with the legacy "[<time>] " prefix.
+func TestObsTextSinkCompat(t *testing.T) {
+	var lines []string
+	cfg := baseCfg(4)
+	cfg.Protocol = ProtoPcl
+	cfg.Interval = 20 * time.Millisecond
+	cfg.Failures = failure.Plan{{At: 50 * time.Millisecond, Rank: 0}}
+	cfg.Trace = func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	runOK(t, cfg)
+	joined := strings.Join(lines, "\n")
+	for _, frag := range []string{
+		"rank 0 failed; killing job, restarting from wave",
+		"restart: fetching 4 images for wave",
+		"wave 1 committed",
+		"job complete:",
+	} {
+		if !strings.Contains(joined, frag) {
+			t.Fatalf("legacy line %q missing from -v stream:\n%s", frag, joined)
+		}
+	}
+	// Every line keeps the legacy "[<12-wide time>] " prefix.
+	for _, l := range lines {
+		if len(l) < 15 || l[0] != '[' || l[13] != ']' || l[14] != ' ' {
+			t.Fatalf("line lost the legacy time prefix: %q", l)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"ftckpt/internal/obs"
 	"ftckpt/internal/sim"
 )
 
@@ -69,6 +70,10 @@ type Engine struct {
 	closed  bool
 	steal   float64 // background checkpoint work stealing compute speed
 
+	// met, when set, receives blocked-receive time observations
+	// ("mpi.recv_blocked"); nil-safe.
+	met *obs.Metrics
+
 	// Stat counters, exported for experiment harnesses.
 	Stats Stats
 }
@@ -105,6 +110,10 @@ func (e *Engine) Fabric() *Fabric { return e.fab }
 
 // Profile returns the engine's service profile.
 func (e *Engine) Profile() Profile { return e.prof }
+
+// SetMetrics attaches the observability registry the engine reports
+// blocked-receive durations to (nil disables).
+func (e *Engine) SetMetrics(m *obs.Metrics) { e.met = m }
 
 // SetFilter installs the fault-tolerance protocol filter.
 func (e *Engine) SetFilter(f Filter) {
@@ -297,7 +306,9 @@ func (e *Engine) recvMatch(src, tag int) *Packet {
 		e.waiting, e.waitSrc, e.waitTag = true, src, tag
 		t0 := e.lp.Now()
 		e.cond.Wait(e.lp)
-		e.Stats.BlockedTime += e.lp.Now() - t0
+		blocked := e.lp.Now() - t0
+		e.Stats.BlockedTime += blocked
+		e.met.Observe("mpi.recv_blocked", blocked)
 		e.waiting = false
 	}
 }

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"ftckpt/internal/obs"
 	"ftckpt/internal/simnet"
 )
 
@@ -20,6 +21,10 @@ type Fabric struct {
 	handlers map[int]func(*Packet)
 	chans    map[[2]int]*simnet.Channel
 	seq      map[[2]int]uint64
+
+	// met, when set, mirrors the traffic counters into the observability
+	// registry ("fabric.msgs", "fabric.payload_bytes"); nil-safe.
+	met *obs.Metrics
 
 	// MsgCount and PayloadBytes accumulate global traffic statistics.
 	MsgCount     int64
@@ -39,6 +44,10 @@ func NewFabric(net *simnet.Network) *Fabric {
 
 // Net exposes the underlying network (for bulk image flows).
 func (f *Fabric) Net() *simnet.Network { return f.net }
+
+// SetMetrics attaches the observability registry traffic counters are
+// mirrored into (nil disables).
+func (f *Fabric) SetMetrics(m *obs.Metrics) { f.met = m }
 
 // Place assigns an endpoint to a node.  An endpoint must be placed before
 // it sends, receives, or is bound.
@@ -104,5 +113,7 @@ func (f *Fabric) Send(src, dst int, p *Packet) {
 	p.Seq = f.seq[key]
 	f.MsgCount++
 	f.PayloadBytes += p.PayloadSize()
+	f.met.Inc("fabric.msgs")
+	f.met.Add("fabric.payload_bytes", p.PayloadSize())
 	ch.Send(p, p.WireSize())
 }

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event pids: one "process" per track family, one "thread"
+// per rank / server.
+const (
+	pidRuntime = 0 // global events: commits, restarts, failures
+	pidRanks   = 1 // tid = MPI rank
+	pidServers = 2 // tid = checkpoint server index
+)
+
+// chromeEvent is one trace_event record.  Field order (fixed by the
+// struct) plus sorted Args maps make the marshalled output deterministic.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds of virtual time
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func usec(t int64) float64 { return float64(t) / 1e3 }
+
+// openSpan is a begin event waiting for its end.
+type openSpan struct {
+	name     string
+	pid, tid int
+	ts       float64
+	args     map[string]any
+}
+
+// WriteChromeTrace exports events as a Chrome trace_event JSON document —
+// loadable in chrome://tracing or Perfetto — with one track per MPI rank,
+// one per checkpoint server, and a runtime track for global events
+// (commits, rollbacks, failures).  Spans are virtual-time intervals:
+// Pcl's per-rank blocked-send windows, per-image store transfers on the
+// server tracks, log shipments, restarts.  Point events (markers, logged
+// messages, delayed packets, snapshots, commits) render as instants.
+// Output is deterministic: identical event streams produce identical
+// bytes.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	var out []chromeEvent
+	var maxTs float64
+	for _, ev := range events {
+		if ts := usec(int64(ev.T)); ts > maxTs {
+			maxTs = ts
+		}
+	}
+
+	// Track naming metadata, emitted for every tid seen.
+	ranks := map[int]bool{}
+	servers := map[int]bool{}
+
+	spans := map[string]openSpan{} // key → open begin
+	var spanOrder []string         // deterministic sweep of unclosed spans
+	open := func(key string, s openSpan) {
+		if _, dup := spans[key]; !dup {
+			spanOrder = append(spanOrder, key)
+		}
+		spans[key] = s
+	}
+	closeSpan := func(key string, ts float64) {
+		s, ok := spans[key]
+		if !ok {
+			return
+		}
+		delete(spans, key)
+		out = append(out, chromeEvent{
+			Name: s.name, Ph: "X", Ts: s.ts, Dur: ts - s.ts,
+			Pid: s.pid, Tid: s.tid, Args: s.args,
+		})
+	}
+	instant := func(name string, pid, tid int, ev Event, args map[string]any) {
+		out = append(out, chromeEvent{
+			Name: name, Ph: "i", Ts: usec(int64(ev.T)), Pid: pid, Tid: tid,
+			S: "t", Args: args,
+		})
+	}
+
+	for _, ev := range events {
+		if ev.Rank >= 0 {
+			ranks[ev.Rank] = true
+		}
+		if ev.Server >= 0 {
+			servers[ev.Server] = true
+		}
+		switch ev.Type {
+		case EvMarkerSent:
+			pid, tid := trackOf(ev.Rank)
+			instant("marker-sent", pid, tid, ev, map[string]any{"wave": ev.Wave, "to": ev.Channel})
+		case EvMarkerRecv:
+			pid, tid := trackOf(ev.Rank)
+			instant("marker-recv", pid, tid, ev, map[string]any{"wave": ev.Wave, "from": ev.Channel})
+		case EvChannelBlocked:
+			open(fmt.Sprintf("blk:%d", ev.Rank), openSpan{
+				name: fmt.Sprintf("blocked send (wave %d)", ev.Wave),
+				pid:  pidRanks, tid: ev.Rank, ts: usec(int64(ev.T)),
+				args: map[string]any{"wave": ev.Wave},
+			})
+		case EvChannelUnblocked:
+			closeSpan(fmt.Sprintf("blk:%d", ev.Rank), usec(int64(ev.T)))
+		case EvSendDelayed:
+			instant("send-delayed", pidRanks, ev.Rank, ev, map[string]any{"to": ev.Channel})
+		case EvRecvDelayed:
+			instant("recv-delayed", pidRanks, ev.Rank, ev, map[string]any{"from": ev.Channel})
+		case EvMessageLogged:
+			instant("message-logged", pidRanks, ev.Rank, ev,
+				map[string]any{"from": ev.Channel, "bytes": ev.Bytes, "wave": ev.Wave})
+		case EvLocalCkptEnd:
+			instant(fmt.Sprintf("snapshot (wave %d)", ev.Wave), pidRanks, ev.Rank, ev, nil)
+		case EvImageStoreBegin:
+			open(fmt.Sprintf("img:%d:%d", ev.Rank, ev.Wave), openSpan{
+				name: fmt.Sprintf("store r%d w%d", ev.Rank, ev.Wave),
+				pid:  pidServers, tid: ev.Server, ts: usec(int64(ev.T)),
+				args: map[string]any{"bytes": ev.Bytes},
+			})
+		case EvImageStoreEnd:
+			closeSpan(fmt.Sprintf("img:%d:%d", ev.Rank, ev.Wave), usec(int64(ev.T)))
+		case EvLogShipBegin:
+			open(fmt.Sprintf("log:%d:%d", ev.Rank, ev.Wave), openSpan{
+				name: fmt.Sprintf("logs r%d w%d", ev.Rank, ev.Wave),
+				pid:  pidServers, tid: ev.Server, ts: usec(int64(ev.T)),
+				args: map[string]any{"bytes": ev.Bytes},
+			})
+		case EvLogShipEnd:
+			closeSpan(fmt.Sprintf("log:%d:%d", ev.Rank, ev.Wave), usec(int64(ev.T)))
+		case EvWaveCommit:
+			pid, tid := trackOf(ev.Rank)
+			instant(fmt.Sprintf("wave %d committed", ev.Wave), pid, tid, ev, nil)
+		case EvRankKilled:
+			instant(fmt.Sprintf("rank %d killed", ev.Rank), pidRuntime, 0, ev,
+				map[string]any{"restart_wave": ev.Wave})
+		case EvNodeLost:
+			instant(fmt.Sprintf("node %d lost", ev.Node), pidRuntime, 0, ev, nil)
+		case EvRestartBegin:
+			pid, tid := trackOf(ev.Rank)
+			open(fmt.Sprintf("rst:%d", ev.Rank), openSpan{
+				name: fmt.Sprintf("restart (wave %d)", ev.Wave),
+				pid:  pid, tid: tid, ts: usec(int64(ev.T)),
+				args: map[string]any{"wave": ev.Wave},
+			})
+		case EvRestartEnd:
+			closeSpan(fmt.Sprintf("rst:%d", ev.Rank), usec(int64(ev.T)))
+		case EvJobComplete:
+			instant("job complete", pidRuntime, 0, ev, nil)
+		}
+	}
+
+	// Close spans left open (transfers aborted by a failure) at the trace
+	// horizon, in the order they were opened.
+	for _, key := range spanOrder {
+		if s, ok := spans[key]; ok {
+			s.name += " (aborted)"
+			spans[key] = s
+			closeSpan(key, maxTs)
+		}
+	}
+
+	// Track metadata, sorted for determinism.
+	meta := []chromeEvent{
+		metaName("process_name", pidRuntime, 0, "runtime"),
+		metaName("process_name", pidRanks, 0, "mpi ranks"),
+		metaName("process_name", pidServers, 0, "ckpt servers"),
+	}
+	for _, r := range sortedKeys(ranks) {
+		meta = append(meta, metaName("thread_name", pidRanks, r, fmt.Sprintf("rank %d", r)))
+	}
+	for _, s := range sortedKeys(servers) {
+		meta = append(meta, metaName("thread_name", pidServers, s, fmt.Sprintf("server %d", s)))
+	}
+
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{append(meta, out...), "ms"}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// trackOf maps an emitter to a (pid, tid): MPI ranks to the rank tracks,
+// the runtime (-1) and the Vcl scheduler (-2) to the runtime track.
+func trackOf(rank int) (pid, tid int) {
+	if rank >= 0 {
+		return pidRanks, rank
+	}
+	return pidRuntime, 0
+}
+
+func metaName(kind string, pid, tid int, name string) chromeEvent {
+	return chromeEvent{Name: kind, Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name}}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WriteChromeTrace is also available on the Collector directly.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, c.events)
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"ftckpt/internal/sim"
+)
+
+// HistBounds are the upper bounds (exclusive) of the virtual-time
+// histogram buckets: decades from 1µs to 100s, plus an overflow bucket.
+var HistBounds = []sim.Time{
+	1000,           // 1µs
+	10_000,         // 10µs
+	100_000,        // 100µs
+	1_000_000,      // 1ms
+	10_000_000,     // 10ms
+	100_000_000,    // 100ms
+	1_000_000_000,  // 1s
+	10_000_000_000, // 10s
+	100_000_000_000,
+}
+
+// Hist is a virtual-time histogram with fixed decade buckets.
+type Hist struct {
+	Count    int64
+	Sum      sim.Time
+	Min, Max sim.Time
+	Buckets  []int64 // len(HistBounds)+1, last = overflow
+}
+
+func newHist() *Hist { return &Hist{Buckets: make([]int64, len(HistBounds)+1)} }
+
+// Observe records one duration.
+func (h *Hist) Observe(d sim.Time) {
+	if h.Count == 0 || d < h.Min {
+		h.Min = d
+	}
+	if d > h.Max {
+		h.Max = d
+	}
+	h.Count++
+	h.Sum += d
+	for i, b := range HistBounds {
+		if d < b {
+			h.Buckets[i]++
+			return
+		}
+	}
+	h.Buckets[len(HistBounds)]++
+}
+
+// Mean returns the average observed duration (0 when empty).
+func (h *Hist) Mean() sim.Time {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / sim.Time(h.Count)
+}
+
+// Metrics is the registry: counters, gauges and virtual-time histograms
+// keyed by dotted names (e.g. "vcl.logged_bytes", "wave.spread").  All
+// methods are safe on a nil receiver (no-ops), so optional instrumentation
+// costs one nil check.  All access runs in simulation context; exports are
+// deterministic (keys sorted).
+type Metrics struct {
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*Hist
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*Hist),
+	}
+}
+
+// Add increments a counter by v (creating it at 0).
+func (m *Metrics) Add(name string, v int64) {
+	if m == nil {
+		return
+	}
+	m.counters[name] += v
+}
+
+// Inc increments a counter by one.
+func (m *Metrics) Inc(name string) { m.Add(name, 1) }
+
+// Counter returns a counter's value (0 if absent or m is nil).
+func (m *Metrics) Counter(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	return m.counters[name]
+}
+
+// Touch ensures a counter exists (so exports include its zero).
+func (m *Metrics) Touch(name string) { m.Add(name, 0) }
+
+// Set stores a gauge value.
+func (m *Metrics) Set(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.gauges[name] = v
+}
+
+// Gauge returns a gauge's value (0 if absent or m is nil).
+func (m *Metrics) Gauge(name string) float64 {
+	if m == nil {
+		return 0
+	}
+	return m.gauges[name]
+}
+
+// Observe records a duration into a histogram (creating it).
+func (m *Metrics) Observe(name string, d sim.Time) {
+	if m == nil {
+		return
+	}
+	h, ok := m.hists[name]
+	if !ok {
+		h = newHist()
+		m.hists[name] = h
+	}
+	h.Observe(d)
+}
+
+// TouchHist ensures a histogram exists (so exports include it empty).
+func (m *Metrics) TouchHist(name string) {
+	if m == nil {
+		return
+	}
+	if _, ok := m.hists[name]; !ok {
+		m.hists[name] = newHist()
+	}
+}
+
+// Hist returns a histogram, or nil if absent.
+func (m *Metrics) Hist(name string) *Hist {
+	if m == nil {
+		return nil
+	}
+	return m.hists[name]
+}
+
+// histJSON is the export shape of one histogram.
+type histJSON struct {
+	Count   int64   `json:"count"`
+	SumNs   int64   `json:"sum_ns"`
+	MinNs   int64   `json:"min_ns"`
+	MaxNs   int64   `json:"max_ns"`
+	MeanNs  int64   `json:"mean_ns"`
+	Bounds  []int64 `json:"bounds_ns"`
+	Buckets []int64 `json:"buckets"`
+}
+
+func (h *Hist) export() histJSON {
+	bounds := make([]int64, len(HistBounds))
+	for i, b := range HistBounds {
+		bounds[i] = int64(b)
+	}
+	return histJSON{
+		Count: h.Count, SumNs: int64(h.Sum),
+		MinNs: int64(h.Min), MaxNs: int64(h.Max), MeanNs: int64(h.Mean()),
+		Bounds: bounds, Buckets: h.Buckets,
+	}
+}
+
+// WriteJSON dumps the registry as indented JSON with sorted keys
+// (encoding/json sorts map keys, so the output is deterministic).
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	if m == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	hists := make(map[string]histJSON, len(m.hists))
+	for name, h := range m.hists {
+		hists[name] = h.export()
+	}
+	doc := struct {
+		Counters   map[string]int64    `json:"counters"`
+		Gauges     map[string]float64  `json:"gauges"`
+		Histograms map[string]histJSON `json:"histograms"`
+	}{m.counters, m.gauges, hists}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteCSV dumps the registry as "kind,name,field,value" rows, sorted.
+func (m *Metrics) WriteCSV(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	var rows []string
+	for name, v := range m.counters {
+		rows = append(rows, fmt.Sprintf("counter,%s,value,%d", name, v))
+	}
+	for name, v := range m.gauges {
+		rows = append(rows, fmt.Sprintf("gauge,%s,value,%g", name, v))
+	}
+	for name, h := range m.hists {
+		rows = append(rows,
+			fmt.Sprintf("hist,%s,count,%d", name, h.Count),
+			fmt.Sprintf("hist,%s,sum_ns,%d", name, int64(h.Sum)),
+			fmt.Sprintf("hist,%s,min_ns,%d", name, int64(h.Min)),
+			fmt.Sprintf("hist,%s,max_ns,%d", name, int64(h.Max)),
+			fmt.Sprintf("hist,%s,mean_ns,%d", name, int64(h.Mean())),
+		)
+	}
+	sort.Strings(rows)
+	if _, err := io.WriteString(w, "kind,name,field,value\n"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := io.WriteString(w, r+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

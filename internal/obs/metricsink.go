@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+
+	"ftckpt/internal/sim"
+)
+
+// Standard metric names derived from the event stream.  Per-rank,
+// per-channel and per-server variants append ".rank<r>", ".ch<src>-<dst>"
+// and ".server<s>" suffixes.
+const (
+	MMarkersSent    = "markers.sent"
+	MMarkersRecv    = "markers.recv"
+	MDelayedSends   = "pcl.delayed_sends"
+	MDelayedRecvs   = "pcl.delayed_recvs"
+	MBlockedTime    = "pcl.blocked_time" // hist: per-rank blocked-send span per wave
+	MLoggedMsgs     = "log.msgs"         // Vcl channel state + mlog pessimistic logs
+	MLoggedBytes    = "log.bytes"
+	MLocalCkpts     = "ckpt.local"
+	MImageBytes     = "ckpt.image_bytes"
+	MImageStoreTime = "ckpt.store_time" // hist: per-image transfer duration
+	MLogShipBytes   = "ckpt.log_bytes"
+	MWavesCommitted = "waves.committed"
+	MFailures       = "failures"
+	MRestartTime    = "restart.time" // hist: failure-detection to resumed execution
+	// Wave-phase histograms, observed by the process manager at commit
+	// (the paper's cost decomposition: flush straggle / transfer / cycle).
+	MWaveSpread   = "wave.spread"
+	MWaveTransfer = "wave.transfer"
+	MWaveCycle    = "wave.cycle"
+)
+
+// MetricsSink folds the event stream into a Metrics registry: counters
+// for every discrete event, histograms for the spans it can pair
+// (blocked-send windows, image-store transfers, restarts).
+type MetricsSink struct {
+	m *Metrics
+
+	blockedSince map[int]sim.Time    // rank → EvChannelBlocked time
+	storeSince   map[[2]int]sim.Time // (rank, wave) → EvImageStoreBegin time
+	restartSince map[int]sim.Time    // rank (-1 global) → EvRestartBegin time
+}
+
+// NewMetricsSink builds a sink folding into m, pre-registering the
+// standard keys so every export carries the full schema (a Pcl run still
+// shows log.bytes = 0, a Vcl run still shows pcl.delayed_sends = 0).
+func NewMetricsSink(m *Metrics) *MetricsSink {
+	for _, c := range []string{
+		MMarkersSent, MMarkersRecv, MDelayedSends, MDelayedRecvs,
+		MLoggedMsgs, MLoggedBytes, MLocalCkpts, MImageBytes, MLogShipBytes,
+		MWavesCommitted, MFailures,
+	} {
+		m.Touch(c)
+	}
+	for _, h := range []string{
+		MBlockedTime, MImageStoreTime, MRestartTime,
+		MWaveSpread, MWaveTransfer, MWaveCycle,
+	} {
+		m.TouchHist(h)
+	}
+	return &MetricsSink{
+		m:            m,
+		blockedSince: make(map[int]sim.Time),
+		storeSince:   make(map[[2]int]sim.Time),
+		restartSince: make(map[int]sim.Time),
+	}
+}
+
+// Metrics returns the registry the sink folds into.
+func (s *MetricsSink) Metrics() *Metrics { return s.m }
+
+// Emit folds one event.
+func (s *MetricsSink) Emit(ev Event) {
+	switch ev.Type {
+	case EvMarkerSent:
+		s.m.Inc(MMarkersSent)
+	case EvMarkerRecv:
+		s.m.Inc(MMarkersRecv)
+	case EvChannelBlocked:
+		s.blockedSince[ev.Rank] = ev.T
+	case EvChannelUnblocked:
+		if t0, ok := s.blockedSince[ev.Rank]; ok {
+			delete(s.blockedSince, ev.Rank)
+			s.m.Observe(MBlockedTime, ev.T-t0)
+			s.m.Add(fmt.Sprintf("%s.rank%d", MBlockedTime, ev.Rank), int64(ev.T-t0))
+		}
+	case EvSendDelayed:
+		s.m.Inc(MDelayedSends)
+	case EvRecvDelayed:
+		s.m.Inc(MDelayedRecvs)
+	case EvMessageLogged:
+		s.m.Inc(MLoggedMsgs)
+		s.m.Add(MLoggedBytes, ev.Bytes)
+		s.m.Add(fmt.Sprintf("%s.ch%d-%d", MLoggedBytes, ev.Channel, ev.Rank), ev.Bytes)
+	case EvLocalCkptEnd:
+		s.m.Inc(MLocalCkpts)
+	case EvImageStoreBegin:
+		s.storeSince[[2]int{ev.Rank, ev.Wave}] = ev.T
+	case EvImageStoreEnd:
+		s.m.Add(MImageBytes, ev.Bytes)
+		if ev.Server >= 0 {
+			s.m.Add(fmt.Sprintf("%s.server%d", MImageBytes, ev.Server), ev.Bytes)
+		}
+		if t0, ok := s.storeSince[[2]int{ev.Rank, ev.Wave}]; ok {
+			delete(s.storeSince, [2]int{ev.Rank, ev.Wave})
+			s.m.Observe(MImageStoreTime, ev.T-t0)
+			if ev.Server >= 0 {
+				s.m.Add(fmt.Sprintf("%s.server%d", "ckpt.store_ns", ev.Server), int64(ev.T-t0))
+			}
+		}
+	case EvLogShipEnd:
+		s.m.Add(MLogShipBytes, ev.Bytes)
+	case EvWaveCommit:
+		s.m.Inc(MWavesCommitted)
+	case EvRankKilled:
+		s.m.Inc(MFailures)
+	case EvRestartBegin:
+		s.restartSince[ev.Rank] = ev.T
+	case EvRestartEnd:
+		if t0, ok := s.restartSince[ev.Rank]; ok {
+			delete(s.restartSince, ev.Rank)
+			s.m.Observe(MRestartTime, ev.T-t0)
+		}
+	}
+}

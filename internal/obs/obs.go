@@ -1,0 +1,194 @@
+// Package obs is the observability layer of the runtime: a typed,
+// allocation-light event bus carrying protocol-level events stamped with
+// virtual time, a metrics registry (counters, gauges, virtual-time
+// histograms), and exporters — a Chrome trace_event timeline loadable in
+// chrome://tracing / Perfetto, and flat JSON/CSV metrics dumps.
+//
+// The paper's contribution is a measurement: decomposing checkpoint cost
+// into synchronization/flush straggle, in-transit message logging and
+// image-transfer contention.  Every layer of the stack (protocols, the
+// checkpoint servers, the MPI engine and fabric, the network, the process
+// manager) emits structured events into a Hub; sinks consume them — the
+// Collector for timelines, the MetricsSink for aggregates, the TextSink
+// for the human-readable -v stream.  Everything is deterministic: a fixed
+// seed produces byte-identical exports.
+package obs
+
+import "ftckpt/internal/sim"
+
+// EventType identifies a structured trace event.
+type EventType uint8
+
+// Event types, covering all three protocol families plus the runtime.
+const (
+	// EvMarkerSent: a checkpoint-wave marker left Rank towards Channel
+	// (the destination rank; the Vcl scheduler emits with Rank = -2).
+	EvMarkerSent EventType = iota
+	// EvMarkerRecv: Rank received the marker Channel (source rank) sent.
+	EvMarkerRecv
+	// EvChannelBlocked: Rank froze its sends for a wave (Pcl's delayed-send
+	// gate closed; Channel is -1: all channels block together).
+	EvChannelBlocked
+	// EvChannelUnblocked: the local checkpoint is taken and Rank released
+	// its delayed sends; the blocked-send span ends.
+	EvChannelUnblocked
+	// EvSendDelayed: one payload to Channel was queued behind the gate.
+	EvSendDelayed
+	// EvRecvDelayed: one payload from the flushed channel Channel was moved
+	// to the delayed-receive queue instead of being matched.
+	EvRecvDelayed
+	// EvMessageLogged: one in-transit payload from Channel was captured as
+	// channel state (Vcl) or logged before delivery (mlog); Bytes is its
+	// payload size.
+	EvMessageLogged
+	// EvLocalCkptBegin: Rank entered wave Wave (Pcl: the flush/freeze
+	// begins; Vcl/mlog: the snapshot is immediate).
+	EvLocalCkptBegin
+	// EvLocalCkptEnd: Rank captured its local image for wave Wave.
+	EvLocalCkptEnd
+	// EvImageStoreBegin: the image transfer of (Rank, Wave) started towards
+	// checkpoint server Server; Bytes is the image size.
+	EvImageStoreBegin
+	// EvImageStoreEnd: the image of (Rank, Wave) is on stable storage.
+	EvImageStoreEnd
+	// EvLogShipBegin: a channel-state/log transfer of (Rank, Wave) started
+	// towards Server; Bytes is the wire size.
+	EvLogShipBegin
+	// EvLogShipEnd: the log transfer completed.
+	EvLogShipEnd
+	// EvWaveCommit: the recovery line advanced to Wave (Rank is the
+	// committing rank for uncoordinated protocols, -1 for a global commit).
+	EvWaveCommit
+	// EvRankKilled: Rank failed (injected or MTTF); Wave is the recovery
+	// line it will restart from.
+	EvRankKilled
+	// EvNodeLost: machine Node left the pool; Detail names the remapping.
+	EvNodeLost
+	// EvRestartBegin: recovery began fetching images for wave Wave (Rank is
+	// -1 for a global rollback, the restarting rank for mlog).
+	EvRestartBegin
+	// EvRestartEnd: the restarted process(es) resumed execution.
+	EvRestartEnd
+	// EvJobComplete: every rank finalized; Detail is the result summary.
+	EvJobComplete
+
+	numEventTypes
+)
+
+var eventNames = [numEventTypes]string{
+	"marker-sent", "marker-recv", "channel-blocked", "channel-unblocked",
+	"send-delayed", "recv-delayed", "message-logged",
+	"local-ckpt-begin", "local-ckpt-end",
+	"image-store-begin", "image-store-end", "log-ship-begin", "log-ship-end",
+	"wave-commit", "rank-killed", "node-lost",
+	"restart-begin", "restart-end", "job-complete",
+}
+
+// String returns the event type's kebab-case name.
+func (t EventType) String() string {
+	if int(t) < len(eventNames) {
+		return eventNames[t]
+	}
+	return "unknown"
+}
+
+// Event is one structured trace record.  It is a plain value — emitting
+// one allocates nothing beyond what the sink retains.  Fields that do not
+// apply to a type are -1 (ints) or 0 (Bytes); see the EventType docs for
+// which fields each type carries.
+type Event struct {
+	Type EventType
+	// T is the virtual timestamp.
+	T sim.Time
+	// Rank is the emitting process, -1 for the runtime, -2 for the Vcl
+	// scheduler (mpi.SchedulerID).
+	Rank int
+	// Wave is the checkpoint wave, -1 when not wave-scoped.
+	Wave int
+	// Channel is the peer rank of the channel involved, -1 when not
+	// channel-scoped.
+	Channel int
+	// Node is the machine involved (EvNodeLost), -1 otherwise.
+	Node int
+	// Server is the checkpoint server index, -1 otherwise.
+	Server int
+	// Bytes is the payload/image/log size when the event moves data.
+	Bytes int64
+	// Detail carries free-text context for runtime events.
+	Detail string
+}
+
+// Sink consumes events.  Emit runs in simulation (single-threaded)
+// context; implementations need no locking.
+type Sink interface {
+	Emit(Event)
+}
+
+// Hub fans events out to its sinks.  A nil *Hub is a valid no-op emitter,
+// so instrumented layers never branch on "is observability on".
+type Hub struct {
+	sinks []Sink
+}
+
+// NewHub builds a hub over the given sinks (nils are skipped).
+func NewHub(sinks ...Sink) *Hub {
+	h := &Hub{}
+	for _, s := range sinks {
+		if s != nil {
+			h.sinks = append(h.sinks, s)
+		}
+	}
+	return h
+}
+
+// Emit forwards the event to every sink.  Safe on a nil hub.
+func (h *Hub) Emit(ev Event) {
+	if h == nil {
+		return
+	}
+	for _, s := range h.sinks {
+		s.Emit(ev)
+	}
+}
+
+// Active reports whether any sink is attached (lets hot paths skip
+// assembling expensive Detail strings).
+func (h *Hub) Active() bool { return h != nil && len(h.sinks) > 0 }
+
+// Collector is a sink retaining every event in emission order — the
+// input of the timeline exporter and of event-level assertions in tests.
+type Collector struct {
+	events []Event
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Emit appends the event.
+func (c *Collector) Emit(ev Event) { c.events = append(c.events, ev) }
+
+// Events returns the collected events in emission order (shared slice;
+// callers must not mutate).
+func (c *Collector) Events() []Event { return c.events }
+
+// Filter returns the collected events of one type, in emission order.
+func (c *Collector) Filter(t EventType) []Event {
+	var out []Event
+	for _, ev := range c.events {
+		if ev.Type == t {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Count returns how many events of one type were collected.
+func (c *Collector) Count(t EventType) int {
+	n := 0
+	for _, ev := range c.events {
+		if ev.Type == t {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ftckpt/internal/sim"
+)
+
+func TestEventTypeNames(t *testing.T) {
+	for ty := EventType(0); ty < numEventTypes; ty++ {
+		name := ty.String()
+		if name == "" || name == "unknown" {
+			t.Fatalf("event type %d has no name", ty)
+		}
+		if name != strings.ToLower(name) || strings.Contains(name, " ") {
+			t.Fatalf("event type %d name %q is not kebab-case", ty, name)
+		}
+	}
+	if numEventTypes.String() != "unknown" {
+		t.Fatal("out-of-range type must stringify as unknown")
+	}
+}
+
+func TestNilHubAndMetricsAreNoOps(t *testing.T) {
+	var h *Hub
+	h.Emit(Event{Type: EvWaveCommit}) // must not panic
+	if h.Active() {
+		t.Fatal("nil hub active")
+	}
+	var m *Metrics
+	m.Inc("x")
+	m.Add("x", 3)
+	m.Set("g", 1.5)
+	m.Observe("h", time.Second)
+	m.Touch("x")
+	m.TouchHist("h")
+	if m.Counter("x") != 0 || m.Gauge("g") != 0 || m.Hist("h") != nil {
+		t.Fatal("nil metrics returned values")
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("nil metrics JSON invalid: %q", buf.String())
+	}
+}
+
+func TestHubFanout(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	h := NewHub(a, nil, b) // nils are skipped
+	if !h.Active() {
+		t.Fatal("hub with sinks inactive")
+	}
+	h.Emit(Event{Type: EvMarkerSent, Rank: 3})
+	h.Emit(Event{Type: EvMarkerRecv, Rank: 4})
+	for _, c := range []*Collector{a, b} {
+		if len(c.Events()) != 2 || c.Count(EvMarkerSent) != 1 {
+			t.Fatalf("fanout missed a sink: %v", c.Events())
+		}
+	}
+	if got := a.Filter(EvMarkerRecv); len(got) != 1 || got[0].Rank != 4 {
+		t.Fatalf("filter %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("d", 5*time.Microsecond) // bucket 1 (< 10µs)
+	m.Observe("d", 2*time.Millisecond) // bucket 4 (< 10ms)
+	m.Observe("d", 500*time.Second)    // overflow
+	h := m.Hist("d")
+	if h.Count != 3 || h.Min != 5*time.Microsecond || h.Max != 500*time.Second {
+		t.Fatalf("hist %+v", h)
+	}
+	if h.Buckets[1] != 1 || h.Buckets[4] != 1 || h.Buckets[len(HistBounds)] != 1 {
+		t.Fatalf("buckets %v", h.Buckets)
+	}
+	want := (5*time.Microsecond + 2*time.Millisecond + 500*time.Second) / 3
+	if h.Mean() != want {
+		t.Fatalf("mean %v want %v", h.Mean(), want)
+	}
+}
+
+func TestMetricsExportsDeterministic(t *testing.T) {
+	build := func() *Metrics {
+		m := NewMetrics()
+		m.Add("z.last", 9)
+		m.Inc("a.first")
+		m.Set("gauge.x", 0.25)
+		m.Observe("spread", 3*time.Millisecond)
+		return m
+	}
+	var j1, j2, c1, c2 bytes.Buffer
+	if err := build().WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Fatal("JSON export nondeterministic")
+	}
+	var doc struct {
+		Counters   map[string]int64          `json:"counters"`
+		Histograms map[string]map[string]any `json:"histograms"`
+	}
+	if err := json.Unmarshal(j1.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Counters["z.last"] != 9 || doc.Counters["a.first"] != 1 {
+		t.Fatalf("counters %v", doc.Counters)
+	}
+	if doc.Histograms["spread"]["count"].(float64) != 1 {
+		t.Fatalf("hist %v", doc.Histograms["spread"])
+	}
+	if err := build().WriteCSV(&c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteCSV(&c2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1.Bytes(), c2.Bytes()) {
+		t.Fatal("CSV export nondeterministic")
+	}
+	lines := strings.Split(strings.TrimSpace(c1.String()), "\n")
+	if lines[0] != "kind,name,field,value" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if len(lines) != 1+2+1+5 { // header, 2 counters, 1 gauge, 5 hist fields
+		t.Fatalf("csv rows:\n%s", c1.String())
+	}
+}
+
+func TestTextSinkRendersOnlyDetail(t *testing.T) {
+	var got []string
+	s := NewTextSink(func(format string, args ...any) {
+		got = append(got, fmt.Sprintf(format, args...))
+	})
+	s.Emit(Event{Type: EvMarkerSent, T: time.Second}) // no Detail: silent
+	s.Emit(Event{Type: EvWaveCommit, T: 90 * time.Millisecond, Detail: "wave 3 committed"})
+	if len(got) != 1 {
+		t.Fatalf("rendered %d lines: %v", len(got), got)
+	}
+	// The legacy tracef format: "[%12v] <message>".
+	if got[0] != fmt.Sprintf("[%12v] wave 3 committed", 90*time.Millisecond) {
+		t.Fatalf("line %q", got[0])
+	}
+}
+
+func TestMetricsSinkPairsSpans(t *testing.T) {
+	m := NewMetrics()
+	s := NewMetricsSink(m)
+	at := func(ty EventType, t0 sim.Time, ev Event) {
+		ev.Type, ev.T = ty, t0
+		s.Emit(ev)
+	}
+	at(EvChannelBlocked, 10*time.Millisecond, Event{Rank: 2, Wave: 1})
+	at(EvChannelUnblocked, 14*time.Millisecond, Event{Rank: 2, Wave: 1})
+	at(EvImageStoreBegin, 14*time.Millisecond, Event{Rank: 2, Wave: 1, Server: 0, Bytes: 1 << 20})
+	at(EvImageStoreEnd, 20*time.Millisecond, Event{Rank: 2, Wave: 1, Server: 0, Bytes: 1 << 20})
+	at(EvRestartBegin, 30*time.Millisecond, Event{Rank: -1, Wave: 1})
+	at(EvRestartEnd, 42*time.Millisecond, Event{Rank: -1, Wave: 1})
+	at(EvMessageLogged, 5*time.Millisecond, Event{Rank: 1, Channel: 0, Bytes: 256})
+
+	if h := m.Hist(MBlockedTime); h.Count != 1 || h.Sum != 4*time.Millisecond {
+		t.Fatalf("blocked %+v", h)
+	}
+	if m.Counter(MBlockedTime+".rank2") != int64(4*time.Millisecond) {
+		t.Fatal("per-rank blocked counter missing")
+	}
+	if h := m.Hist(MImageStoreTime); h.Count != 1 || h.Sum != 6*time.Millisecond {
+		t.Fatalf("store %+v", h)
+	}
+	if m.Counter(MImageBytes) != 1<<20 || m.Counter(MImageBytes+".server0") != 1<<20 {
+		t.Fatal("image bytes not attributed")
+	}
+	if h := m.Hist(MRestartTime); h.Count != 1 || h.Sum != 12*time.Millisecond {
+		t.Fatalf("restart %+v", h)
+	}
+	if m.Counter(MLoggedMsgs) != 1 || m.Counter(MLoggedBytes) != 256 ||
+		m.Counter(MLoggedBytes+".ch0-1") != 256 {
+		t.Fatal("logged-message accounting wrong")
+	}
+	// An end without a begin must not observe a bogus span.
+	at(EvChannelUnblocked, 50*time.Millisecond, Event{Rank: 9})
+	if h := m.Hist(MBlockedTime); h.Count != 1 {
+		t.Fatal("unpaired unblock observed")
+	}
+	// Schema pre-registration: a key this run never touched still exports.
+	if _, ok := m.counters[MDelayedSends]; !ok {
+		t.Fatal("standard counters not pre-registered")
+	}
+}
+
+func chromeDoc(t *testing.T, events []Event) (raw []byte, evs []map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	return buf.Bytes(), doc.TraceEvents
+}
+
+func TestChromeTraceWellFormed(t *testing.T) {
+	events := []Event{
+		{Type: EvChannelBlocked, T: 10 * time.Millisecond, Rank: 0, Wave: 1, Channel: -1, Node: -1, Server: -1},
+		{Type: EvMarkerSent, T: 10 * time.Millisecond, Rank: 0, Wave: 1, Channel: 1, Node: -1, Server: -1},
+		{Type: EvChannelUnblocked, T: 12 * time.Millisecond, Rank: 0, Wave: 1, Channel: -1, Node: -1, Server: -1},
+		{Type: EvImageStoreBegin, T: 12 * time.Millisecond, Rank: 0, Wave: 1, Channel: -1, Node: -1, Server: 0, Bytes: 4096},
+		// The store never ends: aborted by a failure; must close at horizon.
+		{Type: EvRankKilled, T: 30 * time.Millisecond, Rank: 1, Wave: 0, Channel: -1, Node: -1, Server: -1},
+	}
+	raw1, evs := chromeDoc(t, events)
+	raw2, _ := chromeDoc(t, events)
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatal("chrome export nondeterministic")
+	}
+
+	var spans, instants, metas int
+	var aborted *map[string]any
+	for i := range evs {
+		switch evs[i]["ph"] {
+		case "X":
+			spans++
+			if strings.Contains(evs[i]["name"].(string), "aborted") {
+				aborted = &evs[i]
+			}
+		case "i":
+			instants++
+		case "M":
+			metas++
+		}
+	}
+	if spans != 2 { // blocked-send + aborted store
+		t.Fatalf("%d spans", spans)
+	}
+	if instants != 2 { // marker-sent + rank killed
+		t.Fatalf("%d instants", instants)
+	}
+	if metas < 4 { // 3 process names + at least rank 0's thread name
+		t.Fatalf("%d metadata records", metas)
+	}
+	if aborted == nil {
+		t.Fatal("unclosed store span not closed at horizon")
+	}
+	// Horizon is the last event (30ms); store began at 12ms → 18ms span.
+	if dur := (*aborted)["dur"].(float64); dur != 18000 {
+		t.Fatalf("aborted span dur %v µs", dur)
+	}
+}

@@ -1,0 +1,24 @@
+package obs
+
+// TextSink renders runtime events to a printf-style function — the compat
+// adapter for the legacy Config.Trace / Options.Verbose stream.  Only
+// events carrying Detail (the process manager's job-level lines: failures,
+// restarts, commits, node loss, completion) are rendered, with the exact
+// "[<virtual time>] <message>" wording of the old unstructured tracer, so
+// -v output stays readable instead of drowning in per-marker events.
+type TextSink struct {
+	fn func(format string, args ...any)
+}
+
+// NewTextSink wraps a printf-style function (e.g. log.Printf).
+func NewTextSink(fn func(format string, args ...any)) *TextSink {
+	return &TextSink{fn: fn}
+}
+
+// Emit renders the event if it carries a human-readable Detail line.
+func (s *TextSink) Emit(ev Event) {
+	if ev.Detail == "" {
+		return
+	}
+	s.fn("[%12v] %s", ev.T, ev.Detail)
+}

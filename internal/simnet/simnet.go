@@ -28,6 +28,7 @@ import (
 	"sort"
 	"time"
 
+	"ftckpt/internal/obs"
 	"ftckpt/internal/sim"
 )
 
@@ -124,6 +125,10 @@ type Network struct {
 	wanUp   []*resource
 	flowSeq uint64
 
+	// met, when set, mirrors delivery statistics into the observability
+	// registry ("net.flows", "net.bytes_moved"); nil-safe.
+	met *obs.Metrics
+
 	// BytesMoved and FlowsDone accumulate delivery statistics.
 	BytesMoved Bytes
 	FlowsDone  int
@@ -163,6 +168,10 @@ func New(k *sim.Kernel, topo Topology) *Network {
 
 // Kernel returns the simulation kernel the network runs on.
 func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// SetMetrics attaches the observability registry delivery statistics are
+// mirrored into (nil disables).
+func (n *Network) SetMetrics(m *obs.Metrics) { n.met = m }
 
 // NumNodes returns the number of nodes in the platform.
 func (n *Network) NumNodes() int { return len(n.nodes) }
@@ -226,6 +235,8 @@ func (n *Network) StartFlowCapped(src, dst int, size Bytes, cap Rate, onDone fun
 		onDone: func() {
 			n.BytesMoved += size
 			n.FlowsDone++
+			n.met.Inc("net.flows")
+			n.met.Add("net.bytes_moved", size)
 			if onDone != nil {
 				onDone()
 			}

@@ -86,6 +86,28 @@ func (r *Recorder) Stored(w int, t sim.Time) {
 // Commit records the coordinator sealing wave w at time t.
 func (r *Recorder) Commit(w int, t sim.Time) { r.wave(w).Committed = t }
 
+// Stat returns the statistics of wave w, if it has been seen.
+func (r *Recorder) Stat(w int) (WaveStat, bool) {
+	ws, ok := r.waves[w]
+	if !ok {
+		return WaveStat{}, false
+	}
+	return *ws, true
+}
+
+// Rollback discards every uncommitted wave beyond lastWave.  A restart
+// re-executes from lastWave, so wave numbers past it are reused by the new
+// incarnation; without the rollback the re-executed wave's snapshots would
+// pile onto the aborted attempt's partial statistics, double-counting
+// Images and smearing FirstCkpt across incarnations.
+func (r *Recorder) Rollback(lastWave int) {
+	for w, ws := range r.waves {
+		if w > lastWave && ws.Committed == 0 {
+			delete(r.waves, w)
+		}
+	}
+}
+
 // Committed returns the statistics of every committed wave, ordered by
 // wave number.  Waves aborted by a restart (never committed) are omitted.
 func (r *Recorder) Committed() []WaveStat {

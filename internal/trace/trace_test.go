@@ -68,6 +68,65 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestRollbackWaveReuse replays the restart scenario: wave 2 is under way
+// (some snapshots taken) when a failure rolls the job back to wave 1, and
+// the relaunched incarnation reuses the number 2 for its next wave.
+// Without the rollback the aborted attempt's snapshots would pile onto the
+// re-executed wave — double-counting Images and dragging FirstCkpt back
+// before the restart.
+func TestRollbackWaveReuse(t *testing.T) {
+	r := New()
+	r.LocalCkpt(1, 10*time.Second)
+	r.Stored(1, 12*time.Second)
+	r.Commit(1, 13*time.Second)
+
+	// Aborted first attempt at wave 2: two snapshots, no commit.
+	r.LocalCkpt(2, 20*time.Second)
+	r.LocalCkpt(2, 21*time.Second)
+
+	// Failure: roll back to the last committed wave.
+	r.Rollback(1)
+
+	// Re-executed wave 2 after recovery.
+	r.LocalCkpt(2, 40*time.Second)
+	r.LocalCkpt(2, 41*time.Second)
+	r.Stored(2, 45*time.Second)
+	r.Commit(2, 46*time.Second)
+
+	waves := r.Committed()
+	if len(waves) != 2 || waves[0].Wave != 1 || waves[1].Wave != 2 {
+		t.Fatalf("committed %v", waves)
+	}
+	w2 := waves[1]
+	if w2.Images != 2 {
+		t.Fatalf("wave 2 images %d (aborted attempt double-counted)", w2.Images)
+	}
+	if w2.FirstCkpt != 40*time.Second {
+		t.Fatalf("wave 2 FirstCkpt %v smeared across incarnations", w2.FirstCkpt)
+	}
+	if w2.CycleTime() != 6*time.Second {
+		t.Fatalf("wave 2 cycle %v", w2.CycleTime())
+	}
+}
+
+// TestRollbackKeepsCommitted checks a rollback never discards committed
+// waves, whatever their numbers.
+func TestRollbackKeepsCommitted(t *testing.T) {
+	r := New()
+	r.LocalCkpt(1, time.Second)
+	r.Commit(1, 2*time.Second)
+	r.LocalCkpt(2, 3*time.Second)
+	r.Commit(2, 4*time.Second)
+	r.LocalCkpt(3, 5*time.Second) // in flight
+	r.Rollback(2)
+	if got := r.Committed(); len(got) != 2 {
+		t.Fatalf("committed %v", got)
+	}
+	if _, ok := r.Stat(3); ok {
+		t.Fatal("aborted wave 3 survived rollback")
+	}
+}
+
 func TestEmptySummary(t *testing.T) {
 	s := New().Summarize()
 	if s.Waves != 0 || s.MeanCycle != 0 {

@@ -1,0 +1,58 @@
+package ftckpt
+
+import "ftckpt/internal/obs"
+
+// Observability surface.  The simulator publishes a structured event for
+// every protocol action worth seeing — marker sends and receipts, channel
+// freezes, logged in-transit messages, checkpoint-image transfers, wave
+// commits, failures and restarts — all stamped with virtual time.  Attach
+// a Sink through Options.Sink to receive the stream; a Collector gathers
+// it for export as a Chrome trace_event timeline (chrome://tracing or
+// https://ui.perfetto.dev), and every Report carries the run's Metrics
+// registry of counters and virtual-time histograms.
+
+// Sink receives structured observability events.
+type Sink = obs.Sink
+
+// Event is one structured observability event.
+type Event = obs.Event
+
+// EventType identifies the kind of an Event.
+type EventType = obs.EventType
+
+// Collector is a Sink that retains every event in order, for inspection
+// or timeline export via its WriteChromeTrace method.
+type Collector = obs.Collector
+
+// Metrics is a registry of counters, gauges and virtual-time histograms.
+type Metrics = obs.Metrics
+
+// Event types, re-exported from the internal observability package.
+const (
+	EvMarkerSent       = obs.EvMarkerSent
+	EvMarkerRecv       = obs.EvMarkerRecv
+	EvChannelBlocked   = obs.EvChannelBlocked
+	EvChannelUnblocked = obs.EvChannelUnblocked
+	EvSendDelayed      = obs.EvSendDelayed
+	EvRecvDelayed      = obs.EvRecvDelayed
+	EvMessageLogged    = obs.EvMessageLogged
+	EvLocalCkptBegin   = obs.EvLocalCkptBegin
+	EvLocalCkptEnd     = obs.EvLocalCkptEnd
+	EvImageStoreBegin  = obs.EvImageStoreBegin
+	EvImageStoreEnd    = obs.EvImageStoreEnd
+	EvLogShipBegin     = obs.EvLogShipBegin
+	EvLogShipEnd       = obs.EvLogShipEnd
+	EvWaveCommit       = obs.EvWaveCommit
+	EvRankKilled       = obs.EvRankKilled
+	EvNodeLost         = obs.EvNodeLost
+	EvRestartBegin     = obs.EvRestartBegin
+	EvRestartEnd       = obs.EvRestartEnd
+	EvJobComplete      = obs.EvJobComplete
+)
+
+// NewCollector returns an empty event Collector.
+func NewCollector() *Collector { return obs.NewCollector() }
+
+// NewMetrics returns an empty metrics registry, for sharing one registry
+// across several runs (aggregated studies).
+func NewMetrics() *Metrics { return obs.NewMetrics() }
