@@ -11,6 +11,8 @@ package ftckpt
 // (~10x smaller workloads, same shapes).
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -136,6 +138,26 @@ func BenchmarkFig10GridScale(b *testing.B) {
 		last := rows[len(rows)-1]
 		b.ReportMetric(last.NoCkpt.Seconds(), "largestNone-s")
 		b.ReportMetric(last.Ckpt60.Seconds(), "largestCkpt-s")
+	}
+}
+
+// BenchmarkSweepJobs measures the parallel sweep executor against the
+// sequential baseline on the Fig. 6 grid (the widest sweep: intervals ×
+// sizes × three protocols).  The jobs=1 case is the classic sequential
+// sweep; jobs=N fans the points over runtime.NumCPU() workers.  Output
+// is byte-identical either way, so the delta is pure wall-clock.
+func BenchmarkSweepJobs(b *testing.B) {
+	for _, jobs := range []int{1, runtime.NumCPU()} {
+		jobs := jobs
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := benchOpts(b)
+				o.Jobs = jobs
+				if _, err := expt.Fig6(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

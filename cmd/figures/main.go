@@ -4,19 +4,32 @@
 //
 //	figures -fig 5          # one figure
 //	figures -fig all -quick # smoke-test everything in seconds
+//	figures -fig all -jobs 8
+//
+// Sweep points are independent simulations, so -jobs N (default
+// runtime.NumCPU()) runs them concurrently; stdout, -v trace output and
+// -metrics-dir files are byte-identical for any -jobs value with the
+// same seed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"text/tabwriter"
+	"time"
 
 	"ftckpt"
 	"ftckpt/internal/expt"
 )
+
+// out receives every table; -bench-sweep redirects it to io.Discard.
+var out io.Writer = os.Stdout
 
 func main() {
 	log.SetFlags(0)
@@ -25,18 +38,15 @@ func main() {
 		quick  = flag.Bool("quick", false, "shrink workloads (~10x) — shapes survive, absolute values do not")
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		v      = flag.Bool("v", false, "trace per-run progress")
+		jobs   = flag.Int("jobs", runtime.NumCPU(), "concurrent sweep points per figure (1 = sequential; output is identical either way)")
 		metDir = flag.String("metrics-dir", "", "also write each figure's aggregated metrics as <dir>/fig<N>.metrics.json")
+		bench  = flag.String("bench-sweep", "", "time the selected figures sequentially and at -jobs, write the wall-clock baseline JSON to this file (suppresses tables)")
 	)
 	flag.Parse()
 
-	o := expt.Options{Quick: *quick, Seed: *seed}
+	o := expt.Options{Quick: *quick, Seed: *seed, Jobs: *jobs}
 	if *v {
 		o.Trace = log.Printf
-	}
-	if *metDir != "" {
-		if err := os.MkdirAll(*metDir, 0o755); err != nil {
-			fail(err)
-		}
 	}
 
 	runners := map[string]func(expt.Options) error{
@@ -50,8 +60,27 @@ func main() {
 	}
 	order := []string{"netpipe", "5", "6", "7", "8", "9", "10"}
 
+	var names []string
+	if *fig == "all" {
+		names = order
+	} else {
+		if _, ok := runners[*fig]; !ok {
+			fail(fmt.Errorf("unknown figure %q", *fig))
+		}
+		names = []string{*fig}
+	}
+
+	if *bench != "" {
+		if err := benchSweep(*bench, names, runners, o); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	// runOne regenerates one figure; with -metrics-dir every run of the
-	// figure folds into one fresh registry, dumped beside the data.
+	// figure folds into one fresh registry, dumped beside the data once
+	// the whole sweep has succeeded (atomically: temp file + rename, so a
+	// failed or interrupted figure never leaves a partial file behind).
 	runOne := func(name string) error {
 		if *metDir != "" {
 			o.Metrics = ftckpt.NewMetrics()
@@ -66,35 +95,108 @@ func main() {
 		if name != "netpipe" {
 			base = "fig" + name
 		}
-		path := filepath.Join(*metDir, base+".metrics.json")
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		err = o.Metrics.WriteJSON(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
+		path, err := writeMetrics(*metDir, base, o.Metrics)
 		if err == nil {
-			fmt.Printf("metrics: %s\n", path)
+			fmt.Fprintf(out, "metrics: %s\n", path)
 		}
 		return err
 	}
 
-	if *fig == "all" {
-		for _, name := range order {
-			if err := runOne(name); err != nil {
-				fail(err)
+	for _, name := range names {
+		if err := runOne(name); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// writeMetrics dumps a figure's registry as <dir>/<base>.metrics.json,
+// atomically: the JSON is written to a temp file in the same directory
+// and renamed into place, so readers never observe a partial file.  The
+// directory is created on first use (not before any run has succeeded).
+func writeMetrics(dir, base string, m *ftckpt.Metrics) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, base+".metrics.json")
+	tmp, err := os.CreateTemp(dir, base+".metrics.*.tmp")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	if err := m.WriteJSON(tmp); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// benchSweep times the selected figures twice — sequentially and with the
+// configured job count — and records the wall-clock baseline as JSON (the
+// repo's BENCH_sweep.json trajectory).
+func benchSweep(path string, names []string, runners map[string]func(expt.Options) error, o expt.Options) error {
+	out = io.Discard
+	o.Metrics = nil
+	run := func(jobs int) (time.Duration, error) {
+		po := o
+		po.Jobs = jobs
+		start := time.Now()
+		for _, name := range names {
+			if err := runners[name](po); err != nil {
+				return 0, err
 			}
 		}
-		return
+		return time.Since(start), nil
 	}
-	if _, ok := runners[*fig]; !ok {
-		fail(fmt.Errorf("unknown figure %q", *fig))
+	seq, err := run(1)
+	if err != nil {
+		return err
 	}
-	if err := runOne(*fig); err != nil {
-		fail(err)
+	parJobs := o.Jobs
+	if parJobs <= 1 {
+		parJobs = runtime.NumCPU()
 	}
+	par, err := run(parJobs)
+	if err != nil {
+		return err
+	}
+	doc := struct {
+		Cmd       string   `json:"cmd"`
+		Figures   []string `json:"figures"`
+		Quick     bool     `json:"quick"`
+		Seed      int64    `json:"seed"`
+		CPUs      int      `json:"cpus"`
+		JobsSeq   int      `json:"jobs_sequential"`
+		WallSeqMS float64  `json:"wall_sequential_ms"`
+		JobsPar   int      `json:"jobs_parallel"`
+		WallParMS float64  `json:"wall_parallel_ms"`
+		Speedup   float64  `json:"speedup"`
+	}{
+		Cmd: "figures -bench-sweep", Figures: names, Quick: o.Quick, Seed: o.Seed,
+		CPUs: runtime.NumCPU(), JobsSeq: 1, WallSeqMS: float64(seq.Milliseconds()),
+		JobsPar: parJobs, WallParMS: float64(par.Milliseconds()),
+		Speedup: float64(seq) / float64(par),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(doc)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "figures: sweep baseline %s: seq=%v jobs=%d par=%v speedup=%.2fx\n",
+			path, seq.Round(time.Millisecond), parJobs, par.Round(time.Millisecond), doc.Speedup)
+	}
+	return err
 }
 
 func fail(err error) {
@@ -103,9 +205,9 @@ func fail(err error) {
 }
 
 func table(header string) (*tabwriter.Writer, func()) {
-	fmt.Println()
-	fmt.Println(header)
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, header)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	return w, func() { w.Flush() }
 }
 

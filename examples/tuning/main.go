@@ -4,7 +4,9 @@
 //
 // Too-frequent waves waste time synchronizing and shipping images;
 // too-rare waves lose large amounts of work at each rollback.  This
-// example sweeps the interval for a fixed failure rate and prints the
+// example sweeps the interval for a fixed failure rate with
+// ftckpt.Sweep — the points are independent simulations, so they run
+// concurrently and still come back in input order — and prints the
 // resulting completion times.
 package main
 
@@ -29,21 +31,28 @@ func main() {
 		Seed:     5,
 	}
 
+	intervals := []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 800 * time.Millisecond, 1600 * time.Millisecond,
+	}
+	points := make([]ftckpt.Options, len(intervals))
+	for i, iv := range intervals {
+		points[i] = base
+		points[i].Interval = iv
+	}
+
+	reps, err := ftckpt.Sweep(points, ftckpt.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("CG class A under random failures (MTTF %v), blocking checkpointing\n\n", mttf)
 	fmt.Printf("%-10s %14s %7s %9s\n", "interval", "completion", "waves", "restarts")
 
 	best := time.Duration(0)
 	var bestIv time.Duration
-	for _, iv := range []time.Duration{
-		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
-		400 * time.Millisecond, 800 * time.Millisecond, 1600 * time.Millisecond,
-	} {
-		o := base
-		o.Interval = iv
-		rep, err := ftckpt.Run(o)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, rep := range reps {
+		iv := intervals[i]
 		fmt.Printf("%-10v %14v %7d %9d\n", iv, rep.Completion, rep.Waves, rep.Restarts)
 		if best == 0 || rep.Completion < best {
 			best, bestIv = rep.Completion, iv

@@ -18,6 +18,7 @@
 package ftckpt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"ftckpt/internal/mpi"
 	"ftckpt/internal/nas"
 	"ftckpt/internal/platform"
+	"ftckpt/internal/sweep"
 )
 
 // Failure schedules the kill of one rank at a virtual time.
@@ -141,6 +143,61 @@ func Run(o Options) (Report, error) {
 		rep.Checksum = checksum(progs[0])
 	}
 	return rep, nil
+}
+
+// SweepOptions tunes a Sweep.
+type SweepOptions struct {
+	// Jobs caps how many points run concurrently (each point is one full
+	// simulation).  0 means runtime.NumCPU(); 1 reproduces a plain
+	// sequential loop of Run calls exactly.
+	Jobs int
+	// Metrics, when set, receives every point's counters, gauges and
+	// histograms, merged deterministically in point order after all
+	// points finish — byte-identical to sequential runs sharing one
+	// registry.
+	Metrics *Metrics
+	// Trace, when set, receives the points' Verbose progress lines,
+	// serialized in point order so concurrent points never interleave
+	// (points with a nil Verbose stay silent).
+	Trace func(format string, args ...any)
+}
+
+// Sweep runs several independent jobs concurrently and returns their
+// reports in input order — the batch counterpart of Run for parameter
+// grids (checkpoint interval × MTTF, size sweeps, protocol comparisons).
+// Each point runs against a private metrics registry (any Options.Metrics
+// on a point is ignored — sharing a registry across concurrent runs is a
+// data race), folded into o.Metrics afterwards.  Reports, merged metrics
+// and trace output are byte-identical for any Jobs value with the same
+// seeds.  The first point error cancels the remaining unstarted points
+// and is returned, naming the point.
+func Sweep(points []Options, o SweepOptions) ([]Report, error) {
+	regs := make([]*Metrics, len(points))
+	reps, err := sweep.Run(context.Background(), points,
+		func(_ context.Context, i int, p Options, trace sweep.Tracef) (Report, error) {
+			if o.Metrics != nil {
+				regs[i] = NewMetrics()
+			}
+			p.Metrics = regs[i]
+			if o.Trace != nil && p.Verbose != nil {
+				// Route the run's progress lines through the ordered sink
+				// instead of calling the point's own func from a worker.
+				p.Verbose = trace
+			}
+			rep, err := Run(p)
+			if err != nil {
+				return Report{}, fmt.Errorf("ftckpt: sweep point %d (np=%d proto=%q interval=%v): %w",
+					i, p.NP, p.Protocol, p.Interval, err)
+			}
+			return rep, nil
+		}, sweep.Opts{Jobs: o.Jobs, Trace: sweep.Tracef(o.Trace)})
+	if err != nil {
+		return nil, err
+	}
+	for _, reg := range regs {
+		o.Metrics.Merge(reg)
+	}
+	return reps, nil
 }
 
 func checksum(p mpi.Program) float64 {

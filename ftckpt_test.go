@@ -1,6 +1,8 @@
 package ftckpt
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
@@ -104,6 +106,71 @@ func TestRunMlogRecovery(t *testing.T) {
 	}
 	if rep.LoggedMessages == 0 {
 		t.Fatal("no messages logged")
+	}
+}
+
+func TestSweepMatchesSequential(t *testing.T) {
+	points := []Options{
+		{Workload: "cg-real", NP: 4, Seed: 1},
+		{Workload: "cg-real", NP: 4, Protocol: "pcl", Interval: 4 * time.Millisecond, Servers: 2, Seed: 1},
+		{Workload: "cg-real", NP: 4, Protocol: "pcl", Interval: 8 * time.Millisecond, Servers: 2, Seed: 1},
+		{Workload: "cg-real", NP: 4, Protocol: "vcl", Interval: 8 * time.Millisecond, Servers: 2, Seed: 1},
+	}
+
+	// Sequential ground truth: a plain loop of Run calls sharing one
+	// registry.
+	seqReg := NewMetrics()
+	var seqReps []Report
+	for _, p := range points {
+		p.Metrics = seqReg
+		rep, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqReps = append(seqReps, rep)
+	}
+
+	parReg := NewMetrics()
+	parReps, err := Sweep(points, SweepOptions{Jobs: 4, Metrics: parReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reports must match field for field.  The Metrics pointers differ by
+	// construction (shared registry vs per-point registries), so blank
+	// them before comparing.
+	for i := range seqReps {
+		seqReps[i].Metrics = nil
+		parReps[i].Metrics = nil
+	}
+	if !reflect.DeepEqual(seqReps, parReps) {
+		t.Errorf("reports differ:\nseq: %+v\npar: %+v", seqReps, parReps)
+	}
+
+	var seqJSON, parJSON strings.Builder
+	if err := seqReg.WriteJSON(&seqJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := parReg.WriteJSON(&parJSON); err != nil {
+		t.Fatal(err)
+	}
+	if seqJSON.String() != parJSON.String() {
+		t.Errorf("merged sweep metrics differ from shared-registry sequential metrics:\nseq: %s\npar: %s",
+			seqJSON.String(), parJSON.String())
+	}
+}
+
+func TestSweepErrorNamesPoint(t *testing.T) {
+	points := []Options{
+		{Workload: "cg-real", NP: 4, Seed: 1},
+		{Workload: "nope", NP: 4, Seed: 1},
+	}
+	_, err := Sweep(points, SweepOptions{Jobs: 2})
+	if err == nil {
+		t.Fatal("bad point accepted")
+	}
+	if !strings.Contains(err.Error(), "sweep point 1") {
+		t.Fatalf("error does not name the point: %v", err)
 	}
 }
 

@@ -7,7 +7,9 @@
 package expt
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"ftckpt/internal/ftpm"
 	"ftckpt/internal/mpi"
@@ -16,6 +18,7 @@ import (
 	"ftckpt/internal/platform"
 	"ftckpt/internal/sim"
 	"ftckpt/internal/simnet"
+	"ftckpt/internal/sweep"
 )
 
 // Options tunes a harness run.
@@ -31,6 +34,17 @@ type Options struct {
 	// Metrics, when set, aggregates every run of the harness into one
 	// observability registry (cmd/figures dumps it next to each figure).
 	Metrics *obs.Metrics
+	// Jobs caps how many sweep points run concurrently (each point is one
+	// or more full simulations); 0 or 1 runs the classic sequential sweep.
+	// Rows, trace output and exported metrics are byte-identical for any
+	// Jobs value with the same seed.
+	Jobs int
+
+	// point labels the sweep point a run belongs to ("fig6 interval=10s
+	// np=64"), for deadline/error reporting; set by runSweep.
+	point string
+	// maxTime overrides the derived per-run deadline (test hook).
+	maxTime sim.Time
 }
 
 func (o Options) tracef(format string, args ...any) {
@@ -88,12 +102,79 @@ func newCG(class nas.CGClassSpec) func(rank, size int) mpi.Program {
 	return func(rank, size int) mpi.Program { return nas.NewCGModel(class, rank, size) }
 }
 
-// run executes one configured job, folding its metrics into the harness
-// registry when one is attached.
+// deadline bounds one run's virtual time.  A regressed protocol deadlock
+// does not exhaust the event heap — wave timers keep re-arming — so
+// without a bound a deadlocked run advances virtual time forever and
+// hangs cmd/figures silently.  The budget is derived from the workload
+// class: the serial compute estimate of the heavier class a harness may
+// run (worst case np=1), with an 8x slack factor covering checkpoint
+// overhead, restart episodes and grid WAN synchronization.  No healthy
+// run gets anywhere near it.
+func (o Options) deadline() sim.Time {
+	if o.maxTime != 0 {
+		return o.maxTime
+	}
+	serialFlops := o.btClass().Flops
+	if f := o.cgClass().Flops; f > serialFlops {
+		serialFlops = f
+	}
+	d := sim.Time(serialFlops / nas.EffectiveFlopRate * float64(time.Second))
+	if d < time.Minute {
+		d = time.Minute
+	}
+	return 8 * d
+}
+
+// run executes one configured job under the harness deadline, folding its
+// metrics into the harness registry when one is attached.  A run that
+// exceeds the deadline returns an error naming the sweep point (figure,
+// np, interval) instead of hanging the harness.
 func (o Options) run(cfg ftpm.Config) (ftpm.Result, error) {
-	cfg.Deadline = 0
+	cfg.Deadline = o.deadline()
 	cfg.Metrics = o.Metrics
-	return ftpm.Run(cfg)
+	res, err := ftpm.Run(cfg)
+	if err != nil {
+		point := o.point
+		if point == "" {
+			point = "run"
+		}
+		proto := cfg.Protocol
+		if proto == "" {
+			proto = ftpm.ProtoNone
+		}
+		return res, fmt.Errorf("%s (np=%d proto=%s interval=%v): %w",
+			point, cfg.NP, proto, cfg.Interval, err)
+	}
+	return res, nil
+}
+
+// runSweep fans a harness's independent sweep points over o.Jobs workers
+// (each point runs one or more full simulations).  The sequential
+// contract is preserved: results come back in input order, each point
+// runs against a private metrics registry merged deterministically into
+// o.Metrics after the barrier, and per-point trace lines are serialized
+// in input order — so rows, -v output and exported metrics are
+// byte-identical to a Jobs=1 run with the same seed.
+func runSweep[P, R any](o Options, points []P, label func(P) string, fn func(Options, P) (R, error)) ([]R, error) {
+	regs := make([]*obs.Metrics, len(points))
+	out, err := sweep.Run(context.Background(), points,
+		func(_ context.Context, i int, p P, trace sweep.Tracef) (R, error) {
+			po := o
+			po.Trace = trace
+			po.point = label(p)
+			if o.Metrics != nil {
+				regs[i] = obs.NewMetrics()
+				po.Metrics = regs[i]
+			}
+			return fn(po, p)
+		}, sweep.Opts{Jobs: o.Jobs, Trace: sweep.Tracef(o.Trace)})
+	if err != nil {
+		return nil, err
+	}
+	for _, reg := range regs {
+		o.Metrics.Merge(reg)
+	}
+	return out, nil
 }
 
 // FmtTime renders a virtual duration in seconds for table output.

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"fmt"
 	"time"
 
 	"ftckpt/internal/ftpm"
@@ -44,31 +45,31 @@ func Fig5(o Options) ([]Fig5Row, error) {
 			Seed:         o.Seed,
 		}
 	}
-	var rows []Fig5Row
-	for _, servers := range []int{1, 2, 4, 8} {
-		row := Fig5Row{Servers: servers}
+	return runSweep(o, []int{1, 2, 4, 8},
+		func(servers int) string { return fmt.Sprintf("fig5 servers=%d", servers) },
+		func(o Options, servers int) (Fig5Row, error) {
+			row := Fig5Row{Servers: servers}
 
-		cfg := topo(servers)
-		cfg.Protocol = ftpm.ProtoPcl
-		cfg.Profile = pclSockProfile()
-		res, err := o.run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		row.PclTime, row.PclWaves = res.Completion, res.WavesCommitted
+			cfg := topo(servers)
+			cfg.Protocol = ftpm.ProtoPcl
+			cfg.Profile = pclSockProfile()
+			res, err := o.run(cfg)
+			if err != nil {
+				return row, err
+			}
+			row.PclTime, row.PclWaves = res.Completion, res.WavesCommitted
 
-		cfg = topo(servers)
-		cfg.Protocol = ftpm.ProtoVcl
-		cfg.Profile = vclProfile()
-		res, err = o.run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		row.VclTime, row.VclWaves = res.Completion, res.WavesCommitted
+			cfg = topo(servers)
+			cfg.Protocol = ftpm.ProtoVcl
+			cfg.Profile = vclProfile()
+			res, err = o.run(cfg)
+			if err != nil {
+				return row, err
+			}
+			row.VclTime, row.VclWaves = res.Completion, res.WavesCommitted
 
-		o.tracef("fig5 servers=%d pcl=%v/%dw vcl=%v/%dw",
-			servers, row.PclTime, row.PclWaves, row.VclTime, row.VclWaves)
-		rows = append(rows, row)
-	}
-	return rows, nil
+			o.tracef("fig5 servers=%d pcl=%v/%dw vcl=%v/%dw",
+				servers, row.PclTime, row.PclWaves, row.VclTime, row.VclWaves)
+			return row, nil
+		})
 }

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"fmt"
 	"time"
 
 	"ftckpt/internal/ftpm"
@@ -54,9 +55,20 @@ func Fig6(o Options) ([]Fig6Row, error) {
 	if o.Quick {
 		intervals = []sim.Time{10 * time.Second, 60 * time.Second}
 	}
-	var rows []Fig6Row
+	type point struct {
+		iv sim.Time
+		np int
+	}
+	var points []point
 	for _, iv := range intervals {
 		for _, np := range fig6Sizes(o.Quick) {
+			points = append(points, point{iv, np})
+		}
+	}
+	return runSweep(o, points,
+		func(p point) string { return fmt.Sprintf("fig6 interval=%v np=%d", p.iv, p.np) },
+		func(o Options, p point) (Fig6Row, error) {
+			iv, np := p.iv, p.np
 			ppn := Fig6PPN(np)
 			base := ftpm.Config{
 				NP:           np,
@@ -72,7 +84,7 @@ func Fig6(o Options) ([]Fig6Row, error) {
 			cfg.Profile = pclSockProfile()
 			res, err := o.run(cfg)
 			if err != nil {
-				return nil, err
+				return row, err
 			}
 			row.None = res.Completion
 
@@ -81,7 +93,7 @@ func Fig6(o Options) ([]Fig6Row, error) {
 			cfg.Profile = pclSockProfile()
 			cfg.Interval = o.scaleInterval(iv)
 			if res, err = o.run(cfg); err != nil {
-				return nil, err
+				return row, err
 			}
 			row.Pcl, row.PclWaves = res.Completion, res.WavesCommitted
 
@@ -90,14 +102,12 @@ func Fig6(o Options) ([]Fig6Row, error) {
 			cfg.Profile = vclProfile()
 			cfg.Interval = o.scaleInterval(iv)
 			if res, err = o.run(cfg); err != nil {
-				return nil, err
+				return row, err
 			}
 			row.Vcl, row.VclWaves = res.Completion, res.WavesCommitted
 
 			o.tracef("fig6 interval=%v np=%d none=%v pcl=%v(%dw) vcl=%v(%dw)",
 				iv, np, row.None, row.Pcl, row.PclWaves, row.Vcl, row.VclWaves)
-			rows = append(rows, row)
-		}
-	}
-	return rows, nil
+			return row, nil
+		})
 }

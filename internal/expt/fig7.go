@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"fmt"
 	"time"
 
 	"ftckpt/internal/ftpm"
@@ -20,21 +21,20 @@ type Fig7Row struct {
 	Time     sim.Time
 }
 
-// fig7Stacks are the three implementations compared on the high-speed
-// network: both TCP stacks run over the Myrinet Ethernet emulation, the
-// Nemesis stack over native GM.
-func fig7Stacks(nodes int) []struct {
+// fig7Stack is one of the implementations compared on the high-speed
+// network.
+type fig7Stack struct {
 	name  string
 	proto ftpm.Proto
 	topo  simnet.Topology
 	prof  mpi.Profile
-} {
-	return []struct {
-		name  string
-		proto ftpm.Proto
-		topo  simnet.Topology
-		prof  mpi.Profile
-	}{
+}
+
+// fig7Stacks are the three implementations compared on the high-speed
+// network: both TCP stacks run over the Myrinet Ethernet emulation, the
+// Nemesis stack over native GM.
+func fig7Stacks(nodes int) []fig7Stack {
+	return []fig7Stack{
 		{"pcl-sock", ftpm.ProtoPcl, platformMyriTCP(nodes), pclSockProfile()},
 		{"vcl", ftpm.ProtoVcl, platformMyriTCP(nodes), vclProfile()},
 		{"pcl-nemesis", ftpm.ProtoPcl, platformMyriGM(nodes), pclNemesisProfile()},
@@ -62,82 +62,37 @@ func Fig7(o Options) ([]Fig7Row, error) {
 	const np = 64
 	class := o.cgClass()
 	nodes := np/2 + 2 + 1
-	var rows []Fig7Row
+	type point struct {
+		st fig7Stack
+		iv sim.Time
+	}
+	var points []point
 	for _, st := range fig7Stacks(nodes) {
 		for _, iv := range fig7Intervals(o) {
+			points = append(points, point{st, iv})
+		}
+	}
+	return runSweep(o, points,
+		func(p point) string { return fmt.Sprintf("fig7 %s np=%d interval=%v", p.st.name, np, p.iv) },
+		func(o Options, p point) (Fig7Row, error) {
 			cfg := ftpm.Config{
 				NP:           np,
 				ProcsPerNode: 2,
 				Servers:      2,
-				Topology:     st.topo,
-				Profile:      st.prof,
+				Topology:     p.st.topo,
+				Profile:      p.st.prof,
 				NewProgram:   newCG(class),
 				Seed:         o.Seed,
 			}
-			if iv > 0 {
-				cfg.Protocol = st.proto
-				cfg.Interval = o.scaleInterval(iv)
+			if p.iv > 0 {
+				cfg.Protocol = p.st.proto
+				cfg.Interval = o.scaleInterval(p.iv)
 			}
 			res, err := o.run(cfg)
 			if err != nil {
-				return nil, err
+				return Fig7Row{}, err
 			}
-			rows = append(rows, Fig7Row{Stack: st.name, Interval: iv, Waves: res.WavesCommitted, Time: res.Completion})
-			o.tracef("fig7 %s interval=%v waves=%d time=%v", st.name, iv, res.WavesCommitted, res.Completion)
-		}
-	}
-	return rows, nil
-}
-
-// Fig8Row is one run of Fig. 8: CG class C at varying process counts on
-// the Myrinet cluster, Pcl/Nemesis only.
-type Fig8Row struct {
-	NP       int
-	PPN      int
-	Interval sim.Time
-	Waves    int
-	Time     sim.Time
-}
-
-// Fig8 reproduces "Impact of the size of the system for varying number of
-// checkpoint waves over high speed network".  Expected shape: completion
-// time grows linearly with the wave count at every size with roughly the
-// same slope — the checkpoint frequency matters, the process count does
-// not; 32 and 64 processes perform alike because two processes share each
-// NIC.
-func Fig8(o Options) ([]Fig8Row, error) {
-	class := o.cgClass()
-	sizes := []int{4, 8, 16, 32, 64}
-	if o.Quick {
-		sizes = []int{4, 16, 64}
-	}
-	var rows []Fig8Row
-	for _, np := range sizes {
-		ppn := 1
-		if np >= 32 {
-			ppn = 2 // dual-processor deployments share the NIC
-		}
-		for _, iv := range fig7Intervals(o) {
-			cfg := ftpm.Config{
-				NP:           np,
-				ProcsPerNode: ppn,
-				Servers:      2,
-				Topology:     platformMyriGM((np+ppn-1)/ppn + 3),
-				Profile:      pclNemesisProfile(),
-				NewProgram:   newCG(class),
-				Seed:         o.Seed,
-			}
-			if iv > 0 {
-				cfg.Protocol = ftpm.ProtoPcl
-				cfg.Interval = o.scaleInterval(iv)
-			}
-			res, err := o.run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig8Row{NP: np, PPN: ppn, Interval: iv, Waves: res.WavesCommitted, Time: res.Completion})
-			o.tracef("fig8 np=%d interval=%v waves=%d time=%v", np, iv, res.WavesCommitted, res.Completion)
-		}
-	}
-	return rows, nil
+			o.tracef("fig7 %s interval=%v waves=%d time=%v", p.st.name, p.iv, res.WavesCommitted, res.Completion)
+			return Fig7Row{Stack: p.st.name, Interval: p.iv, Waves: res.WavesCommitted, Time: res.Completion}, nil
+		})
 }

@@ -1,0 +1,70 @@
+package expt
+
+import (
+	"fmt"
+
+	"ftckpt/internal/ftpm"
+	"ftckpt/internal/sim"
+)
+
+// Fig8Row is one run of Fig. 8: CG class C at varying process counts on
+// the Myrinet cluster, Pcl/Nemesis only.
+type Fig8Row struct {
+	NP       int
+	PPN      int
+	Interval sim.Time
+	Waves    int
+	Time     sim.Time
+}
+
+// Fig8 reproduces "Impact of the size of the system for varying number of
+// checkpoint waves over high speed network".  Expected shape: completion
+// time grows linearly with the wave count at every size with roughly the
+// same slope — the checkpoint frequency matters, the process count does
+// not; 32 and 64 processes perform alike because two processes share each
+// NIC.  The interval sweep is fig7's (the figures share an x-axis).
+func Fig8(o Options) ([]Fig8Row, error) {
+	class := o.cgClass()
+	sizes := []int{4, 8, 16, 32, 64}
+	if o.Quick {
+		sizes = []int{4, 16, 64}
+	}
+	type point struct {
+		np int
+		iv sim.Time
+	}
+	var points []point
+	for _, np := range sizes {
+		for _, iv := range fig7Intervals(o) {
+			points = append(points, point{np, iv})
+		}
+	}
+	return runSweep(o, points,
+		func(p point) string { return fmt.Sprintf("fig8 np=%d interval=%v", p.np, p.iv) },
+		func(o Options, p point) (Fig8Row, error) {
+			np, iv := p.np, p.iv
+			ppn := 1
+			if np >= 32 {
+				ppn = 2 // dual-processor deployments share the NIC
+			}
+			cfg := ftpm.Config{
+				NP:           np,
+				ProcsPerNode: ppn,
+				Servers:      2,
+				Topology:     platformMyriGM((np+ppn-1)/ppn + 3),
+				Profile:      pclNemesisProfile(),
+				NewProgram:   newCG(class),
+				Seed:         o.Seed,
+			}
+			if iv > 0 {
+				cfg.Protocol = ftpm.ProtoPcl
+				cfg.Interval = o.scaleInterval(iv)
+			}
+			res, err := o.run(cfg)
+			if err != nil {
+				return Fig8Row{}, err
+			}
+			o.tracef("fig8 np=%d interval=%v waves=%d time=%v", np, iv, res.WavesCommitted, res.Completion)
+			return Fig8Row{NP: np, PPN: ppn, Interval: iv, Waves: res.WavesCommitted, Time: res.Completion}, nil
+		})
+}

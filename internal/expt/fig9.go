@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"fmt"
 	"time"
 
 	"ftckpt/internal/ftpm"
@@ -55,24 +56,24 @@ func Fig9(o Options) ([]Fig9Row, error) {
 		// still fit several waves after scaleInterval's /10.
 		intervals = []sim.Time{0, 8 * time.Second, 4 * time.Second}
 	}
-	var rows []Fig9Row
-	for _, iv := range intervals {
-		cfg, err := gridConfig(np, o)
-		if err != nil {
-			return nil, err
-		}
-		if iv > 0 {
-			cfg.Protocol = ftpm.ProtoPcl
-			cfg.Interval = o.scaleInterval(iv)
-		}
-		res, err := o.run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Fig9Row{Interval: iv, Waves: res.WavesCommitted, Time: res.Completion})
-		o.tracef("fig9 interval=%v waves=%d time=%v", iv, res.WavesCommitted, res.Completion)
-	}
-	return rows, nil
+	return runSweep(o, intervals,
+		func(iv sim.Time) string { return fmt.Sprintf("fig9 np=%d interval=%v", np, iv) },
+		func(o Options, iv sim.Time) (Fig9Row, error) {
+			cfg, err := gridConfig(np, o)
+			if err != nil {
+				return Fig9Row{}, err
+			}
+			if iv > 0 {
+				cfg.Protocol = ftpm.ProtoPcl
+				cfg.Interval = o.scaleInterval(iv)
+			}
+			res, err := o.run(cfg)
+			if err != nil {
+				return Fig9Row{}, err
+			}
+			o.tracef("fig9 interval=%v waves=%d time=%v", iv, res.WavesCommitted, res.Completion)
+			return Fig9Row{Interval: iv, Waves: res.WavesCommitted, Time: res.Completion}, nil
+		})
 }
 
 // Fig10Row is one process count of Fig. 10: BT class B over the grid,
@@ -95,36 +96,36 @@ func Fig10(o Options) ([]Fig10Row, error) {
 	if o.Quick {
 		sizes = []int{100, 256}
 	}
-	var rows []Fig10Row
-	for _, np := range sizes {
-		cfg, err := gridConfig(np, o)
-		if err != nil {
-			return nil, err
-		}
-		res, err := o.run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		row := Fig10Row{NP: np, NoCkpt: res.Completion}
+	return runSweep(o, sizes,
+		func(np int) string { return fmt.Sprintf("fig10 np=%d", np) },
+		func(o Options, np int) (Fig10Row, error) {
+			cfg, err := gridConfig(np, o)
+			if err != nil {
+				return Fig10Row{}, err
+			}
+			res, err := o.run(cfg)
+			if err != nil {
+				return Fig10Row{}, err
+			}
+			row := Fig10Row{NP: np, NoCkpt: res.Completion}
 
-		cfg, err = gridConfig(np, o)
-		if err != nil {
-			return nil, err
-		}
-		cfg.Protocol = ftpm.ProtoPcl
-		// The paper's 60 s interval, divided by the grid calibration
-		// factor of ten (see Fig9).
-		iv := 6 * time.Second
-		if o.Quick {
-			iv = 8 * time.Second // scaleInterval divides by ten again
-		}
-		cfg.Interval = o.scaleInterval(iv)
-		if res, err = o.run(cfg); err != nil {
-			return nil, err
-		}
-		row.Ckpt60, row.Waves = res.Completion, res.WavesCommitted
-		rows = append(rows, row)
-		o.tracef("fig10 np=%d none=%v ckpt=%v waves=%d", np, row.NoCkpt, row.Ckpt60, row.Waves)
-	}
-	return rows, nil
+			cfg, err = gridConfig(np, o)
+			if err != nil {
+				return row, err
+			}
+			cfg.Protocol = ftpm.ProtoPcl
+			// The paper's 60 s interval, divided by the grid calibration
+			// factor of ten (see Fig9).
+			iv := 6 * time.Second
+			if o.Quick {
+				iv = 8 * time.Second // scaleInterval divides by ten again
+			}
+			cfg.Interval = o.scaleInterval(iv)
+			if res, err = o.run(cfg); err != nil {
+				return row, err
+			}
+			row.Ckpt60, row.Waves = res.Completion, res.WavesCommitted
+			o.tracef("fig10 np=%d none=%v ckpt=%v waves=%d", np, row.NoCkpt, row.Ckpt60, row.Waves)
+			return row, nil
+		})
 }

@@ -28,26 +28,26 @@ var NetpipeSizes = []int64{1, 1 << 10, 32 << 10, 1 << 20, 8 << 20}
 // nodes of two distinct clusters; the latency is up to two orders of
 // magnitude greater between clusters".
 func Netpipe(o Options) ([]NetpipeRow, error) {
-	var rows []NetpipeRow
-	for _, size := range NetpipeSizes {
-		intra, err := pingpong(o, size, 0, 1) // two Bordeaux nodes
-		if err != nil {
-			return nil, err
-		}
-		inter, err := pingpong(o, size, 0, 60) // Bordeaux ↔ Lille
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, NetpipeRow{
-			Size:     size,
-			IntraRTT: intra / 2,
-			InterRTT: inter / 2,
-			IntraBW:  bwMBs(size, intra),
-			InterBW:  bwMBs(size, inter),
+	return runSweep(o, NetpipeSizes,
+		func(size int64) string { return fmt.Sprintf("netpipe size=%d", size) },
+		func(o Options, size int64) (NetpipeRow, error) {
+			intra, err := pingpong(o, size, 0, 1) // two Bordeaux nodes
+			if err != nil {
+				return NetpipeRow{}, err
+			}
+			inter, err := pingpong(o, size, 0, 60) // Bordeaux ↔ Lille
+			if err != nil {
+				return NetpipeRow{}, err
+			}
+			o.tracef("netpipe size=%d intra=%v inter=%v", size, intra/2, inter/2)
+			return NetpipeRow{
+				Size:     size,
+				IntraRTT: intra / 2,
+				InterRTT: inter / 2,
+				IntraBW:  bwMBs(size, intra),
+				InterBW:  bwMBs(size, inter),
+			}, nil
 		})
-		o.tracef("netpipe size=%d intra=%v inter=%v", size, intra/2, inter/2)
-	}
-	return rows, nil
 }
 
 func bwMBs(size int64, rtt sim.Time) float64 {

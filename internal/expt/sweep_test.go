@@ -1,0 +1,71 @@
+package expt
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ftckpt/internal/obs"
+)
+
+// fig6Capture runs the quick Fig. 6 sweep at the given job count,
+// returning rows, the trace transcript and the exported metrics bytes.
+func fig6Capture(t *testing.T, jobs int) ([]Fig6Row, []string, string) {
+	t.Helper()
+	o := quick()
+	o.Jobs = jobs
+	o.Metrics = obs.NewMetrics()
+	var lines []string
+	o.Trace = func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	rows, err := Fig6(o)
+	if err != nil {
+		t.Fatalf("jobs=%d: %v", jobs, err)
+	}
+	var b strings.Builder
+	if err := o.Metrics.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return rows, lines, b.String()
+}
+
+// TestFig6ParallelMatchesSequential is the acceptance check for the
+// parallel sweep executor: a Jobs=8 run must reproduce a Jobs=1 run
+// byte for byte — same rows, same trace transcript, same exported
+// metrics.
+func TestFig6ParallelMatchesSequential(t *testing.T) {
+	seqRows, seqTrace, seqMetrics := fig6Capture(t, 1)
+	parRows, parTrace, parMetrics := fig6Capture(t, 8)
+	if !reflect.DeepEqual(seqRows, parRows) {
+		t.Errorf("rows differ:\nseq: %+v\npar: %+v", seqRows, parRows)
+	}
+	if !reflect.DeepEqual(seqTrace, parTrace) {
+		t.Errorf("trace transcripts differ:\nseq: %q\npar: %q", seqTrace, parTrace)
+	}
+	if seqMetrics != parMetrics {
+		t.Errorf("exported metrics differ:\nseq: %s\npar: %s", seqMetrics, parMetrics)
+	}
+}
+
+// TestDeadlineErrorNamesPoint forces every run over its virtual-time
+// budget (maxTime test hook) and checks the failure is a descriptive
+// error naming the offending sweep point — not a hang, not a bare
+// deadline message.
+func TestDeadlineErrorNamesPoint(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		o := quick()
+		o.Jobs = jobs
+		o.maxTime = 1 // one virtual nanosecond: nothing finishes
+		_, err := Fig6(o)
+		if err == nil {
+			t.Fatalf("jobs=%d: sweep succeeded under a 1ns deadline", jobs)
+		}
+		for _, want := range []string{"fig6", "np=", "interval=", "proto=", "deadline"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("jobs=%d: error %q does not mention %q", jobs, err, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMergeMatchesSharedRegistry proves the determinism contract: merging
+// per-run registries in run order produces byte-for-byte the registry a
+// sequential sweep sharing one registry would have accumulated.
+func TestMergeMatchesSharedRegistry(t *testing.T) {
+	type op func(m *Metrics)
+	runs := [][]op{
+		{
+			func(m *Metrics) { m.Add("msgs", 3) },
+			func(m *Metrics) { m.Observe("span", 5*time.Microsecond) },
+			func(m *Metrics) { m.Observe("span", 90*time.Second) }, // overflow bucket
+			func(m *Metrics) { m.Set("done", 1) },
+			func(m *Metrics) { m.Touch("idle") },
+		},
+		{
+			func(m *Metrics) { m.Add("msgs", 4) },
+			func(m *Metrics) { m.Observe("span", 2*time.Microsecond) }, // new global min
+			func(m *Metrics) { m.Observe("other", 3*time.Millisecond) },
+			func(m *Metrics) { m.Set("done", 2) },
+			func(m *Metrics) { m.TouchHist("empty") },
+		},
+		{
+			func(m *Metrics) { m.Observe("span", 200*time.Second) }, // new global max
+			func(m *Metrics) { m.Set("done", 3) },
+		},
+	}
+
+	shared := NewMetrics()
+	for _, run := range runs {
+		for _, o := range run {
+			o(shared)
+		}
+	}
+
+	merged := NewMetrics()
+	for _, run := range runs {
+		private := NewMetrics()
+		for _, o := range run {
+			o(private)
+		}
+		merged.Merge(private)
+	}
+
+	var a, b strings.Builder
+	if err := shared.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("merged registry differs from shared registry:\nshared: %s\nmerged: %s", a.String(), b.String())
+	}
+}
+
+func TestMergeHistExactExtremaAndBuckets(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	a.Observe("h", 10*time.Millisecond)
+	a.Observe("h", 20*time.Millisecond)
+	b.Observe("h", time.Microsecond) // min lives in the second registry
+	b.Observe("h", time.Minute)      // so does the max
+
+	m := NewMetrics()
+	m.Merge(a)
+	m.Merge(b)
+	h := m.Hist("h")
+	if h.Count != 4 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	if h.Min != time.Microsecond || h.Max != time.Minute {
+		t.Fatalf("extrema not combined exactly: min=%v max=%v", h.Min, h.Max)
+	}
+	if h.Sum != 10*time.Millisecond+20*time.Millisecond+time.Microsecond+time.Minute {
+		t.Fatalf("sum = %v", h.Sum)
+	}
+	var n int64
+	for _, c := range h.Buckets {
+		n += c
+	}
+	if n != 4 {
+		t.Fatalf("bucket counts not merged: %v", h.Buckets)
+	}
+}
+
+func TestMergeIntoEmptyPreservesSchema(t *testing.T) {
+	src := NewMetrics()
+	src.Touch("zero.counter")
+	src.TouchHist("zero.hist")
+	dst := NewMetrics()
+	dst.Merge(src)
+	if dst.Hist("zero.hist") == nil {
+		t.Fatal("touched histogram lost in merge")
+	}
+	var out strings.Builder
+	if err := dst.WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"zero.counter", "zero.hist"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("export lost %q: %s", want, out.String())
+		}
+	}
+}
+
+func TestMergeNilSafety(t *testing.T) {
+	var nilM *Metrics
+	nilM.Merge(NewMetrics()) // must not panic
+	m := NewMetrics()
+	m.Merge(nil)
+	m.Add("c", 1)
+	if m.Counter("c") != 1 {
+		t.Fatal("registry corrupted by nil merge")
+	}
+}

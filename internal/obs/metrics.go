@@ -60,11 +60,42 @@ func (h *Hist) Mean() sim.Time {
 	return h.Sum / sim.Time(h.Count)
 }
 
+// merge folds other into h exactly: counts, sums and per-bucket tallies
+// add, and the extrema are combined (never recomputed from means), so
+// merging the histograms of several runs reproduces the histogram one
+// shared registry would have accumulated observing the same durations.
+func (h *Hist) merge(other *Hist) {
+	if other.Count > 0 {
+		if h.Count == 0 {
+			h.Min, h.Max = other.Min, other.Max
+		} else {
+			if other.Min < h.Min {
+				h.Min = other.Min
+			}
+			if other.Max > h.Max {
+				h.Max = other.Max
+			}
+		}
+	}
+	h.Count += other.Count
+	h.Sum += other.Sum
+	for i, n := range other.Buckets {
+		h.Buckets[i] += n
+	}
+}
+
 // Metrics is the registry: counters, gauges and virtual-time histograms
 // keyed by dotted names (e.g. "vcl.logged_bytes", "wave.spread").  All
 // methods are safe on a nil receiver (no-ops), so optional instrumentation
-// costs one nil check.  All access runs in simulation context; exports are
-// deterministic (keys sorted).
+// costs one nil check.  Exports are deterministic (keys sorted).
+//
+// A registry is single-writer: it has no internal synchronization, so all
+// writes must come from the one simulation (or goroutine) that owns it.
+// To aggregate across concurrent runs — the sweep harnesses, ftckpt.Sweep
+// — give every run a private registry and fold the per-run registries
+// into the aggregate with Merge after each run has completed; merging in
+// run order reproduces exactly the registry a sequential sweep sharing
+// one registry would have produced.
 type Metrics struct {
 	counters map[string]int64
 	gauges   map[string]float64
@@ -147,6 +178,33 @@ func (m *Metrics) Hist(name string) *Hist {
 		return nil
 	}
 	return m.hists[name]
+}
+
+// Merge folds every counter, gauge and histogram of other into m.
+// Counters and histogram tallies combine exactly (sums add; histogram
+// min/max and bucket counts merge, never recomputed from means); gauges
+// take other's value, so merging per-run registries in run order matches
+// the last-write-wins outcome of sequential runs sharing one registry.
+// Merge must only be called after the run owning other has completed (see
+// the single-writer note on Metrics).  A nil m or other is a no-op.
+func (m *Metrics) Merge(other *Metrics) {
+	if m == nil || other == nil {
+		return
+	}
+	for name, v := range other.counters {
+		m.counters[name] += v
+	}
+	for name, v := range other.gauges {
+		m.gauges[name] = v
+	}
+	for name, oh := range other.hists {
+		h, ok := m.hists[name]
+		if !ok {
+			h = newHist()
+			m.hists[name] = h
+		}
+		h.merge(oh)
+	}
 }
 
 // histJSON is the export shape of one histogram.

@@ -1,0 +1,163 @@
+// Package sweep provides a worker-pool executor for embarrassingly
+// parallel simulation sweeps.  The paper's evaluation (Figs. 5–10) is a
+// grid of independent (protocol, interval, np) points, each a full
+// deterministic simulation; sweep.Run fans those points over OS threads
+// while preserving the sequential contract:
+//
+//   - results are returned in input order;
+//   - the first point error cancels the remaining unstarted points and is
+//     returned (preferring real failures over cancellation fallout);
+//   - per-point trace lines are buffered and flushed through one ordered
+//     sink in input order, so verbose output never interleaves.
+//
+// Points must not share mutable state: each point runs its own simulation
+// kernel and, when metrics are wanted, its own obs.Metrics registry.  The
+// caller folds per-point registries together afterwards with
+// obs.Metrics.Merge, in input order, which reproduces a sequential run's
+// registry exactly.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Tracef receives formatted progress lines.
+type Tracef func(format string, args ...any)
+
+// Opts tunes an executor run.
+type Opts struct {
+	// Jobs caps how many points run concurrently.  0 (or negative) means
+	// runtime.NumCPU(); 1 reproduces a plain sequential loop.
+	Jobs int
+	// Trace is the ordered sink for per-point trace lines (nil discards
+	// them).  Lines a point emits are buffered and replayed in input
+	// order, so output is byte-identical to a sequential run.
+	Trace Tracef
+}
+
+// Func is the per-point work function.  It receives the point's input
+// index, the point itself, and a trace function whose lines are
+// serialized in input order.  fn for different points runs concurrently,
+// so it must not write shared state.
+type Func[P, R any] func(ctx context.Context, i int, p P, trace Tracef) (R, error)
+
+// Run executes fn for every point and returns the results in input
+// order.  On error it returns the failing point's error (the
+// lowest-indexed real failure when several points fail) and cancels the
+// points that have not started; points already running finish normally.
+func Run[P, R any](ctx context.Context, points []P, fn Func[P, R], o Opts) ([]R, error) {
+	if fn == nil {
+		return nil, errors.New("sweep: fn is nil")
+	}
+	jobs := o.Jobs
+	if jobs <= 0 {
+		jobs = runtime.NumCPU()
+	}
+	if jobs > len(points) {
+		jobs = len(points)
+	}
+	results := make([]R, len(points))
+
+	if jobs <= 1 {
+		// Sequential fast path: lines pass straight through to the sink.
+		trace := o.Trace
+		if trace == nil {
+			trace = func(string, ...any) {}
+		}
+		for i, p := range points {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := fn(ctx, i, p, trace)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(points))
+
+	// The flusher releases buffered trace lines strictly in input order:
+	// point i's lines print only once every point before it has completed
+	// (or been skipped), exactly as a sequential run would emit them.
+	var (
+		mu     sync.Mutex
+		next   int
+		done   = make([]bool, len(points))
+		buffed = make([][]string, len(points))
+	)
+	complete := func(i int, lines []string) {
+		mu.Lock()
+		defer mu.Unlock()
+		buffed[i], done[i] = lines, true
+		for next < len(points) && done[next] {
+			if o.Trace != nil {
+				for _, l := range buffed[next] {
+					o.Trace("%s", l)
+				}
+			}
+			buffed[next] = nil
+			next++
+		}
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					complete(i, nil)
+					continue
+				}
+				var lines []string
+				trace := func(format string, args ...any) {
+					lines = append(lines, fmt.Sprintf(format, args...))
+				}
+				r, err := fn(ctx, i, points[i], trace)
+				if err != nil {
+					errs[i] = err
+					cancel()
+				}
+				results[i] = r
+				complete(i, lines)
+			}
+		}()
+	}
+	for i := range points {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	// Report the lowest-indexed real failure; cancellation errors on
+	// skipped points are only fallout (or the caller's own ctx, when no
+	// point failed at all).
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if first != nil {
+		return nil, first
+	}
+	return results, nil
+}
