@@ -7,6 +7,14 @@
 //	ftrun -bench bt -class B -np 64 -ppn 2 -proto pcl -interval 30s -servers 4
 //	ftrun -bench cg -class C -np 64 -ppn 2 -proto vcl -interval 15s -platform myrinet-tcp
 //	ftrun -bench cg-real -np 8 -proto pcl -interval 5ms -fail-at 20ms -fail-rank 3 -v
+//
+// With -chaos N the run executes under a seeded random failure schedule
+// (rank, node and checkpoint-server kills) and checks the recovery
+// invariants; replication across servers is controlled by -replicas and
+// -quorum, and -heartbeat enables the ping/timeout failure detector:
+//
+//	ftrun -bench cg-real -np 8 -proto pcl -interval 5ms -servers 2 -replicas 2 -quorum 1 \
+//	      -chaos 3 -chaos-seed 7 -chaos-server-frac 0.3 -chaos-until 60ms
 package main
 
 import (
@@ -36,6 +44,21 @@ func main() {
 		failAt   = flag.Duration("fail-at", 0, "inject a failure at this virtual time (0 = none)")
 		failRank = flag.Int("fail-rank", 0, "rank killed by -fail-at")
 		mttf     = flag.Duration("mttf", 0, "mean time to failure for random failures (0 = none)")
+		srvMTTF  = flag.Duration("server-mttf", 0, "mean time to failure for checkpoint servers (0 = none)")
+		nodeMTTF = flag.Duration("node-mttf", 0, "mean time to failure for compute nodes (0 = none)")
+		replicas = flag.Int("replicas", 0, "copies of each checkpoint image across servers (0/1 = single copy)")
+		quorum   = flag.Int("quorum", 0, "replicas that must acknowledge a store (0 = all replicas)")
+		retries  = flag.Int("retries", 0, "store/fetch retry attempts after a replica dies")
+		backoff  = flag.Duration("retry-backoff", 0, "delay before each store/fetch retry")
+		hbPeriod = flag.Duration("heartbeat", 0, "heartbeat ping period; 0 keeps instant failure detection")
+		hbTmo    = flag.Duration("hb-timeout", 0, "silence before a component is declared dead (0 = 4x the period)")
+
+		chaosN       = flag.Int("chaos", 0, "run under a seeded random failure schedule of this many kills")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed of the chaos schedule")
+		chaosSrvFrac = flag.Float64("chaos-server-frac", 0.25, "fraction of chaos kills aimed at checkpoint servers")
+		chaosNdFrac  = flag.Float64("chaos-node-frac", 0.25, "fraction of chaos kills aimed at whole compute nodes")
+		chaosFrom    = flag.Duration("chaos-from", 10*time.Millisecond, "start of the chaos kill window")
+		chaosUntil   = flag.Duration("chaos-until", 100*time.Millisecond, "end of the chaos kill window")
 		verbose  = flag.Bool("v", false, "trace runtime events")
 		traceOut = flag.String("trace-out", "", "write a Chrome trace_event timeline (open in Perfetto) to this file")
 		metOut   = flag.String("metrics-out", "", "write the run's metrics to this file (.csv extension selects CSV, else JSON)")
@@ -43,15 +66,23 @@ func main() {
 	flag.Parse()
 
 	o := ftckpt.Options{
-		Workload:     *bench,
-		Class:        *class,
-		NP:           *np,
-		ProcsPerNode: *ppn,
-		Protocol:     *proto,
-		Servers:      *servers,
-		Platform:     *plat,
-		Seed:         *seed,
-		MTTF:         *mttf,
+		Workload:         *bench,
+		Class:            *class,
+		NP:               *np,
+		ProcsPerNode:     *ppn,
+		Protocol:         *proto,
+		Servers:          *servers,
+		Replicas:         *replicas,
+		WriteQuorum:      *quorum,
+		StoreRetries:     *retries,
+		RetryBackoff:     *backoff,
+		HeartbeatPeriod:  *hbPeriod,
+		HeartbeatTimeout: *hbTmo,
+		Platform:         *plat,
+		Seed:             *seed,
+		MTTF:             *mttf,
+		ServerMTTF:       *srvMTTF,
+		NodeMTTF:         *nodeMTTF,
 	}
 	if *proto != "none" {
 		o.Interval = *interval
@@ -66,6 +97,18 @@ func main() {
 	if *traceOut != "" {
 		col = ftckpt.NewCollector()
 		o.Sink = col
+	}
+
+	if *chaosN > 0 {
+		runChaos(o, ftckpt.ChaosSpec{
+			Seed:       *chaosSeed,
+			Kills:      *chaosN,
+			ServerFrac: *chaosSrvFrac,
+			NodeFrac:   *chaosNdFrac,
+			From:       *chaosFrom,
+			Until:      *chaosUntil,
+		})
+		return
 	}
 
 	rep, err := ftckpt.Run(o)
@@ -110,6 +153,43 @@ func main() {
 	if *metOut != "" {
 		fmt.Printf("metrics           %s\n", *metOut)
 	}
+}
+
+// runChaos executes the job under a seeded random failure schedule and
+// reports the recovery-invariant verdict.  Invariant violations exit
+// non-zero; a degraded stop (unrecoverable loss, expected without
+// replication) is a reported outcome.
+func runChaos(o ftckpt.Options, sp ftckpt.ChaosSpec) {
+	rep, err := ftckpt.Chaos(o, sp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("chaos schedule    seed %d, %d kills in [%v, %v)\n", sp.Seed, sp.Kills, sp.From, sp.Until)
+	for _, f := range rep.Plan {
+		victim := f.Rank
+		if f.Kind == "node" {
+			victim = f.Node
+		} else if f.Kind == "server" {
+			victim = f.Server
+		}
+		fmt.Printf("  kill %-6s %-3d @ %v\n", f.Kind, victim, f.At)
+	}
+	if rep.Degraded != nil {
+		fmt.Printf("outcome           degraded stop: %v\n", rep.Degraded)
+	} else {
+		fmt.Printf("outcome           recovered: completion %v, %d restarts, %d failovers\n",
+			rep.Report.Completion, rep.Report.Restarts, rep.Report.Failovers)
+		fmt.Printf("checksum          %v (reference %v)\n", rep.Checksum, rep.Reference)
+	}
+	if !rep.OK() {
+		fmt.Println("INVARIANT VIOLATIONS:")
+		for _, v := range rep.Violations {
+			fmt.Println("  " + v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("invariants        all held")
 }
 
 // writeFile writes one export, treating any failure as fatal: a run whose

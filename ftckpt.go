@@ -30,10 +30,17 @@ import (
 	"ftckpt/internal/sweep"
 )
 
-// Failure schedules the kill of one rank at a virtual time.
+// Failure schedules the kill of one component at a virtual time.  Kind
+// selects the component class: "" or "rank" kills one MPI process, "node"
+// kills a compute node (every process on it, and the machine leaves the
+// pool), "server" kills a checkpoint server (its stored images and logs
+// are lost; replicas on other servers survive).
 type Failure struct {
-	At   time.Duration
-	Rank int
+	At     time.Duration
+	Kind   string
+	Rank   int
+	Node   int
+	Server int
 }
 
 // Options describes one fault-tolerant MPI run.
@@ -57,15 +64,35 @@ type Options struct {
 	// Servers is the number of checkpoint servers (default 1 when
 	// checkpointing).
 	Servers int
+	// Replicas keeps that many copies of every image and log set across
+	// the checkpoint servers (default 1, the paper's single-copy model);
+	// WriteQuorum is how many replicas must acknowledge before a store
+	// counts as durable (default all Replicas).
+	Replicas    int
+	WriteQuorum int
+	// StoreRetries bounds re-ship and recovery-fetch attempts after a
+	// replica dies; RetryBackoff is the delay before each retry.
+	StoreRetries int
+	RetryBackoff time.Duration
+	// HeartbeatPeriod > 0 replaces instant failure detection with a
+	// heartbeat detector: the dispatcher pings ranks and servers each
+	// period and declares a component dead after HeartbeatTimeout of
+	// silence (default 4× the period).
+	HeartbeatPeriod  time.Duration
+	HeartbeatTimeout time.Duration
 	// Platform is "ethernet" (GigE cluster), "myrinet-gm", "myrinet-tcp"
 	// or "grid" (the six-cluster Grid'5000 topology with per-cluster
 	// checkpoint servers).  Default "ethernet".
 	Platform string
 	// Seed drives the deterministic simulation.
 	Seed int64
-	// Failures schedules rank kills; MTTF adds memoryless failures.
-	Failures []Failure
-	MTTF     time.Duration
+	// Failures schedules component kills; MTTF adds memoryless rank
+	// failures, ServerMTTF and NodeMTTF the same for checkpoint servers
+	// and compute nodes (each an independent failure process).
+	Failures   []Failure
+	MTTF       time.Duration
+	ServerMTTF time.Duration
+	NodeMTTF   time.Duration
 	// Verbose receives runtime progress lines.
 	Verbose func(format string, args ...any)
 	// Sink receives every structured observability event of the run (see
@@ -97,6 +124,11 @@ type Report struct {
 	// Checksum is the workload's verification value — identical across a
 	// failure-free run and any recovered run of the same Options.
 	Checksum float64
+	// ServerFailures counts checkpoint servers lost during the run;
+	// Failovers counts fetches served by a surviving replica after the
+	// preferred one was unavailable.
+	ServerFailures int
+	Failovers      int
 	// MeanWaveSpread, MeanWaveTransfer and MeanWaveCycle break a committed
 	// wave into the synchronization/snapshot straggle, the image-transfer
 	// tail and the whole first-snapshot-to-commit cycle.
@@ -124,7 +156,15 @@ func Run(o Options) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	rep := Report{
+	rep := reportFrom(res)
+	if progs := job.Programs(); len(progs) > 0 {
+		rep.Checksum = checksum(progs[0])
+	}
+	return rep, nil
+}
+
+func reportFrom(res ftpm.Result) Report {
+	return Report{
 		Completion:       res.Completion,
 		Waves:            res.WavesCommitted,
 		LocalCheckpoints: res.LocalCkpts,
@@ -134,15 +174,13 @@ func Run(o Options) (Report, error) {
 		CheckpointMB:     float64(res.CkptBytes) / (1 << 20),
 		LoggedMessages:   res.LoggedMsgs,
 		LoggedMB:         float64(res.LoggedBytes) / (1 << 20),
+		ServerFailures:   res.ServerFailures,
+		Failovers:        res.Failovers,
 		MeanWaveSpread:   res.WaveBreakdown.MeanSpread,
 		MeanWaveTransfer: res.WaveBreakdown.MeanTransfer,
 		MeanWaveCycle:    res.WaveBreakdown.MeanCycle,
 		Metrics:          res.Metrics,
 	}
-	if progs := job.Programs(); len(progs) > 0 {
-		rep.Checksum = checksum(progs[0])
-	}
-	return rep, nil
 }
 
 // SweepOptions tunes a Sweep.
@@ -242,20 +280,41 @@ func buildConfig(o Options) (ftpm.Config, error) {
 		return ftpm.Config{}, err
 	}
 	cfg := ftpm.Config{
-		NP:           o.NP,
-		ProcsPerNode: ppn,
-		Protocol:     proto,
-		Interval:     o.Interval,
-		Servers:      servers,
-		NewProgram:   newProgram,
-		Seed:         o.Seed,
-		MTTF:         o.MTTF,
-		Trace:        o.Verbose,
-		Sink:         o.Sink,
-		Metrics:      o.Metrics,
+		NP:               o.NP,
+		ProcsPerNode:     ppn,
+		Protocol:         proto,
+		Interval:         o.Interval,
+		Servers:          servers,
+		Replicas:         o.Replicas,
+		WriteQuorum:      o.WriteQuorum,
+		StoreRetries:     o.StoreRetries,
+		RetryBackoff:     o.RetryBackoff,
+		HeartbeatPeriod:  o.HeartbeatPeriod,
+		HeartbeatTimeout: o.HeartbeatTimeout,
+		NewProgram:       newProgram,
+		Seed:             o.Seed,
+		MTTF:             o.MTTF,
+		ServerMTTF:       o.ServerMTTF,
+		NodeMTTF:         o.NodeMTTF,
+		Trace:            o.Verbose,
+		Sink:             o.Sink,
+		Metrics:          o.Metrics,
 	}
 	for _, f := range o.Failures {
-		cfg.Failures = append(cfg.Failures, failure.Event{At: f.At, Rank: f.Rank})
+		ev := failure.Event{At: f.At}
+		switch f.Kind {
+		case "", "rank":
+			ev.Rank = f.Rank
+		case "node":
+			ev.Kind = failure.KindNode
+			ev.Node = f.Node
+		case "server":
+			ev.Kind = failure.KindServer
+			ev.Server = f.Server
+		default:
+			return ftpm.Config{}, fmt.Errorf("ftckpt: unknown failure kind %q", f.Kind)
+		}
+		cfg.Failures = append(cfg.Failures, ev)
 	}
 	computeNodes := (o.NP + ppn - 1) / ppn
 	pad := computeNodes + servers + 1

@@ -5,6 +5,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"ftckpt/internal/chaos"
+	"ftckpt/internal/failure"
 )
 
 func TestRunBaseline(t *testing.T) {
@@ -183,5 +186,105 @@ func TestRunValidation(t *testing.T) {
 	}
 	if _, err := Run(Options{}); err == nil {
 		t.Fatal("zero options accepted")
+	}
+}
+
+func chaosOpts(replicas int) Options {
+	return Options{
+		Workload:     "cg-real",
+		NP:           4,
+		Protocol:     "pcl",
+		Interval:     4 * time.Millisecond,
+		Servers:      2,
+		Replicas:     replicas,
+		WriteQuorum:  1,
+		StoreRetries: 2,
+		RetryBackoff: time.Millisecond,
+		Seed:         1,
+	}
+}
+
+// chaosSeed deterministically scans for a schedule with one server kill
+// followed by a process kill — the scenario replication exists for.
+func chaosSeed(t *testing.T, o Options, sp ChaosSpec) ChaosSpec {
+	t.Helper()
+	cfg, err := buildConfig(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 200; seed++ {
+		sp.Seed = seed
+		plan, err := chaos.Schedule(chaos.Spec{
+			Seed: sp.Seed, Kills: sp.Kills,
+			ServerFrac: sp.ServerFrac, NodeFrac: sp.NodeFrac,
+			From: sp.From, Until: sp.Until,
+		}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers := 0
+		var srvAt time.Duration
+		for _, ev := range plan {
+			if ev.Kind == failure.KindServer {
+				servers++
+				srvAt = ev.At
+			}
+		}
+		ranksAfter := 0
+		for _, ev := range plan {
+			if ev.Kind == failure.KindRank && ev.At > srvAt {
+				ranksAfter++
+			}
+		}
+		if servers == 1 && ranksAfter >= 1 {
+			return sp
+		}
+	}
+	t.Fatal("no suitable chaos seed in 1..200")
+	return sp
+}
+
+func TestChaosRecoveryViaFacade(t *testing.T) {
+	o := chaosOpts(2)
+	// The failure-free run completes at ~17ms (2 waves): kills inside
+	// [6ms, 14ms) land after the first commit and before completion.
+	sp := chaosSeed(t, o, ChaosSpec{Kills: 2, ServerFrac: 0.5,
+		From: 6 * time.Millisecond, Until: 14 * time.Millisecond})
+	rep, err := Chaos(o, sp)
+	if err != nil {
+		t.Fatalf("seed %d: %v", sp.Seed, err)
+	}
+	if rep.Degraded != nil {
+		t.Fatalf("seed %d degraded despite replication: %v (plan %v)", sp.Seed, rep.Degraded, rep.Plan)
+	}
+	if !rep.OK() {
+		t.Fatalf("seed %d violations: %v", sp.Seed, rep.Violations)
+	}
+	if rep.Report.ServerFailures != 1 || rep.Report.Restarts == 0 {
+		t.Fatalf("seed %d: serverFailures=%d restarts=%d",
+			sp.Seed, rep.Report.ServerFailures, rep.Report.Restarts)
+	}
+	if rep.Checksum == 0 || rep.Checksum != rep.Reference {
+		t.Fatalf("seed %d: checksum %v, reference %v", sp.Seed, rep.Checksum, rep.Reference)
+	}
+}
+
+func TestChaosDegradedViaFacade(t *testing.T) {
+	o := chaosOpts(1)
+	o.StoreRetries = 0
+	sp := chaosSeed(t, o, ChaosSpec{Kills: 2, ServerFrac: 0.5,
+		From: 6 * time.Millisecond, Until: 14 * time.Millisecond})
+	rep, err := Chaos(o, sp)
+	if err != nil {
+		t.Fatalf("seed %d: %v", sp.Seed, err)
+	}
+	if rep.Degraded == nil {
+		t.Fatalf("seed %d recovered with single-copy images lost (plan %v)", sp.Seed, rep.Plan)
+	}
+	if rep.Degraded.Err == nil {
+		t.Fatalf("degraded error lacks a cause: %+v", rep.Degraded)
+	}
+	if !rep.OK() {
+		t.Fatalf("seed %d violations: %v", sp.Seed, rep.Violations)
 	}
 }

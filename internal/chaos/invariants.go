@@ -1,0 +1,152 @@
+package chaos
+
+import (
+	"fmt"
+
+	"ftckpt/internal/ftpm"
+	"ftckpt/internal/obs"
+)
+
+// checkInvariants replays the run's event stream and verifies the
+// recovery guarantees that survive fault injection:
+//
+//  1. Durability: when a wave commits, every rank it covers has at least
+//     WriteQuorum completed image stores for that wave.  Store counts for
+//     waves newer than a rollback target are discarded when a kill forces
+//     the rollback — wave numbers are reused after it.
+//  2. Exactly-once replay (mlog): within one incarnation of a rank, no
+//     logged message — identified by (channel, protocol sequence) — is
+//     replayed twice.
+//  3. Replay completeness (vcl): a completed global restart from wave w
+//     re-delivers, per rank, exactly the messages that were logged during
+//     wave w.  A restart aborted by another kill is exempt (it never
+//     completed).
+//  4. Pcl replays nothing: any EvMessageReplayed under the blocking
+//     protocol is a protocol error.
+func checkInvariants(events []obs.Event, np, quorum int, proto ftpm.Proto) []string {
+	type rw struct{ rank, wave int }
+	type chseq struct {
+		ch  int
+		seq uint64
+	}
+	var violations []string
+	stores := map[rw]int{}  // completed image stores per (rank, wave)
+	logged := map[rw]int{}  // vcl messages logged per (rank, wave)
+	seen := map[int]map[chseq]bool{} // mlog replays in the rank's current incarnation
+
+	// One vcl global-restart window at a time: opened by EvRestartBegin,
+	// marked complete by EvRestartEnd, abandoned by a kill that lands
+	// before the end.  Replays are emitted by the respawned process
+	// bodies, which the kernel runs after the restart-end event at the
+	// same virtual instant — so the window is validated only at the next
+	// kill, the next restart, or the end of the stream.
+	var win struct {
+		open     bool
+		ended    bool
+		wave     int
+		replayed map[int]int
+	}
+	settle := func() {
+		if !win.open || !win.ended {
+			win.open = false
+			return
+		}
+		for r := 0; r < np; r++ {
+			want := logged[rw{r, win.wave}]
+			if got := win.replayed[r]; got != want {
+				violations = append(violations, fmt.Sprintf(
+					"restart from wave %d replayed %d messages for rank %d, %d were logged",
+					win.wave, got, r, want))
+			}
+		}
+		win.open = false
+	}
+
+	coordinated := proto == ftpm.ProtoPcl || proto == ftpm.ProtoVcl
+	for _, ev := range events {
+		switch ev.Type {
+		case obs.EvImageStoreEnd:
+			stores[rw{ev.Rank, ev.Wave}]++
+
+		case obs.EvMessageLogged:
+			if proto == ftpm.ProtoVcl {
+				logged[rw{ev.Rank, ev.Wave}]++
+			}
+
+		case obs.EvWaveCommit:
+			ranks := []int{ev.Rank}
+			if ev.Rank < 0 { // coordinated commit covers every rank
+				ranks = ranks[:0]
+				for r := 0; r < np; r++ {
+					ranks = append(ranks, r)
+				}
+			}
+			for _, r := range ranks {
+				if n := stores[rw{r, ev.Wave}]; n < quorum {
+					violations = append(violations, fmt.Sprintf(
+						"wave %d committed at %v with %d stored copies of rank %d's image, quorum is %d",
+						ev.Wave, ev.T, n, r, quorum))
+				}
+			}
+
+		case obs.EvRankKilled:
+			if coordinated {
+				// A completed restart's replays are all in; an aborted
+				// one (no end event yet) is exempt.
+				settle()
+			}
+			// ev.Wave is the rollback target; stores and logs recorded for
+			// newer waves belong to aborted attempts whose numbers will be
+			// reused.
+			for k := range stores {
+				if k.wave > ev.Wave && (!coordinated && k.rank == ev.Rank || coordinated) {
+					delete(stores, k)
+				}
+			}
+			for k := range logged {
+				if coordinated && k.wave > ev.Wave {
+					delete(logged, k)
+				}
+			}
+			delete(seen, ev.Rank) // next incarnation replays afresh
+
+		case obs.EvRestartBegin:
+			if proto == ftpm.ProtoVcl && ev.Rank < 0 && ev.Wave >= 1 {
+				settle()
+				win.open = true
+				win.ended = false
+				win.wave = ev.Wave
+				win.replayed = map[int]int{}
+			}
+
+		case obs.EvMessageReplayed:
+			if proto == ftpm.ProtoPcl {
+				violations = append(violations, fmt.Sprintf(
+					"pcl replayed a message at %v (rank %d, channel %d) — the blocking protocol logs nothing",
+					ev.T, ev.Rank, ev.Channel))
+			}
+			if proto == ftpm.ProtoMlog && ev.Seq > 0 {
+				if seen[ev.Rank] == nil {
+					seen[ev.Rank] = map[chseq]bool{}
+				}
+				key := chseq{ev.Channel, ev.Seq}
+				if seen[ev.Rank][key] {
+					violations = append(violations, fmt.Sprintf(
+						"rank %d replayed message (src %d, pseq %d) twice in one incarnation at %v",
+						ev.Rank, ev.Channel, ev.Seq, ev.T))
+				}
+				seen[ev.Rank][key] = true
+			}
+			if win.open {
+				win.replayed[ev.Rank]++
+			}
+
+		case obs.EvRestartEnd:
+			if win.open && ev.Rank < 0 && ev.Wave == win.wave {
+				win.ended = true
+			}
+		}
+	}
+	settle()
+	return violations
+}

@@ -106,7 +106,11 @@ func TestServerImageIsolation(t *testing.T) {
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if got := srv.Image(0, 1).App[0]; got != 1 {
+	stored, err := srv.Image(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stored.App[0]; got != 1 {
 		t.Fatalf("server shares sender memory: %d", got)
 	}
 }

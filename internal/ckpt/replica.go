@@ -1,0 +1,511 @@
+package ckpt
+
+import (
+	"fmt"
+	"sort"
+
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/obs"
+	"ftckpt/internal/sim"
+	"ftckpt/internal/simnet"
+)
+
+// Group is a replicated checkpoint store over a pool of servers.  Each
+// rank's images and logs go to a replica set of Replicas servers starting
+// at PrimaryOf(rank) and wrapping around the pool; a store counts as
+// durable once Quorum replicas acknowledge, and fetches fail over to the
+// next live replica when one is dead or incomplete.  With Replicas = 1
+// and Quorum = 1 the Group degenerates to the paper's single-copy model.
+//
+// The quorum argument: a wave only commits once Quorum image (and, for
+// logging protocols, log) copies are on stable storage, so recovery needs
+// any one of them.  Stores that were in flight when a replica died are
+// retried with backoff (bounded by MaxRetries); if enough replicas die
+// that the quorum is unreachable the wave simply never commits — the
+// previous recovery line still protects the job.
+type Group struct {
+	servers []*Server
+	net     *simnet.Network
+
+	// Replicas is the copies kept per image/log set; Quorum is how many
+	// must acknowledge before a store reports durable (1 ≤ Quorum ≤
+	// Replicas).
+	Replicas int
+	Quorum   int
+	// PrimaryOf maps a rank to its primary replica's server index.
+	PrimaryOf func(rank int) int
+	// MaxRetries bounds re-shipping attempts per replica after an aborted
+	// store; Backoff is the delay before each retry.
+	MaxRetries int
+	Backoff    sim.Time
+
+	// Failovers counts fetches that fell over to a surviving replica.
+	Failovers int
+
+	obs *obs.Hub
+}
+
+// NewGroup builds a replicated store over servers.  replicas is clamped
+// to the pool size, quorum to [1, replicas].  primaryOf nil means
+// rank % len(servers).
+func NewGroup(net *simnet.Network, servers []*Server, replicas, quorum int, primaryOf func(int) int) *Group {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > len(servers) {
+		replicas = len(servers)
+	}
+	if quorum < 1 {
+		quorum = 1
+	}
+	if quorum > replicas {
+		quorum = replicas
+	}
+	if primaryOf == nil {
+		n := len(servers)
+		primaryOf = func(rank int) int { return rank % n }
+	}
+	return &Group{
+		servers:   servers,
+		net:       net,
+		Replicas:  replicas,
+		Quorum:    quorum,
+		PrimaryOf: primaryOf,
+	}
+}
+
+// SetObs attaches the hub failover/retry/quorum-lost events go to.
+func (g *Group) SetObs(h *obs.Hub) { g.obs = h }
+
+func (g *Group) emit(t obs.EventType, rank, wave, server int) {
+	if t == obs.EvReplicaFailover {
+		g.Failovers++
+	}
+	g.obs.Emit(obs.Event{Type: t, T: g.net.Kernel().Now(), Rank: rank, Wave: wave,
+		Channel: -1, Node: -1, Server: server})
+}
+
+// Servers returns the underlying pool (shared slice; do not mutate).
+func (g *Group) Servers() []*Server { return g.servers }
+
+// ReplicaSet returns the rank's replica servers, primary first.
+func (g *Group) ReplicaSet(rank int) []*Server {
+	out := make([]*Server, g.Replicas)
+	p := g.PrimaryOf(rank)
+	for i := range out {
+		out[i] = g.servers[(p+i)%len(g.servers)]
+	}
+	return out
+}
+
+// Has reports whether any live replica holds the image for (rank, wave).
+func (g *Group) Has(rank, wave int) bool {
+	for _, srv := range g.ReplicaSet(rank) {
+		if srv.Alive() && srv.Has(rank, wave) {
+			return true
+		}
+	}
+	return false
+}
+
+// GC garbage-collects waves older than wave on every server in the pool.
+func (g *Group) GC(wave int) {
+	for _, srv := range g.servers {
+		srv.GC(wave)
+	}
+}
+
+// GCRank garbage-collects one rank's data older than wave on its
+// replica set.
+func (g *Group) GCRank(rank, wave int) {
+	for _, srv := range g.ReplicaSet(rank) {
+		srv.GCRank(rank, wave)
+	}
+}
+
+// StoreOp is one replicated store in progress.  It satisfies the same
+// cancellation contract as a single flow: Cancel aborts every replica
+// transfer and pending retry (copies already stored stay stored; GC
+// reclaims them).
+type StoreOp struct {
+	g          *Group
+	rank, wave int
+	replicas   []*Server
+	ship       func(srv *Server, onStored, onAbort func()) *simnet.Flow
+	onQuorum   func()
+	onFailed   func()
+
+	flows     []*simnet.Flow // per-replica current attempt (nil when idle)
+	timers    []sim.EventID  // per-replica pending retry (0 when none)
+	retries   []int          // per-replica retries left
+	acks      int
+	failed    int
+	quorumHit bool
+	lost      bool
+	cancelled bool
+}
+
+// Store replicates img from srcNode across the rank's replica set,
+// calling onQuorum once Quorum copies are durable.  If replica deaths
+// make the quorum unreachable (after bounded retries), onFailed runs
+// instead — the wave will not commit, which is the graceful-degradation
+// path: the job continues under its previous recovery line.
+func (g *Group) Store(img *Image, srcNode int, cap simnet.Rate, onQuorum, onFailed func()) *StoreOp {
+	return g.start(img.Rank, img.Wave, onQuorum, onFailed,
+		func(srv *Server, onStored, onAbort func()) *simnet.Flow {
+			return srv.ReceiveCappedAbort(img, srcNode, cap, onStored, onAbort)
+		})
+}
+
+// StoreLogs replicates a log set (Vcl channel state for a wave, or one
+// mlog pessimistic log record) with the same quorum semantics as Store.
+func (g *Group) StoreLogs(rank, wave int, pkts []*mpi.Packet, srcNode int, onQuorum, onFailed func()) *StoreOp {
+	return g.start(rank, wave, onQuorum, onFailed,
+		func(srv *Server, onStored, onAbort func()) *simnet.Flow {
+			return srv.ReceiveLogsAbort(rank, wave, pkts, srcNode, onStored, onAbort)
+		})
+}
+
+func (g *Group) start(rank, wave int, onQuorum, onFailed func(), ship func(*Server, func(), func()) *simnet.Flow) *StoreOp {
+	op := &StoreOp{
+		g: g, rank: rank, wave: wave,
+		replicas: g.ReplicaSet(rank),
+		ship:     ship,
+		onQuorum: onQuorum,
+		onFailed: onFailed,
+	}
+	op.flows = make([]*simnet.Flow, len(op.replicas))
+	op.timers = make([]sim.EventID, len(op.replicas))
+	op.retries = make([]int, len(op.replicas))
+	for i := range op.retries {
+		op.retries[i] = g.MaxRetries
+	}
+	for i := range op.replicas {
+		op.attempt(i)
+	}
+	return op
+}
+
+// attempt ships to replica i (current attempt).
+func (op *StoreOp) attempt(i int) {
+	if op.cancelled {
+		return
+	}
+	srv := op.replicas[i]
+	op.flows[i] = op.ship(srv,
+		func() { // stored
+			op.flows[i] = nil
+			op.acks++
+			if !op.quorumHit && op.acks >= op.g.Quorum {
+				op.quorumHit = true
+				if op.onQuorum != nil {
+					op.onQuorum()
+				}
+			}
+		},
+		func() { // aborted: replica died (before or during the transfer)
+			op.flows[i] = nil
+			op.retry(i)
+		})
+}
+
+// retry re-schedules replica i's attempt after the backoff, or marks it
+// failed once retries are exhausted.
+func (op *StoreOp) retry(i int) {
+	if op.cancelled {
+		return
+	}
+	if op.retries[i] <= 0 {
+		op.replicaFailed()
+		return
+	}
+	op.retries[i]--
+	op.g.emit(obs.EvStoreRetry, op.rank, op.wave, op.replicas[i].Index)
+	k := op.g.net.Kernel()
+	op.timers[i] = k.After(op.g.Backoff, func() {
+		op.timers[i] = 0
+		op.attempt(i)
+	})
+}
+
+func (op *StoreOp) replicaFailed() {
+	op.failed++
+	if !op.quorumHit && !op.lost && len(op.replicas)-op.failed < op.g.Quorum {
+		op.lost = true
+		op.g.emit(obs.EvQuorumLost, op.rank, op.wave, -1)
+		if op.onFailed != nil {
+			op.onFailed()
+		}
+	}
+}
+
+// Cancel aborts the store: live transfers are cancelled, pending retries
+// dropped, no further callbacks run.  Used when the sender itself dies.
+func (op *StoreOp) Cancel() {
+	if op.cancelled {
+		return
+	}
+	op.cancelled = true
+	k := op.g.net.Kernel()
+	for i := range op.replicas {
+		if op.flows[i] != nil {
+			op.flows[i].Cancel()
+			op.flows[i] = nil
+		}
+		if op.timers[i] != 0 {
+			k.Cancel(op.timers[i])
+			op.timers[i] = 0
+		}
+	}
+}
+
+// FetchOp is one replicated fetch in progress (image plus, when the
+// protocol needs them, logs — sourced independently, since image and log
+// transfers land on replicas separately).
+type FetchOp struct {
+	g          *Group
+	rank, wave int
+	dstNode    int
+	onDone     func(*Image, []*mpi.Packet)
+	onFail     func(error)
+
+	replicas  []*Server
+	img       *Image
+	logs      []*mpi.Packet
+	union     bool // logs are a multi-replica union: sort + dedup at the end
+	remaining int
+	failedErr error
+	cancelled bool
+	flows     []*simnet.Flow
+}
+
+// Fetch recovers (rank, wave) onto dstNode from the replica set: the
+// image from the first live replica holding it, the wave's channel-state
+// logs (needLogs, i.e. Vcl) independently from the first live replica
+// holding those.  A replica dying mid-transfer triggers failover to the
+// next copy (EvReplicaFailover); when no live replica holds a needed
+// part, onFail receives an error wrapping ErrNoImage naming the rank and
+// wave — the caller decides between retrying (copies may still be in
+// flight to live replicas) and a degraded stop.
+func (g *Group) Fetch(rank, wave, dstNode int, needLogs bool, onDone func(*Image, []*mpi.Packet), onFail func(error)) *FetchOp {
+	op := &FetchOp{
+		g: g, rank: rank, wave: wave, dstNode: dstNode,
+		onDone: onDone, onFail: onFail,
+		replicas:  g.ReplicaSet(rank),
+		remaining: 1,
+	}
+	if needLogs {
+		op.remaining++
+		op.fetchLogs(0, false)
+	}
+	op.fetchImage(0)
+	return op
+}
+
+// FetchSince recovers (rank, wave) with message-logging semantics: the
+// image fails over like Fetch; the reception history is the union of
+// LogsSince across every live replica, deduplicated by (Src, PSeq).  The
+// union is safe — only quorum-acknowledged log records must survive, and
+// any message whose log died un-acknowledged is regenerated by its
+// (never rolled back) sender and deduplicated by the receiver's PSeq
+// filter on delivery.
+func (g *Group) FetchSince(rank, wave, dstNode int, onDone func(*Image, []*mpi.Packet), onFail func(error)) *FetchOp {
+	op := &FetchOp{
+		g: g, rank: rank, wave: wave, dstNode: dstNode,
+		onDone: onDone, onFail: onFail,
+		replicas:  g.ReplicaSet(rank),
+		remaining: 1,
+		union:     true,
+	}
+	// One log transfer per live replica; deaths mid-transfer just shrink
+	// the union.
+	var live []*Server
+	for _, srv := range op.replicas {
+		if srv.Alive() {
+			live = append(live, srv)
+		}
+	}
+	op.remaining += len(live)
+	for _, srv := range live {
+		part := func(pkts []*mpi.Packet) {
+			if op.cancelled {
+				return
+			}
+			op.logs = append(op.logs, pkts...)
+			op.partDone()
+		}
+		skip := func() {
+			if op.cancelled {
+				return
+			}
+			op.partDone()
+		}
+		if fl, err := srv.FetchLogs(rank, wave, dstNode, true, part, skip); err == nil {
+			op.flows = append(op.flows, fl)
+		} else {
+			op.partDone()
+		}
+	}
+	op.fetchImage(0)
+	return op
+}
+
+// fetchImage tries replica i onwards for the image.
+func (op *FetchOp) fetchImage(i int) {
+	if op.cancelled {
+		return
+	}
+	for ; i < len(op.replicas); i++ {
+		srv := op.replicas[i]
+		if !srv.Alive() || !srv.Has(op.rank, op.wave) {
+			continue
+		}
+		next := i + 1
+		fl, err := srv.FetchImage(op.rank, op.wave, op.dstNode,
+			func(img *Image) {
+				if op.cancelled {
+					return
+				}
+				op.img = img
+				op.partDone()
+			},
+			func() { // replica died mid-transfer: fail over
+				if op.cancelled {
+					return
+				}
+				op.g.emit(obs.EvReplicaFailover, op.rank, op.wave, srv.Index)
+				op.fetchImage(next)
+			})
+		if err != nil {
+			continue
+		}
+		if i > 0 {
+			op.g.emit(obs.EvReplicaFailover, op.rank, op.wave, srv.Index)
+		}
+		op.flows = append(op.flows, fl)
+		return
+	}
+	op.fail(fmt.Errorf("ckpt: no live replica holds image for rank %d wave %d: %w",
+		op.rank, op.wave, ErrNoImage))
+}
+
+// fetchLogs tries replica i onwards for the committed wave's log set.
+func (op *FetchOp) fetchLogs(i int, failover bool) {
+	if op.cancelled {
+		return
+	}
+	for ; i < len(op.replicas); i++ {
+		srv := op.replicas[i]
+		if !srv.Alive() || !srv.HasLogs(op.rank, op.wave) {
+			continue
+		}
+		next := i + 1
+		fl, err := srv.FetchLogs(op.rank, op.wave, op.dstNode, false,
+			func(pkts []*mpi.Packet) {
+				if op.cancelled {
+					return
+				}
+				op.logs = pkts
+				op.partDone()
+			},
+			func() {
+				if op.cancelled {
+					return
+				}
+				op.g.emit(obs.EvReplicaFailover, op.rank, op.wave, srv.Index)
+				op.fetchLogs(next, true)
+			})
+		if err != nil {
+			continue
+		}
+		if i > 0 || failover {
+			op.g.emit(obs.EvReplicaFailover, op.rank, op.wave, srv.Index)
+		}
+		op.flows = append(op.flows, fl)
+		return
+	}
+	op.fail(fmt.Errorf("ckpt: no live replica holds logs for rank %d wave %d: %w",
+		op.rank, op.wave, ErrNoImage))
+}
+
+func (op *FetchOp) partDone() {
+	op.remaining--
+	if op.remaining == 0 && op.failedErr == nil {
+		if op.union {
+			// mlog union: order by (Src, PSeq) — per-channel FIFO is what
+			// replay needs; cross-channel order is immaterial (the engine
+			// matches receives by source) and sorting makes the merged
+			// union deterministic regardless of which replicas
+			// contributed — then drop the copies several replicas logged.
+			sortLogs(op.logs)
+			op.logs = DedupLogs(op.logs)
+		}
+		if op.onDone != nil {
+			op.onDone(op.img, op.logs)
+		}
+	}
+}
+
+func (op *FetchOp) fail(err error) {
+	if op.failedErr != nil || op.cancelled {
+		return
+	}
+	op.failedErr = err
+	for _, fl := range op.flows {
+		fl.Cancel()
+	}
+	op.flows = nil
+	if op.onFail != nil {
+		op.onFail(err)
+	}
+}
+
+// Cancel aborts the fetch; no further callbacks run.
+func (op *FetchOp) Cancel() {
+	if op.cancelled {
+		return
+	}
+	op.cancelled = true
+	for _, fl := range op.flows {
+		fl.Cancel()
+	}
+	op.flows = nil
+}
+
+// LogsSinceUnion returns the deduplicated union of LogsSince across the
+// rank's live replicas, ordered by (Src, PSeq) — the synchronous
+// (no-transfer) variant used when recovery already runs next to the data.
+func (g *Group) LogsSinceUnion(rank, wave int) []*mpi.Packet {
+	var out []*mpi.Packet
+	for _, srv := range g.ReplicaSet(rank) {
+		if srv.Alive() {
+			out = append(out, srv.LogsSince(rank, wave)...)
+		}
+	}
+	sortLogs(out)
+	return DedupLogs(out)
+}
+
+// sortLogs orders by (Src, PSeq) and drops duplicates — records the
+// same sender logged on several replicas.
+func sortLogs(logs []*mpi.Packet) {
+	sort.SliceStable(logs, func(i, j int) bool {
+		if logs[i].Src != logs[j].Src {
+			return logs[i].Src < logs[j].Src
+		}
+		return logs[i].PSeq < logs[j].PSeq
+	})
+}
+
+// DedupLogs removes consecutive (Src, PSeq) duplicates from a sorted
+// union (records the same sender logged on several replicas).
+func DedupLogs(logs []*mpi.Packet) []*mpi.Packet {
+	out := logs[:0]
+	for i, p := range logs {
+		if i > 0 && p.Src == logs[i-1].Src && p.PSeq == logs[i-1].PSeq {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package ckpt
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/sim"
+	"ftckpt/internal/simnet"
+)
+
+func testGroup(k *sim.Kernel, servers, replicas, quorum int) (*Group, []*Server) {
+	net := simnet.New(k, simnet.Topology{Clusters: []simnet.ClusterSpec{{
+		Name: "c", Nodes: servers + 2, NICBW: 100e6, Latency: 50 * time.Microsecond,
+	}}})
+	pool := make([]*Server, servers)
+	for i := range pool {
+		pool[i] = NewServer(net, i, i+2)
+	}
+	g := NewGroup(net, pool, replicas, quorum, nil)
+	return g, pool
+}
+
+func testImage(rank, wave int) *Image {
+	app, _ := EncodeProgram(&toyProgram{Phase: 1, Mem: 1 << 20})
+	return &Image{Rank: rank, Wave: wave, App: app, Footprint: 1 << 20}
+}
+
+func TestGroupStoreQuorum(t *testing.T) {
+	k := sim.New(1)
+	g, pool := testGroup(k, 3, 2, 1)
+	var quorumAt sim.Time
+	k.Go("w", func(p *sim.Proc) {
+		g.Store(testImage(0, 1), 0, 0, func() { quorumAt = k.Now() }, func() {
+			t.Error("quorum reported lost with every server alive")
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if quorumAt == 0 {
+		t.Fatal("quorum never reached")
+	}
+	// Replicas 2 with primary rank%3=0: copies land on servers 0 and 1.
+	if !pool[0].Has(0, 1) || !pool[1].Has(0, 1) {
+		t.Fatal("replica set incomplete after run")
+	}
+	if pool[2].Has(0, 1) {
+		t.Fatal("image leaked past the replica set")
+	}
+}
+
+func TestGroupFetchFailover(t *testing.T) {
+	k := sim.New(1)
+	g, pool := testGroup(k, 2, 2, 2)
+	var fetched *Image
+	k.Go("w", func(p *sim.Proc) {
+		g.Store(testImage(0, 1), 0, 0, func() {
+			pool[0].Kill() // primary dies after the wave is durable
+			g.Fetch(0, 1, 0, false, func(img *Image, logs []*mpi.Packet) {
+				fetched = img
+			}, func(err error) {
+				t.Errorf("fetch failed despite a live replica: %v", err)
+			})
+		}, nil)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fetched == nil || fetched.Rank != 0 || fetched.Wave != 1 {
+		t.Fatalf("fetched %+v", fetched)
+	}
+	if g.Failovers == 0 {
+		t.Fatal("failover not counted")
+	}
+}
+
+func TestGroupFetchAllReplicasDead(t *testing.T) {
+	k := sim.New(1)
+	g, pool := testGroup(k, 2, 2, 2)
+	var failErr error
+	k.Go("w", func(p *sim.Proc) {
+		g.Store(testImage(0, 1), 0, 0, func() {
+			pool[0].Kill()
+			pool[1].Kill()
+			g.Fetch(0, 1, 0, false, func(img *Image, logs []*mpi.Packet) {
+				t.Error("fetch succeeded with every replica dead")
+			}, func(err error) { failErr = err })
+		}, nil)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(failErr, ErrNoImage) {
+		t.Fatalf("want ErrNoImage, got %v", failErr)
+	}
+}
+
+func TestGroupKillMidTransferAborts(t *testing.T) {
+	// A server killed while a store is in flight cancels the transfer;
+	// with no retries left the quorum is immediately lost.
+	k := sim.New(1)
+	g, pool := testGroup(k, 1, 1, 1)
+	lost := false
+	k.Go("w", func(p *sim.Proc) {
+		g.Store(testImage(0, 1), 0, 0, func() {
+			t.Error("store acknowledged on a killed server")
+		}, func() { lost = true })
+	})
+	k.After(time.Millisecond, func() { pool[0].Kill() }) // 1MB at 100MB/s ≈ 10ms
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !lost {
+		t.Fatal("quorum loss not reported")
+	}
+	if pool[0].Has(0, 1) {
+		t.Fatal("killed server retained the partial image")
+	}
+}
+
+func TestGroupStoreRetryAfterBackoff(t *testing.T) {
+	// Retries re-ship to the replica; against a permanently dead server
+	// they burn out and the quorum is lost — but each attempt is counted.
+	k := sim.New(1)
+	g, pool := testGroup(k, 1, 1, 1)
+	g.MaxRetries = 2
+	g.Backoff = 5 * time.Millisecond
+	lost := false
+	var lostAt sim.Time
+	k.Go("w", func(p *sim.Proc) {
+		pool[0].Kill()
+		g.Store(testImage(0, 1), 0, 0, nil, func() {
+			lost = true
+			lostAt = k.Now()
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !lost {
+		t.Fatal("quorum loss not reported")
+	}
+	if lostAt < 10*time.Millisecond {
+		t.Fatalf("quorum lost at %v, want after two 5ms backoffs", lostAt)
+	}
+}
+
+func TestGroupLogsSinceUnion(t *testing.T) {
+	// Each replica holds an overlapping slice of the reception history;
+	// the union deduplicates by (Src, PSeq) and orders per sender.
+	k := sim.New(1)
+	g, pool := testGroup(k, 2, 2, 1)
+	pkt := func(src int, pseq uint64) *mpi.Packet {
+		return &mpi.Packet{Src: src, Dst: 0, Kind: mpi.KindPayload, PSeq: pseq, Data: []byte{byte(pseq)}}
+	}
+	k.Go("w", func(p *sim.Proc) {
+		pool[0].ReceiveLogs(0, 1, []*mpi.Packet{pkt(1, 1), pkt(1, 2), pkt(2, 1)}, 0, nil)
+		pool[1].ReceiveLogs(0, 1, []*mpi.Packet{pkt(1, 2), pkt(1, 3), pkt(2, 1)}, 0, nil)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := g.LogsSinceUnion(0, 0)
+	want := []struct {
+		src  int
+		pseq uint64
+	}{{1, 1}, {1, 2}, {1, 3}, {2, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("union has %d records, want %d: %v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i].Src != w.src || got[i].PSeq != w.pseq {
+			t.Fatalf("union[%d] = src %d pseq %d, want %d %d", i, got[i].Src, got[i].PSeq, w.src, w.pseq)
+		}
+	}
+	// A dead replica contributes nothing.
+	pool[0].Kill()
+	if n := len(g.LogsSinceUnion(0, 0)); n != 3 {
+		t.Fatalf("union after kill has %d records, want 3", n)
+	}
+}
+
+func TestServerFetchErrors(t *testing.T) {
+	k := sim.New(1)
+	_, pool := testGroup(k, 1, 1, 1)
+	srv := pool[0]
+	if _, err := srv.Fetch(0, 9, 0, nil); !errors.Is(err, ErrNoImage) {
+		t.Fatalf("missing image: %v", err)
+	}
+	srv.Kill()
+	if _, err := srv.Fetch(0, 9, 0, nil); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("dead server: %v", err)
+	}
+	if _, err := srv.Image(0, 9); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("dead server image: %v", err)
+	}
+}

@@ -1,12 +1,24 @@
 package ckpt
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"ftckpt/internal/mpi"
 	"ftckpt/internal/obs"
 	"ftckpt/internal/simnet"
+)
+
+// Sentinel errors for fetch failures.  Callers (the replica Group, the
+// process manager) match them with errors.Is to decide between failover
+// and degraded stop.
+var (
+	// ErrServerDown: the checkpoint server was killed; its stored images
+	// and logs are lost.
+	ErrServerDown = errors.New("ckpt: server is down")
+	// ErrNoImage: the server holds no image for the requested (rank, wave).
+	ErrNoImage = errors.New("ckpt: no stored image")
 )
 
 // Server is one checkpoint server: it stores the local checkpoints of the
@@ -25,9 +37,21 @@ type Server struct {
 	// obs receives image-store and log-ship begin/end events (nil-safe).
 	obs *obs.Hub
 
+	// dead is set by Kill: the server stops serving and its data is gone.
+	dead bool
+	// inflight tracks transfers in progress so Kill can cancel them and
+	// notify their owners, in start order (deterministic).
+	inflight []*transfer
+
 	// BytesReceived and ImagesStored accumulate statistics.
 	BytesReceived int64
 	ImagesStored  int
+}
+
+// transfer is one in-progress flow with its abort notification.
+type transfer struct {
+	flow    *simnet.Flow
+	onAbort func()
 }
 
 type imgKey struct{ rank, wave int }
@@ -60,12 +84,67 @@ func (s *Server) emit(t obs.EventType, rank, wave int, bytes int64) {
 		Channel: -1, Node: -1, Server: s.Index, Bytes: bytes})
 }
 
+// Alive reports whether the server is serving (not killed).
+func (s *Server) Alive() bool { return !s.dead }
+
+// Kill fails the server: every stored image and log is lost, every
+// transfer in progress is cancelled (its onAbort, if any, runs so the
+// other end can fail over), and future stores and fetches are refused.
+// Abort callbacks run in transfer-start order, deterministically.
+func (s *Server) Kill() {
+	if s.dead {
+		return
+	}
+	s.dead = true
+	s.images = make(map[imgKey]*Image)
+	s.logs = make(map[imgKey][]*mpi.Packet)
+	pending := s.inflight
+	s.inflight = nil
+	for _, tr := range pending {
+		tr.flow.Cancel()
+		if tr.onAbort != nil {
+			tr.onAbort()
+		}
+	}
+}
+
+// track registers an in-progress flow for cancellation on Kill.  The
+// returned func unregisters it; completion callbacks must call it first.
+func (s *Server) track(tr *transfer) func() {
+	s.inflight = append(s.inflight, tr)
+	return func() {
+		for i, t := range s.inflight {
+			if t == tr {
+				s.inflight = append(s.inflight[:i], s.inflight[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
 // ReceiveCapped is Receive with a sender-side rate ceiling (0 = none),
 // modelling transfers paced by a single-threaded daemon.
 func (s *Server) ReceiveCapped(img *Image, srcNode int, cap simnet.Rate, onStored func()) *simnet.Flow {
+	return s.ReceiveCappedAbort(img, srcNode, cap, onStored, nil)
+}
+
+// ReceiveCappedAbort is ReceiveCapped with an abort notification: if the
+// server dies while the transfer is in flight, onAbort runs instead of
+// onStored (the replica Group retries elsewhere).  A dead server refuses
+// the transfer outright: nil flow, immediate onAbort.
+func (s *Server) ReceiveCappedAbort(img *Image, srcNode int, cap simnet.Rate, onStored, onAbort func()) *simnet.Flow {
+	if s.dead {
+		if onAbort != nil {
+			onAbort()
+		}
+		return nil
+	}
 	stored := img.Clone()
 	s.emit(obs.EvImageStoreBegin, stored.Rank, stored.Wave, stored.Bytes())
-	return s.net.StartFlowCapped(srcNode, s.Node, img.Bytes(), cap, func() {
+	tr := &transfer{onAbort: onAbort}
+	done := s.track(tr)
+	tr.flow = s.net.StartFlowCapped(srcNode, s.Node, img.Bytes(), cap, func() {
+		done()
 		s.images[imgKey{stored.Rank, stored.Wave}] = stored
 		s.BytesReceived += stored.Bytes()
 		s.ImagesStored++
@@ -74,6 +153,7 @@ func (s *Server) ReceiveCapped(img *Image, srcNode int, cap simnet.Rate, onStore
 			onStored()
 		}
 	})
+	return tr.flow
 }
 
 // ReceiveLogs transfers a set of logged in-transit messages (Vcl channel
@@ -81,6 +161,18 @@ func (s *Server) ReceiveCapped(img *Image, srcNode int, cap simnet.Rate, onStore
 // separate calls; they accumulate in arrival order, which preserves
 // per-channel FIFO since each channel's log is shipped in one piece.
 func (s *Server) ReceiveLogs(rank, wave int, pkts []*mpi.Packet, srcNode int, onStored func()) *simnet.Flow {
+	return s.ReceiveLogsAbort(rank, wave, pkts, srcNode, onStored, nil)
+}
+
+// ReceiveLogsAbort is ReceiveLogs with the same abort semantics as
+// ReceiveCappedAbort.
+func (s *Server) ReceiveLogsAbort(rank, wave int, pkts []*mpi.Packet, srcNode int, onStored, onAbort func()) *simnet.Flow {
+	if s.dead {
+		if onAbort != nil {
+			onAbort()
+		}
+		return nil
+	}
 	cp := make([]*mpi.Packet, len(pkts))
 	var bytes int64
 	for i, p := range pkts {
@@ -88,7 +180,10 @@ func (s *Server) ReceiveLogs(rank, wave int, pkts []*mpi.Packet, srcNode int, on
 		bytes += p.WireSize()
 	}
 	s.emit(obs.EvLogShipBegin, rank, wave, bytes)
-	return s.net.StartFlow(srcNode, s.Node, bytes, func() {
+	tr := &transfer{onAbort: onAbort}
+	done := s.track(tr)
+	tr.flow = s.net.StartFlow(srcNode, s.Node, bytes, func() {
+		done()
 		k := imgKey{rank, wave}
 		s.logs[k] = append(s.logs[k], cp...)
 		s.BytesReceived += bytes
@@ -97,10 +192,24 @@ func (s *Server) ReceiveLogs(rank, wave int, pkts []*mpi.Packet, srcNode int, on
 			onStored()
 		}
 	})
+	return tr.flow
 }
 
-// Image returns the stored image for (rank, wave), or nil.
-func (s *Server) Image(rank, wave int) *Image { return s.images[imgKey{rank, wave}] }
+// Image returns the stored image for (rank, wave).  It errors instead of
+// returning nil: ErrServerDown after a kill, ErrNoImage when the transfer
+// never completed or the wave was garbage-collected.
+func (s *Server) Image(rank, wave int) (*Image, error) {
+	if s.dead {
+		return nil, fmt.Errorf("ckpt: server %d, image rank %d wave %d: %w",
+			s.Index, rank, wave, ErrServerDown)
+	}
+	img, ok := s.images[imgKey{rank, wave}]
+	if !ok {
+		return nil, fmt.Errorf("ckpt: server %d, image rank %d wave %d: %w",
+			s.Index, rank, wave, ErrNoImage)
+	}
+	return img, nil
+}
 
 // Logs returns the stored channel-state messages for (rank, wave).
 func (s *Server) Logs(rank, wave int) []*mpi.Packet { return s.logs[imgKey{rank, wave}] }
@@ -108,6 +217,15 @@ func (s *Server) Logs(rank, wave int) []*mpi.Packet { return s.logs[imgKey{rank,
 // Has reports whether a complete image for (rank, wave) is stored.
 func (s *Server) Has(rank, wave int) bool {
 	_, ok := s.images[imgKey{rank, wave}]
+	return ok
+}
+
+// HasLogs reports whether a log set for (rank, wave) is stored.  Key
+// presence is meaningful on its own: Vcl ships a wave's whole channel
+// state in one transfer (possibly empty), so the key existing means the
+// log set is complete, not partial.
+func (s *Server) HasLogs(rank, wave int) bool {
+	_, ok := s.logs[imgKey{rank, wave}]
 	return ok
 }
 
@@ -169,22 +287,23 @@ func (s *Server) LogsSince(rank, wave int) []*mpi.Packet {
 // committed wave's channel state (later, aborted waves' logs describe
 // messages the rolled-back senders will regenerate); allLogsSince selects
 // the message-logging semantics instead, where peers do not roll back and
-// the whole reception history since the image is replayed.  Fetching a
-// missing image panics: a committed wave always has a full image set
-// (tested invariant).
-func (s *Server) Fetch(rank, wave, dstNode int, onDone func(*Image, []*mpi.Packet)) *simnet.Flow {
+// the whole reception history since the image is replayed.  A missing
+// image or a dead server is an error (ErrNoImage / ErrServerDown), never
+// a panic: with replication the caller fails over, without it the job
+// stops in degraded mode.
+func (s *Server) Fetch(rank, wave, dstNode int, onDone func(*Image, []*mpi.Packet)) (*simnet.Flow, error) {
 	return s.fetch(rank, wave, dstNode, false, onDone)
 }
 
 // FetchSince is Fetch with the message-logging log semantics.
-func (s *Server) FetchSince(rank, wave, dstNode int, onDone func(*Image, []*mpi.Packet)) *simnet.Flow {
+func (s *Server) FetchSince(rank, wave, dstNode int, onDone func(*Image, []*mpi.Packet)) (*simnet.Flow, error) {
 	return s.fetch(rank, wave, dstNode, true, onDone)
 }
 
-func (s *Server) fetch(rank, wave, dstNode int, allSince bool, onDone func(*Image, []*mpi.Packet)) *simnet.Flow {
-	img := s.Image(rank, wave)
-	if img == nil {
-		panic(fmt.Sprintf("ckpt: server %d has no image for rank %d wave %d", s.Index, rank, wave))
+func (s *Server) fetch(rank, wave, dstNode int, allSince bool, onDone func(*Image, []*mpi.Packet)) (*simnet.Flow, error) {
+	img, err := s.Image(rank, wave)
+	if err != nil {
+		return nil, err
 	}
 	var logs []*mpi.Packet
 	if allSince {
@@ -196,7 +315,58 @@ func (s *Server) fetch(rank, wave, dstNode int, allSince bool, onDone func(*Imag
 	for _, p := range logs {
 		size += p.WireSize()
 	}
-	return s.net.StartFlow(s.Node, dstNode, size, func() {
+	tr := &transfer{}
+	done := s.track(tr)
+	tr.flow = s.net.StartFlow(s.Node, dstNode, size, func() {
+		done()
 		onDone(img.Clone(), logs)
 	})
+	return tr.flow, nil
+}
+
+// FetchImage transfers just the stored image for (rank, wave) to
+// dstNode.  onAbort runs if the server dies mid-transfer, so a replica
+// Group can fail over to the next copy.
+func (s *Server) FetchImage(rank, wave, dstNode int, onDone func(*Image), onAbort func()) (*simnet.Flow, error) {
+	img, err := s.Image(rank, wave)
+	if err != nil {
+		return nil, err
+	}
+	tr := &transfer{onAbort: onAbort}
+	done := s.track(tr)
+	tr.flow = s.net.StartFlow(s.Node, dstNode, img.Bytes(), func() {
+		done()
+		onDone(img.Clone())
+	})
+	return tr.flow, nil
+}
+
+// FetchLogs transfers the stored logs for (rank, wave) — the committed
+// wave's channel state (allSince false) or the whole reception history
+// from the wave on (allSince true) — to dstNode.  The server must be
+// alive; a replica holding the image but not the logs is possible (the
+// two are separate transfers), which is why the Group picks image and
+// log sources independently.
+func (s *Server) FetchLogs(rank, wave, dstNode int, allSince bool, onDone func([]*mpi.Packet), onAbort func()) (*simnet.Flow, error) {
+	if s.dead {
+		return nil, fmt.Errorf("ckpt: server %d, logs rank %d wave %d: %w",
+			s.Index, rank, wave, ErrServerDown)
+	}
+	var logs []*mpi.Packet
+	if allSince {
+		logs = s.LogsSince(rank, wave)
+	} else {
+		logs = s.Logs(rank, wave)
+	}
+	var size int64
+	for _, p := range logs {
+		size += p.WireSize()
+	}
+	tr := &transfer{onAbort: onAbort}
+	done := s.track(tr)
+	tr.flow = s.net.StartFlow(s.Node, dstNode, size, func() {
+		done()
+		onDone(logs)
+	})
+	return tr.flow, nil
 }

@@ -222,7 +222,7 @@ func (m *Mlog) drain() {
 func (m *Mlog) deliver(p *mpi.Packet) {
 	m.delUpTo[p.Src] = p.PSeq
 	m.LoggedMsgs++
-	m.h.Obs().Emit(obs.Event{Type: obs.EvMessageLogged, T: m.h.Now(), Rank: m.h.Rank(), Wave: m.wave, Channel: p.Src, Node: -1, Server: -1, Bytes: p.PayloadSize()})
+	m.h.Obs().Emit(obs.Event{Type: obs.EvMessageLogged, T: m.h.Now(), Rank: m.h.Rank(), Wave: m.wave, Channel: p.Src, Node: -1, Server: -1, Bytes: p.PayloadSize(), Seq: p.PSeq})
 	m.h.Engine().Deliver(p)
 	m.ack(p.Src, p.PSeq)
 }
@@ -318,6 +318,8 @@ func (m *Mlog) Restore(dev []byte, logs []*mpi.Packet, lastWave int) {
 		}
 		m.delUpTo[p.Src] = p.PSeq
 		m.LoggedMsgs++
+		m.h.Obs().Emit(obs.Event{Type: obs.EvMessageReplayed, T: m.h.Now(), Rank: m.h.Rank(),
+			Wave: m.wave, Channel: p.Src, Node: -1, Server: -1, Bytes: p.PayloadSize(), Seq: p.PSeq})
 		m.h.Engine().Deliver(p.Clone())
 	}
 	m.nextSeq = map[int]uint64{}

@@ -181,6 +181,8 @@ func (v *Vcl) Restore(dev []byte, logs []*mpi.Packet, lastWave int) {
 		v.markerFrom[i] = false
 	}
 	for _, pkt := range logs {
+		v.h.Obs().Emit(obs.Event{Type: obs.EvMessageReplayed, T: v.h.Now(), Rank: v.h.Rank(),
+			Wave: lastWave, Channel: pkt.Src, Node: -1, Server: -1, Bytes: pkt.PayloadSize()})
 		v.h.Engine().Deliver(pkt.Clone())
 	}
 }

@@ -17,10 +17,57 @@ func TestPlanSorted(t *testing.T) {
 	}
 }
 
+func TestPlanSortedStable(t *testing.T) {
+	// Events injected at the same instant must fire in plan order —
+	// mixed-kind schedules (chaos harness) depend on it.
+	p := Plan{
+		{At: time.Second, Kind: KindServer, Server: 0},
+		{At: time.Second, Rank: 3},
+		{At: time.Second, Kind: KindNode, Node: 2},
+	}
+	s := p.Sorted()
+	if s[0].Kind != KindServer || s[1].Kind != KindRank || s[2].Kind != KindNode {
+		t.Fatalf("same-instant events reordered: %v", s)
+	}
+}
+
 func TestKillAt(t *testing.T) {
 	p := KillAt(5*time.Second, 3)
 	if len(p) != 1 || p[0].At != 5*time.Second || p[0].Rank != 3 {
 		t.Fatalf("plan %v", p)
+	}
+	if p[0].Kind != KindRank || p[0].Victim() != 3 {
+		t.Fatalf("kind %v victim %d", p[0].Kind, p[0].Victim())
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	// Server and node kills keep their kind and victim through a sorted
+	// schedule, and the zero value still means a rank kill.
+	p := Plan{
+		{At: 3 * time.Second, Kind: KindServer, Server: 1},
+		{At: time.Second, Kind: KindNode, Node: 4},
+		{At: 2 * time.Second, Rank: 2},
+	}
+	s := p.Sorted()
+	want := []struct {
+		kind   Kind
+		victim int
+		name   string
+	}{{KindNode, 4, "node"}, {KindRank, 2, "rank"}, {KindServer, 1, "server"}}
+	for i, w := range want {
+		if s[i].Kind != w.kind || s[i].Victim() != w.victim {
+			t.Fatalf("event %d: got kind=%v victim=%d, want %v %d", i, s[i].Kind, s[i].Victim(), w.kind, w.victim)
+		}
+		if s[i].Kind.String() != w.name {
+			t.Fatalf("event %d: kind name %q", i, s[i].Kind.String())
+		}
+	}
+	if got := KillServerAt(time.Second, 2)[0].String(); got != "kill server 2 @ 1s" {
+		t.Fatalf("String: %q", got)
+	}
+	if got := KillNodeAt(time.Second, 5)[0].String(); got != "kill node 5 @ 1s" {
+		t.Fatalf("String: %q", got)
 	}
 }
 

@@ -61,6 +61,27 @@ type Config struct {
 	// round-robin (rank mod Servers) unless ServerOf is set.
 	Servers  int
 	ServerOf func(rank int) int
+	// Replicas is how many copies of each image and log set are kept
+	// across checkpoint servers (k-way replication, ServerOf picking the
+	// primary); 0 or 1 keeps the paper's single-copy model.  WriteQuorum
+	// is how many replicas must acknowledge before a store counts as
+	// durable (0 means all Replicas).
+	Replicas    int
+	WriteQuorum int
+	// StoreRetries bounds per-replica re-ship attempts after a replica
+	// dies mid-store; RetryBackoff is the delay before each retry (also
+	// the delay between recovery-fetch attempts while copies may still be
+	// in flight to surviving replicas).
+	StoreRetries int
+	RetryBackoff sim.Time
+	// HeartbeatPeriod > 0 replaces the paper's instant failure detection
+	// (the dying task's TCP connection breaks immediately) with a
+	// heartbeat detector: the dispatcher pings every rank and checkpoint
+	// server on the simulated network each period and declares a
+	// component dead after HeartbeatTimeout of silence — detection
+	// latency and false suspicions become measurable model parameters.
+	HeartbeatPeriod  sim.Time
+	HeartbeatTimeout sim.Time
 	// Placement overrides the default rank→node mapping
 	// (rank/ProcsPerNode); ServerNodes the default server placement
 	// (after the compute nodes); ServiceNode the scheduler/dispatcher
@@ -74,10 +95,14 @@ type Config struct {
 	Profile  mpi.Profile
 	// NewProgram builds rank's application (fresh start).
 	NewProgram func(rank, size int) mpi.Program
-	// Failures is a scripted fault-injection plan; MTTF adds memoryless
-	// failures on top (0 disables).
-	Failures failure.Plan
-	MTTF     sim.Time
+	// Failures is a scripted fault-injection plan (rank, node and
+	// checkpoint-server kills); MTTF adds memoryless rank failures on top
+	// (0 disables).  ServerMTTF and NodeMTTF do the same for the other
+	// component classes, each with its own independent failure process.
+	Failures   failure.Plan
+	MTTF       sim.Time
+	ServerMTTF sim.Time
+	NodeMTTF   sim.Time
 	// RestartDelay models the runtime's respawn cost before image
 	// fetches begin.
 	RestartDelay sim.Time
@@ -131,6 +156,10 @@ type Result struct {
 	CkptBytes    int64
 	LoggedMsgs   int
 	LoggedBytes  int64
+	// ServerFailures counts checkpoint servers lost; Failovers counts
+	// recovery fetches that fell over to a surviving replica.
+	ServerFailures int
+	Failovers      int
 	// WaveBreakdown separates per-wave snapshot-straggle and transfer
 	// durations (committed waves only).
 	WaveBreakdown trace.Summary
@@ -168,6 +197,51 @@ func (c *Config) Validate() error {
 	}
 	if c.NewProgram == nil {
 		return errors.New("ftpm: NewProgram is required")
+	}
+	if c.RestartDelay < 0 {
+		return fmt.Errorf("ftpm: RestartDelay must be non-negative, got %v", c.RestartDelay)
+	}
+	if c.MTTF < 0 || c.ServerMTTF < 0 || c.NodeMTTF < 0 {
+		return errors.New("ftpm: MTTF, ServerMTTF and NodeMTTF must be non-negative")
+	}
+	if c.Replicas < 0 {
+		return fmt.Errorf("ftpm: Replicas must be non-negative, got %d", c.Replicas)
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	if c.Replicas > c.Servers && c.Protocol != ProtoNone {
+		return fmt.Errorf("ftpm: Replicas (%d) exceeds the number of servers (%d)", c.Replicas, c.Servers)
+	}
+	if c.WriteQuorum < 0 {
+		return fmt.Errorf("ftpm: WriteQuorum must be non-negative, got %d", c.WriteQuorum)
+	}
+	if c.WriteQuorum == 0 {
+		c.WriteQuorum = c.Replicas
+	}
+	if c.WriteQuorum > c.Replicas {
+		return fmt.Errorf("ftpm: WriteQuorum (%d) exceeds Replicas (%d)", c.WriteQuorum, c.Replicas)
+	}
+	if c.StoreRetries < 0 {
+		return fmt.Errorf("ftpm: StoreRetries must be non-negative, got %d", c.StoreRetries)
+	}
+	if c.RetryBackoff < 0 {
+		return fmt.Errorf("ftpm: RetryBackoff must be non-negative, got %v", c.RetryBackoff)
+	}
+	if c.HeartbeatPeriod < 0 || c.HeartbeatTimeout < 0 {
+		return errors.New("ftpm: HeartbeatPeriod and HeartbeatTimeout must be non-negative")
+	}
+	if c.HeartbeatTimeout > 0 && c.HeartbeatPeriod == 0 {
+		return errors.New("ftpm: HeartbeatTimeout is set but HeartbeatPeriod is zero (no detector to time out)")
+	}
+	if c.HeartbeatPeriod > 0 {
+		if c.HeartbeatTimeout == 0 {
+			c.HeartbeatTimeout = 4 * c.HeartbeatPeriod
+		}
+		if c.HeartbeatPeriod >= c.HeartbeatTimeout {
+			return fmt.Errorf("ftpm: HeartbeatPeriod (%v) must be shorter than HeartbeatTimeout (%v), or every component is suspected between pings",
+				c.HeartbeatPeriod, c.HeartbeatTimeout)
+		}
 	}
 	if c.Protocol == ProtoVcl {
 		limit := c.VclProcessLimit

@@ -1,0 +1,45 @@
+package ftpm
+
+import "fmt"
+
+// DegradedError is the structured "job stopped in degraded mode" error:
+// the runtime hit an unrecoverable loss — every replica of a committed
+// image gone, or every compute node lost with no spare left — and shut
+// the job down cleanly through sim.Kernel.Stop instead of panicking.
+// Callers get it from Run as the Result-level error and can match it
+// with errors.As; fields that do not apply are -1.
+type DegradedError struct {
+	// Reason says what was lost.
+	Reason string
+	// Rank and Wave name the checkpoint that became unrecoverable (image
+	// fetches); -1 when the loss is not checkpoint-scoped.
+	Rank int
+	Wave int
+	// Server is the checkpoint server involved, Node the machine, -1
+	// when not applicable.
+	Server int
+	Node   int
+	// Err is the underlying cause (e.g. a ckpt.ErrNoImage chain).
+	Err error
+}
+
+// Error renders the reason with whatever context fields apply.
+func (e *DegradedError) Error() string {
+	msg := "ftpm: degraded: " + e.Reason
+	if e.Rank >= 0 {
+		msg += fmt.Sprintf(" (rank %d", e.Rank)
+		if e.Wave >= 0 {
+			msg += fmt.Sprintf(", wave %d", e.Wave)
+		}
+		msg += ")"
+	} else if e.Node >= 0 {
+		msg += fmt.Sprintf(" (node %d)", e.Node)
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *DegradedError) Unwrap() error { return e.Err }

@@ -27,11 +27,14 @@ type Job struct {
 	computeNodes int
 	serviceNode  int
 	servers      []*ckpt.Server
+	group        *ckpt.Group
+	det          *detector
 	scheduler    *vcl.Scheduler
 	procs        []*procRun
 	nodeMap      []int // current rank→node mapping (changes on node loss)
 	spares       []int
 	deadNodes    map[int]bool
+	nodeKilled   map[int]bool // machines killed by node-kill events
 
 	gen          int
 	running      bool
@@ -47,7 +50,14 @@ type Job struct {
 	loggedMsgs int
 	loggedByte int64
 
-	expFail *failure.Exponential
+	expFail     *failure.Exponential
+	expSrvFail  *failure.Exponential
+	expNodeFail *failure.Exponential
+	rankDiedAt  []sim.Time // actual death times (heartbeat mode)
+	srvDiedAt   []sim.Time
+	serverFails int
+	degraded    bool
+
 	rec     *trace.Recorder
 	hub     *obs.Hub
 	met     *obs.Metrics
@@ -101,8 +111,17 @@ func NewJob(cfg Config) (*Job, error) {
 		s.SetObs(job.hub)
 		job.servers = append(job.servers, s)
 	}
+	if cfg.Servers > 0 {
+		job.group = ckpt.NewGroup(job.net, job.servers, cfg.Replicas, cfg.WriteQuorum, cfg.ServerOf)
+		job.group.MaxRetries = cfg.StoreRetries
+		job.group.Backoff = cfg.RetryBackoff
+		job.group.SetObs(job.hub)
+	}
 	job.nodeMap = make([]int, cfg.NP)
 	job.deadNodes = map[int]bool{}
+	job.nodeKilled = map[int]bool{}
+	job.rankDiedAt = make([]sim.Time, cfg.NP)
+	job.srvDiedAt = make([]sim.Time, cfg.Servers)
 	for r := 0; r < cfg.NP; r++ {
 		if cfg.Placement != nil {
 			job.nodeMap[r] = cfg.Placement(r)
@@ -145,28 +164,41 @@ func (job *Job) Programs() []mpi.Program {
 func (job *Job) Run() (Result, error) {
 	for _, ev := range job.cfg.Failures.Sorted() {
 		ev := ev
-		job.k.At(ev.At, func() {
-			if job.running && ev.Rank >= 0 && ev.Rank < job.cfg.NP {
-				job.onFailure(ev.Rank)
-			}
-		})
+		job.k.At(ev.At, func() { job.inject(ev) })
 	}
 	if job.cfg.MTTF > 0 {
 		job.expFail = failure.NewExponential(job.cfg.MTTF, job.cfg.Seed+1)
 		job.scheduleMTTF()
+	}
+	if job.cfg.ServerMTTF > 0 {
+		job.expSrvFail = failure.NewExponential(job.cfg.ServerMTTF, job.cfg.Seed+2)
+		job.scheduleServerMTTF()
+	}
+	if job.cfg.NodeMTTF > 0 {
+		job.expNodeFail = failure.NewExponential(job.cfg.NodeMTTF, job.cfg.Seed+3)
+		job.scheduleNodeMTTF()
 	}
 	if job.cfg.Deadline > 0 {
 		job.k.At(job.cfg.Deadline, func() {
 			job.k.Stop(fmt.Errorf("ftpm: deadline %v exceeded", job.cfg.Deadline))
 		})
 	}
+	if job.cfg.HeartbeatPeriod > 0 {
+		job.det = newDetector(job)
+	}
 	job.launch(0)
+	if job.det != nil {
+		job.det.start()
+	}
 	err := job.k.Run()
 	if err != nil {
-		return Result{}, err
+		// Even a failed run keeps its metrics reachable: degraded stops,
+		// detection latencies and failover counts are exactly what the
+		// caller wants to inspect after an unrecoverable loss.
+		return Result{Metrics: job.met}, err
 	}
 	if !job.doneRes {
-		return Result{}, errors.New("ftpm: simulation ended before job completion")
+		return Result{Metrics: job.met}, errors.New("ftpm: simulation ended before job completion")
 	}
 	return job.res, nil
 }
@@ -175,10 +207,11 @@ func (job *Job) nodeOfRank(r int) int { return job.nodeMap[r] }
 
 // loseNode removes a machine from the pool and remaps its ranks onto a
 // spare node, or overbooks surviving compute nodes when no spare remains.
-// It returns the ranks that were running on the lost node.
-func (job *Job) loseNode(node int) []int {
+// It returns the ranks that were running on the lost node; ok is false
+// when there is nothing left to remap onto — the job has already stopped
+// in degraded mode and the caller must not restart anything.
+func (job *Job) loseNode(node int) (victims []int, ok bool) {
 	job.deadNodes[node] = true
-	var victims []int
 	for r, n := range job.nodeMap {
 		if n == node {
 			victims = append(victims, r)
@@ -200,7 +233,11 @@ func (job *Job) loseNode(node int) []int {
 			}
 		}
 		if target < 0 {
-			panic("ftpm: every compute node lost")
+			job.degrade(&DegradedError{
+				Reason: "every compute node lost and no spare remains",
+				Rank:   -1, Wave: job.lastWave, Server: -1, Node: node,
+			})
+			return victims, false
 		}
 		job.emit(obs.Event{Type: obs.EvNodeLost, Rank: -1, Wave: -1, Channel: -1, Node: node, Server: -1},
 			"node %d lost, no spares; overbooking ranks %v onto node %d", node, victims, target)
@@ -209,14 +246,21 @@ func (job *Job) loseNode(node int) []int {
 		job.nodeMap[r] = target
 		job.fab.Place(r, target)
 	}
-	return victims
+	return victims, true
 }
 
-func (job *Job) server(rank int) *ckpt.Server {
-	if job.cfg.ServerOf != nil {
-		return job.servers[job.cfg.ServerOf(rank)]
+// degrade stops the job in degraded mode: the loss is unrecoverable, so
+// the runtime shuts down cleanly through the kernel with a structured
+// error instead of panicking.
+func (job *Job) degrade(err *DegradedError) {
+	if job.degraded {
+		return // the first unrecoverable loss already stopped the job
 	}
-	return job.servers[rank%len(job.servers)]
+	job.degraded = true
+	job.emit(obs.Event{Type: obs.EvDegraded, Rank: err.Rank, Wave: err.Wave,
+		Channel: -1, Node: err.Node, Server: err.Server}, "%v", err)
+	job.running = false
+	job.k.Stop(err)
 }
 
 // emit stamps ev with the current virtual time, formats the optional
@@ -236,11 +280,183 @@ func (job *Job) scheduleMTTF() {
 		if job.doneRes {
 			return
 		}
-		if job.running {
-			job.onFailure(r)
-		}
+		job.injectRankKill(r)
 		job.scheduleMTTF()
 	})
+}
+
+func (job *Job) scheduleServerMTTF() {
+	d, s := job.expSrvFail.Next(len(job.servers))
+	job.k.After(d, func() {
+		if job.doneRes {
+			return
+		}
+		job.injectServerKill(s)
+		job.scheduleServerMTTF()
+	})
+}
+
+func (job *Job) scheduleNodeMTTF() {
+	d, n := job.expNodeFail.Next(job.computeNodes)
+	job.k.After(d, func() {
+		if job.doneRes {
+			return
+		}
+		job.injectNodeKill(n)
+		job.scheduleNodeMTTF()
+	})
+}
+
+// inject routes one scripted failure event to its kill path.
+func (job *Job) inject(ev failure.Event) {
+	if job.doneRes {
+		return
+	}
+	switch ev.Kind {
+	case failure.KindServer:
+		if ev.Server >= 0 && ev.Server < len(job.servers) {
+			job.injectServerKill(ev.Server)
+		}
+	case failure.KindNode:
+		if ev.Node >= 0 {
+			job.injectNodeKill(ev.Node)
+		}
+	default:
+		if ev.Rank >= 0 && ev.Rank < job.cfg.NP {
+			job.injectRankKill(ev.Rank)
+		}
+	}
+}
+
+// injectRankKill kills one MPI task.  With instant detection (the
+// paper's model) recovery begins immediately; in heartbeat mode the task
+// just goes silent and the detector finds it.  Kills while the job is
+// already down (mid-restart) are no-ops, as before.
+func (job *Job) injectRankKill(rank int) {
+	if !job.running {
+		return
+	}
+	if job.det != nil {
+		job.silentKill(rank)
+		return
+	}
+	job.onFailure(rank)
+}
+
+// injectServerKill fails a checkpoint server: its data is lost, every
+// transfer touching it aborts (stores retry elsewhere, fetches fail
+// over).  The dispatcher needs no immediate action — consequences
+// surface through the abort callbacks, and in heartbeat mode the
+// detector additionally measures how long the silence takes to notice.
+func (job *Job) injectServerKill(s int) {
+	srv := job.servers[s]
+	if !srv.Alive() {
+		return
+	}
+	job.srvDiedAt[s] = job.k.Now()
+	job.serverFails++
+	job.emit(obs.Event{Type: obs.EvServerKilled, Rank: -1, Wave: -1, Channel: -1,
+		Node: srv.Node, Server: s}, "checkpoint server %d (node %d) lost", s, srv.Node)
+	srv.Kill()
+}
+
+// injectNodeKill fails a whole machine: any checkpoint server it hosts
+// dies with it, a spare slot it provided is gone, and every rank on it
+// is killed (instant mode: one node-loss recovery; heartbeat mode: they
+// go silent and detection triggers the node-loss path).
+func (job *Job) injectNodeKill(node int) {
+	if job.nodeKilled[node] {
+		return
+	}
+	job.nodeKilled[node] = true
+	for i, sp := range job.spares {
+		if sp == node {
+			job.spares = append(job.spares[:i], job.spares[i+1:]...)
+			break
+		}
+	}
+	for _, srv := range job.servers {
+		if srv.Node == node {
+			job.injectServerKill(srv.Index)
+		}
+	}
+	var victims []int
+	for r, n := range job.nodeMap {
+		if n == node {
+			victims = append(victims, r)
+		}
+	}
+	if len(victims) == 0 {
+		job.deadNodes[node] = true // spare or server-only machine
+		return
+	}
+	if !job.running {
+		// Mid-restart: the procs are already down; just remap so the
+		// pending relaunch lands on live machines.
+		job.loseNode(node)
+		return
+	}
+	if job.det != nil {
+		for _, v := range victims {
+			job.silentKill(v)
+		}
+		return
+	}
+	job.detectedRank(victims[0])
+}
+
+// silentKill tears the rank down without telling the dispatcher —
+// heartbeat mode's death model.  The process stops computing and
+// communicating; peers' packets to it are dropped like a dead host's,
+// and recovery starts only when the detector declares the silence.
+func (job *Job) silentKill(rank int) {
+	pr := job.procs[rank]
+	if pr == nil || pr.down || job.recovering[rank] {
+		return
+	}
+	job.rankDiedAt[rank] = job.k.Now()
+	job.harvest(pr)
+	pr.teardown()
+}
+
+// suspectRank handles the detector declaring a rank dead: observe the
+// detection latency (or count the false suspicion — the dispatcher
+// kills and restarts either way, which is what a real one does when it
+// closes a live task's connection), then run the recovery path.
+func (job *Job) suspectRank(r int, silence sim.Time) {
+	pr := job.procs[r]
+	now := job.k.Now()
+	if pr == nil || pr.down {
+		job.met.Observe(obs.MDetectLatency, now-job.rankDiedAt[r])
+		job.emit(obs.Event{Type: obs.EvHeartbeatTimeout, Rank: r, Wave: -1, Channel: -1,
+			Node: job.nodeMap[r], Server: -1},
+			"rank %d silent %v; declared dead (detection latency %v)", r, silence, now-job.rankDiedAt[r])
+	} else {
+		job.met.Inc(obs.MFalseSuspicions)
+		job.emit(obs.Event{Type: obs.EvHeartbeatTimeout, Rank: r, Wave: -1, Channel: -1,
+			Node: job.nodeMap[r], Server: -1},
+			"rank %d silent %v; false suspicion, restarting it anyway", r, silence)
+	}
+	job.detectedRank(r)
+}
+
+// suspectServer handles the detector declaring a checkpoint server
+// dead.  Detection is observational for servers: stores and fetches
+// already discovered the death through their aborted transfers.
+func (job *Job) suspectServer(s int, silence sim.Time) {
+	srv := job.servers[s]
+	now := job.k.Now()
+	if !srv.Alive() {
+		job.met.Observe(obs.MDetectLatency, now-job.srvDiedAt[s])
+		job.emit(obs.Event{Type: obs.EvHeartbeatTimeout, Rank: -1, Wave: -1, Channel: -1,
+			Node: srv.Node, Server: s},
+			"server %d silent %v; declared dead (detection latency %v)", s, silence, now-job.srvDiedAt[s])
+	} else {
+		job.met.Inc(obs.MFalseSuspicions)
+		job.emit(obs.Event{Type: obs.EvHeartbeatTimeout, Rank: -1, Wave: -1, Channel: -1,
+			Node: srv.Node, Server: s},
+			"server %d silent %v; false suspicion", s, silence)
+	}
 }
 
 // launch starts every process, fresh (wave 0) or restored from wave.
@@ -273,9 +489,10 @@ func (job *Job) launch(wave int) {
 	pending := make([]restored, job.cfg.NP)
 	remaining := job.cfg.NP
 	gen := job.gen
-	for r := 0; r < job.cfg.NP; r++ {
-		r := r
-		job.server(r).Fetch(r, wave, job.nodeOfRank(r), func(img *ckpt.Image, logs []*mpi.Packet) {
+	needLogs := job.cfg.Protocol == ProtoVcl
+	var fetchOne func(r, attempt int)
+	fetchOne = func(r, attempt int) {
+		job.group.Fetch(r, wave, job.nodeOfRank(r), needLogs, func(img *ckpt.Image, logs []*mpi.Packet) {
 			if job.gen != gen {
 				return
 			}
@@ -288,12 +505,36 @@ func (job *Job) launch(wave int) {
 				job.startSchedulers()
 				job.emit(obs.Event{Type: obs.EvRestartEnd, Rank: -1, Wave: wave, Channel: -1, Node: -1, Server: -1}, "")
 			}
+		}, func(err error) {
+			if job.gen != gen || job.doneRes {
+				return
+			}
+			if attempt < job.cfg.StoreRetries {
+				// Copies may still be in flight towards surviving
+				// replicas; back off and retry before giving up.
+				job.k.After(job.cfg.RetryBackoff, func() {
+					if job.gen == gen && !job.doneRes {
+						fetchOne(r, attempt+1)
+					}
+				})
+				return
+			}
+			job.degrade(&DegradedError{
+				Reason: "committed checkpoint unrecoverable: every replica of the image is gone",
+				Rank:   r, Wave: wave, Server: -1, Node: -1, Err: err,
+			})
 		})
+	}
+	for r := 0; r < job.cfg.NP; r++ {
+		fetchOne(r, 0)
 	}
 }
 
 func (job *Job) startSchedulers() {
 	job.running = true
+	if job.det != nil {
+		job.det.resetRanks()
+	}
 	if job.scheduler != nil {
 		job.scheduler.Start(job.lastWave)
 	}
@@ -326,9 +567,26 @@ func (job *Job) onFailure(rank int) {
 	if !job.running {
 		return
 	}
+	job.detectedRank(rank)
+}
+
+// detectedRank is the dispatcher's reaction to a rank failure, however
+// it learned of it (instant detection, heartbeat timeout, scripted node
+// kill).  Node-loss semantics apply when the rank's machine was killed
+// outright or the configuration says rank failures take the machine.
+func (job *Job) detectedRank(rank int) {
+	if !job.running {
+		return
+	}
+	node := job.nodeMap[rank]
+	nodeDown := job.nodeKilled[node] && !job.deadNodes[node]
 	if job.cfg.Protocol == ProtoMlog {
-		if job.cfg.NodeLoss {
-			for _, v := range job.loseNode(job.nodeMap[rank]) {
+		if nodeDown || job.cfg.NodeLoss {
+			victims, ok := job.loseNode(node)
+			if !ok {
+				return
+			}
+			for _, v := range victims {
 				job.onFailureLocal(v)
 			}
 		} else {
@@ -336,9 +594,10 @@ func (job *Job) onFailure(rank int) {
 		}
 		return
 	}
-	node := job.nodeMap[rank]
-	if job.cfg.NodeLoss {
-		job.loseNode(node)
+	if nodeDown || job.cfg.NodeLoss {
+		if _, ok := job.loseNode(node); !ok {
+			return
+		}
 	}
 	job.emit(obs.Event{Type: obs.EvRankKilled, Rank: rank, Wave: job.lastWave, Channel: -1, Node: node, Server: -1},
 		"rank %d failed; killing job, restarting from wave %d", rank, job.lastWave)
@@ -389,21 +648,45 @@ func (job *Job) onFailureLocal(rank int) {
 		job.emit(obs.Event{Type: obs.EvRestartBegin, Rank: rank, Wave: wave, Channel: -1, Node: -1, Server: -1}, "")
 		if wave == 0 {
 			// No image yet: restart from scratch and replay the whole
-			// reception history recorded since launch.
-			job.respawnLocal(rank, nil, job.server(rank).LogsSince(rank, 0))
+			// reception history recorded since launch — the union across
+			// live replicas, in case one of them died.
+			job.respawnLocal(rank, nil, job.group.LogsSinceUnion(rank, 0))
 			return
 		}
-		job.server(rank).FetchSince(rank, wave, job.nodeOfRank(rank), func(img *ckpt.Image, logs []*mpi.Packet) {
-			if job.doneRes {
-				return
-			}
-			job.respawnLocal(rank, img, logs)
-		})
+		var tryFetch func(attempt int)
+		tryFetch = func(attempt int) {
+			job.group.FetchSince(rank, wave, job.nodeOfRank(rank), func(img *ckpt.Image, logs []*mpi.Packet) {
+				if job.doneRes {
+					return
+				}
+				job.respawnLocal(rank, img, logs)
+			}, func(err error) {
+				if job.doneRes {
+					return
+				}
+				if attempt < job.cfg.StoreRetries {
+					job.k.After(job.cfg.RetryBackoff, func() {
+						if !job.doneRes {
+							tryFetch(attempt + 1)
+						}
+					})
+					return
+				}
+				job.degrade(&DegradedError{
+					Reason: "committed checkpoint unrecoverable: every replica of the image is gone",
+					Rank:   rank, Wave: wave, Server: -1, Node: -1, Err: err,
+				})
+			})
+		}
+		tryFetch(0)
 	})
 }
 
 func (job *Job) respawnLocal(rank int, img *ckpt.Image, logs []*mpi.Packet) {
 	job.recovering[rank] = false
+	if job.det != nil {
+		job.det.resetRank(rank)
+	}
 	job.spawn(rank, img, logs)
 	job.emit(obs.Event{Type: obs.EvRestartEnd, Rank: rank, Wave: job.rankWave[rank], Channel: -1, Node: -1, Server: -1}, "")
 	// Once the fresh engine is bound (the LP runs before queued events),
@@ -445,7 +728,7 @@ func (job *Job) commitRank(r, w int) {
 	job.commits++
 	job.rec.Commit(w, job.k.Now())
 	job.emit(obs.Event{Type: obs.EvWaveCommit, Rank: r, Wave: w, Channel: -1, Node: -1, Server: -1}, "")
-	job.server(r).GCRank(r, w)
+	job.group.GCRank(r, w)
 }
 
 func (job *Job) commitWave(w int) {
@@ -459,9 +742,7 @@ func (job *Job) commitWave(w int) {
 		job.met.Observe(obs.MWaveTransfer, ws.TransferTime())
 		job.met.Observe(obs.MWaveCycle, ws.CycleTime())
 	}
-	for _, s := range job.servers {
-		s.GC(w)
-	}
+	job.group.GC(w)
 }
 
 func (job *Job) procFinished(pr *procRun) {
@@ -500,7 +781,11 @@ func (job *Job) procFinished(pr *procRun) {
 		CkptBytes:      ckptBytes,
 		LoggedMsgs:     job.loggedMsgs,
 		LoggedBytes:    job.loggedByte,
+		ServerFailures: job.serverFails,
 		Metrics:        job.met,
+	}
+	if job.group != nil {
+		job.res.Failovers = job.group.Failovers
 	}
 	job.doneRes = true
 	job.met.Set("job.completion_s", job.k.Now().Seconds())
@@ -508,6 +793,10 @@ func (job *Job) procFinished(pr *procRun) {
 		"job complete: %v", job.res)
 	job.k.Stop(nil)
 }
+
+// canceler is anything teardown can abort: a network flow, a replicated
+// store, a replicated fetch.
+type canceler interface{ Cancel() }
 
 // procRun is one process incarnation; it implements core.Host.
 type procRun struct {
@@ -522,7 +811,8 @@ type procRun struct {
 	img    *ckpt.Image
 	replay []*mpi.Packet
 	done   bool
-	flows  []*simnet.Flow
+	down   bool // torn down (idempotence guard; heartbeat ground truth)
+	flows  []canceler
 	timers []sim.EventID
 
 	harvested bool
@@ -561,8 +851,14 @@ func (pr *procRun) body(p *sim.Proc) {
 	pr.job.procFinished(pr)
 }
 
-// teardown kills an incarnation after a failure.
+// teardown kills an incarnation after a failure.  Idempotent: silent
+// (heartbeat-mode) kills tear the process down at death time and the
+// recovery path tears everything down again at detection time.
 func (pr *procRun) teardown() {
+	if pr.down {
+		return
+	}
+	pr.down = true
 	if pr.proto != nil {
 		pr.proto.Stop()
 	}
@@ -626,27 +922,38 @@ func (pr *procRun) TakeCheckpoint(wave int, dev []byte, onStored func()) {
 	if prof.CkptSteal > 0 {
 		pr.eng.AddSteal(prof.CkptSteal)
 	}
-	fl := pr.job.server(pr.rank).ReceiveCapped(img, pr.node, prof.ShipBW, func() {
-		if prof.CkptSteal > 0 {
+	released := false
+	release := func() {
+		if !released && prof.CkptSteal > 0 {
 			pr.eng.SubSteal(prof.CkptSteal)
 		}
+		released = true
+	}
+	op := pr.job.group.Store(img, pr.node, prof.ShipBW, func() {
+		// Write quorum reached: the checkpoint is durable.
+		release()
 		pr.job.rec.Stored(wave, pr.job.k.Now())
 		if pr.job.gen == gen && onStored != nil {
 			onStored()
 		}
+	}, func() {
+		// Quorum unreachable (replicas died): the wave will never
+		// commit; stop stealing bandwidth for it.
+		release()
 	})
-	pr.flows = append(pr.flows, fl)
+	pr.flows = append(pr.flows, op)
 }
 
-// ShipLogs transfers logged channel-state packets to the server.
+// ShipLogs replicates logged channel-state packets across the rank's
+// replica set, acknowledging at the write quorum.
 func (pr *procRun) ShipLogs(wave int, pkts []*mpi.Packet, onStored func()) {
 	gen := pr.gen
-	fl := pr.job.server(pr.rank).ReceiveLogs(pr.rank, wave, pkts, pr.node, func() {
+	op := pr.job.group.StoreLogs(pr.rank, wave, pkts, pr.node, func() {
 		if pr.job.gen == gen && onStored != nil {
 			onStored()
 		}
-	})
-	pr.flows = append(pr.flows, fl)
+	}, nil)
+	pr.flows = append(pr.flows, op)
 }
 
 // CommitWave advances the recovery line: the global one for coordinated

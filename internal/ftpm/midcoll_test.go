@@ -94,7 +94,7 @@ func TestCheckpointInsideCollective(t *testing.T) {
 			for _, srv := range job.servers {
 				for r := 0; r < cfg.NP; r++ {
 					for w := 1; w <= res.LastWave; w++ {
-						if img := srv.Image(r, w); img != nil && img.Engine.Coll != nil {
+						if img, err := srv.Image(r, w); err == nil && img.Engine.Coll != nil {
 							caught++
 						}
 					}

@@ -118,21 +118,21 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		case EvLocalCkptEnd:
 			instant(fmt.Sprintf("snapshot (wave %d)", ev.Wave), pidRanks, ev.Rank, ev, nil)
 		case EvImageStoreBegin:
-			open(fmt.Sprintf("img:%d:%d", ev.Rank, ev.Wave), openSpan{
+			open(fmt.Sprintf("img:%d:%d:%d", ev.Rank, ev.Wave, ev.Server), openSpan{
 				name: fmt.Sprintf("store r%d w%d", ev.Rank, ev.Wave),
 				pid:  pidServers, tid: ev.Server, ts: usec(int64(ev.T)),
 				args: map[string]any{"bytes": ev.Bytes},
 			})
 		case EvImageStoreEnd:
-			closeSpan(fmt.Sprintf("img:%d:%d", ev.Rank, ev.Wave), usec(int64(ev.T)))
+			closeSpan(fmt.Sprintf("img:%d:%d:%d", ev.Rank, ev.Wave, ev.Server), usec(int64(ev.T)))
 		case EvLogShipBegin:
-			open(fmt.Sprintf("log:%d:%d", ev.Rank, ev.Wave), openSpan{
+			open(fmt.Sprintf("log:%d:%d:%d", ev.Rank, ev.Wave, ev.Server), openSpan{
 				name: fmt.Sprintf("logs r%d w%d", ev.Rank, ev.Wave),
 				pid:  pidServers, tid: ev.Server, ts: usec(int64(ev.T)),
 				args: map[string]any{"bytes": ev.Bytes},
 			})
 		case EvLogShipEnd:
-			closeSpan(fmt.Sprintf("log:%d:%d", ev.Rank, ev.Wave), usec(int64(ev.T)))
+			closeSpan(fmt.Sprintf("log:%d:%d:%d", ev.Rank, ev.Wave, ev.Server), usec(int64(ev.T)))
 		case EvWaveCommit:
 			pid, tid := trackOf(ev.Rank)
 			instant(fmt.Sprintf("wave %d committed", ev.Wave), pid, tid, ev, nil)

@@ -29,6 +29,20 @@ const (
 	MWaveSpread   = "wave.spread"
 	MWaveTransfer = "wave.transfer"
 	MWaveCycle    = "wave.cycle"
+	// Robustness metrics: checkpoint-server losses, heartbeat detections
+	// (with the detection-latency histogram observed by the process
+	// manager, which knows the true death time), false suspicions, fetch
+	// failovers, store retries, waves whose write quorum became
+	// unreachable, replayed log messages, and degraded stops.
+	MServerFailures   = "failures.server"
+	MDetectTimeouts   = "detect.timeouts"
+	MDetectLatency    = "detect.latency" // hist: component death → detection
+	MFalseSuspicions  = "detect.false_suspicions"
+	MFailovers        = "ckpt.failover"
+	MStoreRetries     = "ckpt.store_retry"
+	MQuorumLost       = "ckpt.quorum_lost"
+	MReplayedMsgs     = "log.replayed"
+	MDegradedStops    = "degraded.stops"
 )
 
 // MetricsSink folds the event stream into a Metrics registry: counters
@@ -38,7 +52,7 @@ type MetricsSink struct {
 	m *Metrics
 
 	blockedSince map[int]sim.Time    // rank → EvChannelBlocked time
-	storeSince   map[[2]int]sim.Time // (rank, wave) → EvImageStoreBegin time
+	storeSince   map[[3]int]sim.Time // (rank, wave, server) → EvImageStoreBegin time
 	restartSince map[int]sim.Time    // rank (-1 global) → EvRestartBegin time
 }
 
@@ -50,19 +64,21 @@ func NewMetricsSink(m *Metrics) *MetricsSink {
 		MMarkersSent, MMarkersRecv, MDelayedSends, MDelayedRecvs,
 		MLoggedMsgs, MLoggedBytes, MLocalCkpts, MImageBytes, MLogShipBytes,
 		MWavesCommitted, MFailures,
+		MServerFailures, MDetectTimeouts, MFalseSuspicions,
+		MFailovers, MStoreRetries, MQuorumLost, MReplayedMsgs, MDegradedStops,
 	} {
 		m.Touch(c)
 	}
 	for _, h := range []string{
 		MBlockedTime, MImageStoreTime, MRestartTime,
-		MWaveSpread, MWaveTransfer, MWaveCycle,
+		MWaveSpread, MWaveTransfer, MWaveCycle, MDetectLatency,
 	} {
 		m.TouchHist(h)
 	}
 	return &MetricsSink{
 		m:            m,
 		blockedSince: make(map[int]sim.Time),
-		storeSince:   make(map[[2]int]sim.Time),
+		storeSince:   make(map[[3]int]sim.Time),
 		restartSince: make(map[int]sim.Time),
 	}
 }
@@ -96,14 +112,14 @@ func (s *MetricsSink) Emit(ev Event) {
 	case EvLocalCkptEnd:
 		s.m.Inc(MLocalCkpts)
 	case EvImageStoreBegin:
-		s.storeSince[[2]int{ev.Rank, ev.Wave}] = ev.T
+		s.storeSince[[3]int{ev.Rank, ev.Wave, ev.Server}] = ev.T
 	case EvImageStoreEnd:
 		s.m.Add(MImageBytes, ev.Bytes)
 		if ev.Server >= 0 {
 			s.m.Add(fmt.Sprintf("%s.server%d", MImageBytes, ev.Server), ev.Bytes)
 		}
-		if t0, ok := s.storeSince[[2]int{ev.Rank, ev.Wave}]; ok {
-			delete(s.storeSince, [2]int{ev.Rank, ev.Wave})
+		if t0, ok := s.storeSince[[3]int{ev.Rank, ev.Wave, ev.Server}]; ok {
+			delete(s.storeSince, [3]int{ev.Rank, ev.Wave, ev.Server})
 			s.m.Observe(MImageStoreTime, ev.T-t0)
 			if ev.Server >= 0 {
 				s.m.Add(fmt.Sprintf("%s.server%d", "ckpt.store_ns", ev.Server), int64(ev.T-t0))
@@ -115,6 +131,20 @@ func (s *MetricsSink) Emit(ev Event) {
 		s.m.Inc(MWavesCommitted)
 	case EvRankKilled:
 		s.m.Inc(MFailures)
+	case EvServerKilled:
+		s.m.Inc(MServerFailures)
+	case EvHeartbeatTimeout:
+		s.m.Inc(MDetectTimeouts)
+	case EvReplicaFailover:
+		s.m.Inc(MFailovers)
+	case EvStoreRetry:
+		s.m.Inc(MStoreRetries)
+	case EvQuorumLost:
+		s.m.Inc(MQuorumLost)
+	case EvMessageReplayed:
+		s.m.Inc(MReplayedMsgs)
+	case EvDegraded:
+		s.m.Inc(MDegradedStops)
 	case EvRestartBegin:
 		s.restartSince[ev.Rank] = ev.T
 	case EvRestartEnd:

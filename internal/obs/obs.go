@@ -71,6 +71,31 @@ const (
 	EvRestartEnd
 	// EvJobComplete: every rank finalized; Detail is the result summary.
 	EvJobComplete
+	// EvServerKilled: checkpoint server Server (on machine Node) was lost;
+	// every image and log it stored is gone.
+	EvServerKilled
+	// EvHeartbeatTimeout: the dispatcher's heartbeat detector declared a
+	// component dead — Rank ≥ 0 names a rank, else Server ≥ 0 names a
+	// checkpoint server.  Detail says whether the suspicion was true
+	// (detection, with its latency) or false (a live component exceeded
+	// the timeout).
+	EvHeartbeatTimeout
+	// EvReplicaFailover: a fetch fell over from a dead or incomplete
+	// replica to checkpoint server Server for (Rank, Wave).
+	EvReplicaFailover
+	// EvStoreRetry: a store attempt to replica Server for (Rank, Wave)
+	// found it dead (or lost its transfer) and was re-scheduled.
+	EvStoreRetry
+	// EvQuorumLost: a store for (Rank, Wave) can no longer reach its write
+	// quorum — too many replicas lost; the wave cannot commit.
+	EvQuorumLost
+	// EvMessageReplayed: recovery re-delivered one logged in-transit
+	// message from Channel to Rank (Seq is the per-pair protocol sequence
+	// number when the protocol stamps one; Bytes the payload size).
+	EvMessageReplayed
+	// EvDegraded: the job stopped in degraded mode — unrecoverable loss;
+	// Detail carries the structured error text.
+	EvDegraded
 
 	numEventTypes
 )
@@ -82,6 +107,8 @@ var eventNames = [numEventTypes]string{
 	"image-store-begin", "image-store-end", "log-ship-begin", "log-ship-end",
 	"wave-commit", "rank-killed", "node-lost",
 	"restart-begin", "restart-end", "job-complete",
+	"server-killed", "heartbeat-timeout", "replica-failover", "store-retry",
+	"quorum-lost", "message-replayed", "degraded",
 }
 
 // String returns the event type's kebab-case name.
@@ -114,6 +141,9 @@ type Event struct {
 	Server int
 	// Bytes is the payload/image/log size when the event moves data.
 	Bytes int64
+	// Seq is the per-pair protocol sequence number for logged/replayed
+	// messages under protocols that stamp one (mlog), 0 otherwise.
+	Seq uint64
 	// Detail carries free-text context for runtime events.
 	Detail string
 }

@@ -48,6 +48,13 @@ const (
 	EvRestartBegin     = obs.EvRestartBegin
 	EvRestartEnd       = obs.EvRestartEnd
 	EvJobComplete      = obs.EvJobComplete
+	EvServerKilled     = obs.EvServerKilled
+	EvHeartbeatTimeout = obs.EvHeartbeatTimeout
+	EvReplicaFailover  = obs.EvReplicaFailover
+	EvStoreRetry       = obs.EvStoreRetry
+	EvQuorumLost       = obs.EvQuorumLost
+	EvMessageReplayed  = obs.EvMessageReplayed
+	EvDegraded         = obs.EvDegraded
 )
 
 // NewCollector returns an empty event Collector.
