@@ -1,0 +1,276 @@
+package main
+
+// -bench-core / -bench-core-check: the hot-path core benchmark harness.
+//
+// -bench-core measures the simulator's end-to-end macro benchmark (one
+// full fault-tolerant run per protocol and size, mirroring BenchmarkRun in
+// bench_core_test.go — keep the two option sets in sync) plus the kernel
+// event micro benchmark, and writes the numbers as a JSON document.  The
+// committed BENCH_core.json keeps two such documents — the measurement
+// before and after the event-queue/allocation overhaul — as the repo's
+// recorded trajectory.
+//
+// -bench-core-check re-measures a smoke subset and fails (exit 1) when
+// allocations regress more than 25% against the committed "after"
+// document: wall-clock is hardware-noisy, so CI gates on allocs/op, which
+// is deterministic for a deterministic simulator.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ftckpt"
+	"ftckpt/internal/sim"
+)
+
+type corePoint struct {
+	Bench string `json:"bench"`           // "kernel-events" or "run"
+	Proto string `json:"proto,omitempty"` // run: protocol
+	NP    int    `json:"np,omitempty"`    // run: process count
+	// WallMS is the wall-clock of the whole measurement; NsPerOp the
+	// per-event cost (kernel-events only).
+	WallMS  float64 `json:"wall_ms"`
+	NsPerOp float64 `json:"ns_per_op,omitempty"`
+	// AllocsPerOp / BytesPerOp count heap allocations per op: per event
+	// for kernel-events (fractional — the Go benchmark framework's
+	// integer truncation hides sub-1 values), per full run for "run".
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	VirtS       float64 `json:"virt_s,omitempty"`
+	Waves       int     `json:"waves,omitempty"`
+}
+
+type coreDoc struct {
+	Cmd    string      `json:"cmd"`
+	Go     string      `json:"go"`
+	CPUs   int         `json:"cpus"`
+	MaxNP  int         `json:"max_np"`
+	Points []corePoint `json:"points"`
+}
+
+// coreFile is the committed BENCH_core.json shape: the before/after pair
+// recorded across the hot-path overhaul.
+type coreFile struct {
+	Before *coreDoc `json:"before,omitempty"`
+	After  *coreDoc `json:"after,omitempty"`
+}
+
+// coreRunOpts mirrors benchRunOpts in bench_core_test.go.
+func coreRunOpts(proto string, np int) ftckpt.Options {
+	intervals := map[int]time.Duration{
+		64:   8 * time.Second,
+		256:  2 * time.Second,
+		1024: 400 * time.Millisecond,
+	}
+	interval := intervals[np]
+	if proto == "mlog" && np == 1024 {
+		interval = 8 * time.Second
+	}
+	return ftckpt.Options{
+		Workload:        ftckpt.WorkloadBT,
+		Class:           ftckpt.ClassA,
+		NP:              np,
+		ProcsPerNode:    2,
+		Protocol:        ftckpt.Protocol(proto),
+		Interval:        interval,
+		Servers:         4,
+		Seed:            1,
+		VclProcessLimit: -1,
+	}
+}
+
+// measureKernelEvents mirrors BenchmarkKernelEvents: a steady population
+// of 1024 pending timers, each firing rescheduling itself, measured over a
+// fixed number of dispatches.
+func measureKernelEvents() (corePoint, error) {
+	const ops = 2_000_000
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	k := sim.New(1)
+	remaining := ops
+	var tick func()
+	tick = func() {
+		if remaining > 0 {
+			remaining--
+			k.After(sim.Time(1+k.Rand().Intn(1000))*time.Microsecond, tick)
+		}
+	}
+	for i := 0; i < 1024; i++ {
+		k.After(sim.Time(1+k.Rand().Intn(1000))*time.Microsecond, tick)
+	}
+	if err := k.Run(); err != nil {
+		return corePoint{}, fmt.Errorf("kernel-events: %w", err)
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return corePoint{
+		Bench:       "kernel-events",
+		WallMS:      float64(wall.Milliseconds()),
+		NsPerOp:     float64(wall.Nanoseconds()) / ops,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / ops,
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / ops,
+	}, nil
+}
+
+// measureRun times one complete fault-tolerant run.
+func measureRun(proto string, np int) (corePoint, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	rep, err := ftckpt.Run(coreRunOpts(proto, np))
+	if err != nil {
+		return corePoint{}, fmt.Errorf("run proto=%s np=%d: %w", proto, np, err)
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return corePoint{
+		Bench:       "run",
+		Proto:       proto,
+		NP:          np,
+		WallMS:      float64(wall.Nanoseconds()) / 1e6,
+		AllocsPerOp: float64(m1.Mallocs - m0.Mallocs),
+		BytesPerOp:  float64(m1.TotalAlloc - m0.TotalAlloc),
+		VirtS:       rep.Completion.Seconds(),
+		Waves:       rep.Waves,
+	}, nil
+}
+
+func coreMeasure(points [][2]any) (*coreDoc, error) {
+	doc := &coreDoc{
+		Cmd:  "figures -bench-core",
+		Go:   runtime.Version(),
+		CPUs: runtime.NumCPU(),
+	}
+	// Warm up the process (thread pool, heap target, page cache) with one
+	// unmeasured small run: the first simulation in a fresh process is
+	// consistently 20-50% slower than steady state, which would bias
+	// whichever matrix point happens to run first.
+	if len(points) > 0 {
+		if _, err := ftckpt.Run(coreRunOpts("pcl", 64)); err != nil {
+			return nil, err
+		}
+	}
+	ke, err := measureKernelEvents()
+	if err != nil {
+		return nil, err
+	}
+	doc.Points = append(doc.Points, ke)
+	fmt.Fprintf(os.Stderr, "figures: %-28s %8.1f ns/op  %7.3f allocs/op  %8.1f B/op\n",
+		"kernel-events", ke.NsPerOp, ke.AllocsPerOp, ke.BytesPerOp)
+	for _, pt := range points {
+		proto, np := pt[0].(string), pt[1].(int)
+		p, err := measureRun(proto, np)
+		if err != nil {
+			return nil, err
+		}
+		if p.NP > doc.MaxNP {
+			doc.MaxNP = p.NP
+		}
+		doc.Points = append(doc.Points, p)
+		fmt.Fprintf(os.Stderr, "figures: %-28s %8.0f ms  %12.0f allocs  %6.1f virt-s  %d waves\n",
+			fmt.Sprintf("run proto=%s np=%d", proto, np), p.WallMS, p.AllocsPerOp, p.VirtS, p.Waves)
+	}
+	return doc, nil
+}
+
+// benchCore measures the full matrix up to maxNP and writes the document.
+func benchCore(path string, maxNP int) error {
+	var pts [][2]any
+	for _, proto := range []string{"pcl", "vcl", "mlog"} {
+		for _, np := range []int{64, 256, 1024} {
+			if np <= maxNP {
+				pts = append(pts, [2]any{proto, np})
+			}
+		}
+	}
+	doc, err := coreMeasure(pts)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(doc)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "figures: core benchmark document written to %s\n", path)
+	}
+	return err
+}
+
+// benchCoreCheck measures the smoke subset and compares allocations
+// against the committed document's "after" section.  The subset keeps CI
+// fast while still covering every protocol and the NP=1024 scaling point
+// the overhaul targets.
+func benchCoreCheck(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var file coreFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	base := file.After
+	if base == nil {
+		// Accept a flat document too (a file written by -bench-core).
+		var flat coreDoc
+		if err := json.Unmarshal(raw, &flat); err != nil || len(flat.Points) == 0 {
+			return fmt.Errorf("%s: no \"after\" section and not a flat core document", path)
+		}
+		base = &flat
+	}
+	find := func(bench, proto string, np int) *corePoint {
+		for i := range base.Points {
+			p := &base.Points[i]
+			if p.Bench == bench && p.Proto == proto && p.NP == np {
+				return p
+			}
+		}
+		return nil
+	}
+	smoke := [][2]any{{"pcl", 64}, {"vcl", 64}, {"mlog", 64}, {"pcl", 256}, {"pcl", 1024}}
+	doc, err := coreMeasure(smoke)
+	if err != nil {
+		return err
+	}
+	bad := 0
+	for _, p := range doc.Points {
+		b := find(p.Bench, p.Proto, p.NP)
+		if b == nil {
+			fmt.Fprintf(os.Stderr, "figures: %s proto=%s np=%d: no committed baseline point — add it with -bench-core\n",
+				p.Bench, p.Proto, p.NP)
+			bad++
+			continue
+		}
+		// 25% relative headroom plus a small absolute slack: the
+		// kernel-events baseline is ~1e-5 allocs/op (runtime background
+		// work), where a pure ratio would flag noise.  0.01 allocs/op is
+		// far below any real per-event regression and is negligible
+		// against the run points' millions.
+		limit := b.AllocsPerOp*1.25 + 0.01
+		verdict := "ok"
+		if p.AllocsPerOp > limit {
+			verdict = "REGRESSION"
+			bad++
+		}
+		fmt.Fprintf(os.Stderr, "figures: %-12s proto=%-4s np=%-5d allocs %12.3f vs baseline %12.3f (limit %12.3f) %s\n",
+			p.Bench, p.Proto, p.NP, p.AllocsPerOp, b.AllocsPerOp, limit, verdict)
+	}
+	if bad > 0 {
+		return fmt.Errorf("allocation regression: %d point(s) exceed 1.25x the committed baseline in %s", bad, path)
+	}
+	fmt.Fprintln(os.Stderr, "figures: core allocations within 25% of the committed baseline")
+	return nil
+}

@@ -41,8 +41,24 @@ func main() {
 		jobs   = flag.Int("jobs", runtime.NumCPU(), "concurrent sweep points per figure (1 = sequential; output is identical either way)")
 		metDir = flag.String("metrics-dir", "", "also write each figure's aggregated metrics as <dir>/fig<N>.metrics.json")
 		bench  = flag.String("bench-sweep", "", "time the selected figures sequentially and at -jobs, write the wall-clock baseline JSON to this file (suppresses tables)")
+		core   = flag.String("bench-core", "", "measure the hot-path core benchmarks (kernel events + one run per protocol and size) and write the JSON document to this file")
+		coreNP = flag.Int("bench-core-np", 1024, "largest NP measured by -bench-core")
+		check  = flag.String("bench-core-check", "", "re-measure the core smoke subset and fail if allocations regress >25% vs this committed BENCH_core.json")
 	)
 	flag.Parse()
+
+	if *core != "" {
+		if err := benchCore(*core, *coreNP); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *check != "" {
+		if err := benchCoreCheck(*check); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	o := expt.Options{Quick: *quick, Seed: *seed, Jobs: *jobs}
 	if *v {

@@ -15,6 +15,10 @@
 //
 //	ftrun -bench cg-real -np 8 -proto pcl -interval 5ms -servers 2 -replicas 2 -quorum 1 \
 //	      -chaos 3 -chaos-seed 7 -chaos-server-frac 0.3 -chaos-until 60ms
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles of the run and
+// -allocs prints its allocation statistics — the knobs behind the numbers
+// recorded in BENCH_core.json.
 package main
 
 import (
@@ -23,6 +27,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -62,33 +68,41 @@ func main() {
 		verbose  = flag.Bool("v", false, "trace runtime events")
 		traceOut = flag.String("trace-out", "", "write a Chrome trace_event timeline (open in Perfetto) to this file")
 		metOut   = flag.String("metrics-out", "", "write the run's metrics to this file (.csv extension selects CSV, else JSON)")
+
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memProf = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+		allocs  = flag.Bool("allocs", false, "print the run's allocation statistics (mallocs, bytes, GC cycles) to stderr")
 	)
 	flag.Parse()
 
 	o := ftckpt.Options{
-		Workload:         *bench,
-		Class:            *class,
-		NP:               *np,
-		ProcsPerNode:     *ppn,
-		Protocol:         *proto,
-		Servers:          *servers,
-		Replicas:         *replicas,
-		WriteQuorum:      *quorum,
-		StoreRetries:     *retries,
-		RetryBackoff:     *backoff,
-		HeartbeatPeriod:  *hbPeriod,
-		HeartbeatTimeout: *hbTmo,
-		Platform:         *plat,
-		Seed:             *seed,
-		MTTF:             *mttf,
-		ServerMTTF:       *srvMTTF,
-		NodeMTTF:         *nodeMTTF,
+		Workload:     ftckpt.Workload(*bench),
+		Class:        ftckpt.Class(*class),
+		NP:           *np,
+		ProcsPerNode: *ppn,
+		Protocol:     ftckpt.Protocol(*proto),
+		Servers:      *servers,
+		Replication: &ftckpt.ReplicationSpec{
+			Replicas:     *replicas,
+			WriteQuorum:  *quorum,
+			StoreRetries: *retries,
+			RetryBackoff: *backoff,
+		},
+		Heartbeat: &ftckpt.HeartbeatSpec{
+			Period:  *hbPeriod,
+			Timeout: *hbTmo,
+		},
+		Platform:   ftckpt.Platform(*plat),
+		Seed:       *seed,
+		MTTF:       *mttf,
+		ServerMTTF: *srvMTTF,
+		NodeMTTF:   *nodeMTTF,
 	}
 	if *proto != "none" {
 		o.Interval = *interval
 	}
 	if *failAt > 0 {
-		o.Failures = []ftckpt.Failure{{At: *failAt, Rank: *failRank}}
+		o.Failures = []ftckpt.Failure{ftckpt.KillRank(*failAt, *failRank)}
 	}
 	if *verbose {
 		o.Verbose = log.Printf
@@ -99,8 +113,10 @@ func main() {
 		o.Sink = col
 	}
 
+	finishProf := startProfiling(*cpuProf, *memProf, *allocs)
+
 	if *chaosN > 0 {
-		runChaos(o, ftckpt.ChaosSpec{
+		code := runChaos(o, ftckpt.ChaosSpec{
 			Seed:       *chaosSeed,
 			Kills:      *chaosN,
 			ServerFrac: *chaosSrvFrac,
@@ -108,10 +124,12 @@ func main() {
 			From:       *chaosFrom,
 			Until:      *chaosUntil,
 		})
-		return
+		finishProf()
+		os.Exit(code)
 	}
 
 	rep, err := ftckpt.Run(o)
+	finishProf()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftrun:", err)
 		os.Exit(1)
@@ -156,14 +174,15 @@ func main() {
 }
 
 // runChaos executes the job under a seeded random failure schedule and
-// reports the recovery-invariant verdict.  Invariant violations exit
-// non-zero; a degraded stop (unrecoverable loss, expected without
-// replication) is a reported outcome.
-func runChaos(o ftckpt.Options, sp ftckpt.ChaosSpec) {
+// reports the recovery-invariant verdict.  It returns the process exit
+// code rather than exiting, so profiling output is flushed first.
+// Invariant violations are non-zero; a degraded stop (unrecoverable loss,
+// expected without replication) is a reported outcome.
+func runChaos(o ftckpt.Options, sp ftckpt.ChaosSpec) int {
 	rep, err := ftckpt.Chaos(o, sp)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftrun:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("chaos schedule    seed %d, %d kills in [%v, %v)\n", sp.Seed, sp.Kills, sp.From, sp.Until)
 	for _, f := range rep.Plan {
@@ -187,9 +206,60 @@ func runChaos(o ftckpt.Options, sp ftckpt.ChaosSpec) {
 		for _, v := range rep.Violations {
 			fmt.Println("  " + v)
 		}
-		os.Exit(1)
+		return 1
 	}
 	fmt.Println("invariants        all held")
+	return 0
+}
+
+// startProfiling arms the requested profilers and returns the function
+// that finalizes them once the run is over.  The CPU profile covers the
+// whole run; the heap profile is taken after a final GC so it shows what
+// the run left live, and -allocs prints cumulative allocation counters
+// (the number CI's bench-core gate tracks) without any profile file.
+func startProfiling(cpuPath, memPath string, allocStats bool) func() {
+	var m0 runtime.MemStats
+	if allocStats {
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+	}
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err == nil {
+			err = pprof.StartCPUProfile(f)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ftrun:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	start := time.Now()
+	return func() {
+		wall := time.Since(start)
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "ftrun:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "cpuprofile        %s\n", cpuPath)
+		}
+		if allocStats {
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			fmt.Fprintf(os.Stderr, "allocs            %d mallocs, %.1f MB allocated, %d GC cycles, %v wall\n",
+				m1.Mallocs-m0.Mallocs,
+				float64(m1.TotalAlloc-m0.TotalAlloc)/(1<<20),
+				m1.NumGC-m0.NumGC, wall.Round(time.Millisecond))
+		}
+		if memPath != "" {
+			runtime.GC()
+			writeFile(memPath, pprof.WriteHeapProfile)
+			fmt.Fprintf(os.Stderr, "memprofile        %s\n", memPath)
+		}
+	}
 }
 
 // writeFile writes one export, treating any failure as fatal: a run whose

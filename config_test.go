@@ -1,0 +1,185 @@
+package ftckpt
+
+// Table tests for buildConfig: the typed facade must accept every
+// supported enum value (and the legacy string literals, which still
+// compile through the string-backed types), reject unknown values with an
+// error naming the Options field, honour the deprecated flat
+// replication/heartbeat shims, and reject flat-vs-spec conflicts with an
+// error naming both sides.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ftckpt/internal/failure"
+	"ftckpt/internal/ftpm"
+)
+
+func TestBuildConfigMatrix(t *testing.T) {
+	platforms := []Platform{PlatformEthernet, PlatformMyrinetGM, PlatformMyrinetTCP, PlatformGrid}
+	protocols := []Protocol{ProtocolNone, Pcl, Vcl, Mlog}
+	for _, pl := range platforms {
+		for _, pr := range protocols {
+			o := Options{
+				Workload: WorkloadBT, Class: ClassA,
+				NP: 16, ProcsPerNode: 2,
+				Protocol: pr, Interval: time.Second,
+				Platform: pl, Seed: 1,
+			}
+			cfg, err := buildConfig(o)
+			if err != nil {
+				t.Fatalf("platform %q protocol %q: %v", pl, pr, err)
+			}
+			if got, want := cfg.Protocol, ftpm.Proto(pr); got != want {
+				t.Errorf("platform %q protocol %q: cfg.Protocol = %q, want %q", pl, pr, got, want)
+			}
+			if pr != ProtocolNone && pl != PlatformGrid && cfg.Servers != 1 {
+				t.Errorf("platform %q protocol %q: default Servers = %d, want 1", pl, pr, cfg.Servers)
+			}
+		}
+	}
+}
+
+func TestBuildConfigWorkloads(t *testing.T) {
+	for _, w := range []Workload{WorkloadBT, WorkloadCG, WorkloadMG, WorkloadLU, WorkloadCGReal, WorkloadEP, WorkloadJacobi} {
+		o := Options{Workload: w, Class: ClassA, NP: 16, Seed: 1}
+		if _, err := buildConfig(o); err != nil {
+			t.Errorf("workload %q: %v", w, err)
+		}
+	}
+	// The zero value defaults to BT / class B.
+	if _, err := buildConfig(Options{NP: 16}); err != nil {
+		t.Errorf("zero-value workload: %v", err)
+	}
+}
+
+// TestBuildConfigLegacyLiterals pins the compatibility contract: the
+// pre-facade string literals still compile and validate, because the enum
+// types are string-backed.
+func TestBuildConfigLegacyLiterals(t *testing.T) {
+	o := Options{
+		Workload: "cg", Class: "A", NP: 16, ProcsPerNode: 2,
+		Protocol: "pcl", Interval: time.Second, Platform: "myrinet-tcp",
+	}
+	cfg, err := buildConfig(o)
+	if err != nil {
+		t.Fatalf("legacy literals: %v", err)
+	}
+	if cfg.Protocol != ftpm.ProtoPcl {
+		t.Errorf("cfg.Protocol = %q, want %q", cfg.Protocol, ftpm.ProtoPcl)
+	}
+}
+
+func TestBuildConfigErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Options
+		want string // substring the error must contain (the field name)
+	}{
+		{"np", Options{}, "Options.NP"},
+		{"protocol", Options{NP: 4, Protocol: "tcp"}, "Options.Protocol"},
+		{"platform", Options{NP: 4, Platform: "atm"}, "Options.Platform"},
+		{"workload", Options{NP: 4, Workload: "ft"}, "Options.Workload"},
+		{"class", Options{NP: 4, Workload: WorkloadBT, Class: "Z"}, "Options.Class"},
+		{"failure kind", Options{NP: 4, Failures: []Failure{{At: time.Second, Kind: "rack"}}}, "Options.Failures"},
+		{"replicas conflict", Options{NP: 4, Replicas: 2,
+			Replication: &ReplicationSpec{Replicas: 3}}, "Options.Replicas (2) conflicts"},
+		{"quorum conflict", Options{NP: 4, WriteQuorum: 1,
+			Replication: &ReplicationSpec{Replicas: 3, WriteQuorum: 2}}, "Options.WriteQuorum (1) conflicts"},
+		{"retries conflict", Options{NP: 4, StoreRetries: 1,
+			Replication: &ReplicationSpec{StoreRetries: 4}}, "Options.StoreRetries (1) conflicts"},
+		{"backoff conflict", Options{NP: 4, RetryBackoff: time.Second,
+			Replication: &ReplicationSpec{RetryBackoff: time.Minute}}, "Options.RetryBackoff (1s) conflicts"},
+		{"heartbeat period conflict", Options{NP: 4, HeartbeatPeriod: time.Second,
+			Heartbeat: &HeartbeatSpec{Period: time.Minute}}, "Options.HeartbeatPeriod (1s) conflicts"},
+		{"heartbeat timeout conflict", Options{NP: 4, HeartbeatTimeout: time.Second,
+			Heartbeat: &HeartbeatSpec{Period: time.Second, Timeout: time.Minute}}, "Options.HeartbeatTimeout (1s) conflicts"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := buildConfig(tc.o)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBuildConfigReplicationShims(t *testing.T) {
+	// Deprecated flat fields alone still configure replication.
+	cfg, err := buildConfig(Options{
+		NP: 4, Protocol: Pcl, Interval: time.Second, Servers: 3,
+		Replicas: 2, WriteQuorum: 1, StoreRetries: 5, RetryBackoff: time.Millisecond,
+		HeartbeatPeriod: 10 * time.Millisecond, HeartbeatTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("flat shims: %v", err)
+	}
+	if cfg.Replicas != 2 || cfg.WriteQuorum != 1 || cfg.StoreRetries != 5 ||
+		cfg.RetryBackoff != time.Millisecond ||
+		cfg.HeartbeatPeriod != 10*time.Millisecond || cfg.HeartbeatTimeout != 50*time.Millisecond {
+		t.Errorf("flat shims not forwarded: %+v", cfg)
+	}
+
+	// The grouped specs forward the same way.
+	cfg, err = buildConfig(Options{
+		NP: 4, Protocol: Pcl, Interval: time.Second, Servers: 3,
+		Replication: &ReplicationSpec{Replicas: 2, WriteQuorum: 1, StoreRetries: 5, RetryBackoff: time.Millisecond},
+		Heartbeat:   &HeartbeatSpec{Period: 10 * time.Millisecond, Timeout: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("specs: %v", err)
+	}
+	if cfg.Replicas != 2 || cfg.WriteQuorum != 1 || cfg.StoreRetries != 5 ||
+		cfg.RetryBackoff != time.Millisecond ||
+		cfg.HeartbeatPeriod != 10*time.Millisecond || cfg.HeartbeatTimeout != 50*time.Millisecond {
+		t.Errorf("specs not forwarded: %+v", cfg)
+	}
+
+	// Agreeing flat + spec values are not a conflict.
+	if _, err := buildConfig(Options{
+		NP: 4, Replicas: 2, Replication: &ReplicationSpec{Replicas: 2},
+	}); err != nil {
+		t.Errorf("agreeing values rejected: %v", err)
+	}
+}
+
+func TestBuildConfigFailureConstructors(t *testing.T) {
+	cfg, err := buildConfig(Options{
+		NP: 8, Protocol: Pcl, Interval: time.Second,
+		Failures: []Failure{
+			KillRank(time.Second, 3),
+			KillNode(2*time.Second, 1),
+			KillServer(3*time.Second, 0),
+		},
+	})
+	if err != nil {
+		t.Fatalf("constructors: %v", err)
+	}
+	if len(cfg.Failures) != 3 {
+		t.Fatalf("got %d failure events, want 3", len(cfg.Failures))
+	}
+	if ev := cfg.Failures[0]; ev.Kind != failure.KindRank || ev.Rank != 3 || ev.At != time.Second {
+		t.Errorf("KillRank event = %+v", ev)
+	}
+	if ev := cfg.Failures[1]; ev.Kind != failure.KindNode || ev.Node != 1 {
+		t.Errorf("KillNode event = %+v", ev)
+	}
+	if ev := cfg.Failures[2]; ev.Kind != failure.KindServer || ev.Server != 0 {
+		t.Errorf("KillServer event = %+v", ev)
+	}
+}
+
+func TestBuildConfigVclProcessLimit(t *testing.T) {
+	cfg, err := buildConfig(Options{NP: 8, Protocol: Vcl, Interval: time.Second, VclProcessLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.VclProcessLimit != -1 {
+		t.Errorf("VclProcessLimit = %d, want -1", cfg.VclProcessLimit)
+	}
+}

@@ -24,15 +24,15 @@ func main() {
 		Class:        "B",
 		NP:           np,
 		ProcsPerNode: 2,
-		Platform:     "grid",
+		Platform:     ftckpt.PlatformGrid,
 		Seed:         7,
 	}
 
 	fmt.Printf("BT class B, %d processes over the six-cluster grid\n\n", np)
 	fmt.Printf("%-8s %12s %8s %14s\n", "protocol", "completion", "waves", "ckpt data (MB)")
-	for _, proto := range []string{"none", "pcl", "vcl"} {
+	for _, proto := range []ftckpt.Protocol{ftckpt.ProtocolNone, ftckpt.Pcl, ftckpt.Vcl} {
 		o := base
-		if proto != "none" {
+		if proto != ftckpt.ProtocolNone {
 			o.Protocol = proto
 			o.Interval = 6 * time.Second
 		}

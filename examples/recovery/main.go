@@ -30,14 +30,14 @@ func main() {
 	}
 	fmt.Printf("failure-free run:  completion %v, residual %g\n\n", ref.Completion, ref.Checksum)
 
-	for _, proto := range []string{"pcl", "vcl", "mlog"} {
+	for _, proto := range []ftckpt.Protocol{ftckpt.Pcl, ftckpt.Vcl, ftckpt.Mlog} {
 		o := base
 		o.Protocol = proto
 		o.Interval = 5 * time.Millisecond
 		// Kill rank 3 roughly mid-run; the dispatcher detects the broken
 		// connection, stops the job and restarts every process from the
 		// last committed wave.
-		o.Failures = []ftckpt.Failure{{At: ref.Completion / 2, Rank: 3}}
+		o.Failures = []ftckpt.Failure{ftckpt.KillRank(ref.Completion/2, 3)}
 
 		rep, err := ftckpt.Run(o)
 		if err != nil {
@@ -51,11 +51,11 @@ func main() {
 		fmt.Printf("  completion   %v (%.1fx failure-free)\n",
 			rep.Completion, float64(rep.Completion)/float64(ref.Completion))
 		fmt.Printf("  waves        %d committed, %d restart(s)\n", rep.Waves, rep.Restarts)
-		if proto == "vcl" {
+		if proto == ftckpt.Vcl {
 			fmt.Printf("  channel log  %d in-transit messages captured (%.2f MB)\n",
 				rep.LoggedMessages, rep.LoggedMB)
 		}
-		if proto == "mlog" {
+		if proto == ftckpt.Mlog {
 			fmt.Printf("  note         single-process recovery: only rank 3 rolled back;\n")
 			fmt.Printf("               %d messages were logged pessimistically\n", rep.LoggedMessages)
 		}

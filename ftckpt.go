@@ -30,80 +30,6 @@ import (
 	"ftckpt/internal/sweep"
 )
 
-// Failure schedules the kill of one component at a virtual time.  Kind
-// selects the component class: "" or "rank" kills one MPI process, "node"
-// kills a compute node (every process on it, and the machine leaves the
-// pool), "server" kills a checkpoint server (its stored images and logs
-// are lost; replicas on other servers survive).
-type Failure struct {
-	At     time.Duration
-	Kind   string
-	Rank   int
-	Node   int
-	Server int
-}
-
-// Options describes one fault-tolerant MPI run.
-type Options struct {
-	// Workload selects the application: NPB class models "bt", "cg",
-	// "mg", "lu", or real kernels "cg-real" (distributed conjugate
-	// gradient), "ep" (NAS EP) and "jacobi" (2D heat diffusion).
-	Workload string
-	// Class is the NPB class for the model workloads: "A", "B" or "C".
-	Class string
-	// NP is the number of MPI processes; ProcsPerNode co-locates them
-	// (dual-processor nodes sharing one NIC, default 1).
-	NP           int
-	ProcsPerNode int
-	// Protocol is "none", "pcl" (blocking), "vcl" (non-blocking) or
-	// "mlog" (uncoordinated checkpointing + pessimistic message logging,
-	// with single-process recovery); Interval is the time between
-	// checkpoint waves (per process for mlog).
-	Protocol string
-	Interval time.Duration
-	// Servers is the number of checkpoint servers (default 1 when
-	// checkpointing).
-	Servers int
-	// Replicas keeps that many copies of every image and log set across
-	// the checkpoint servers (default 1, the paper's single-copy model);
-	// WriteQuorum is how many replicas must acknowledge before a store
-	// counts as durable (default all Replicas).
-	Replicas    int
-	WriteQuorum int
-	// StoreRetries bounds re-ship and recovery-fetch attempts after a
-	// replica dies; RetryBackoff is the delay before each retry.
-	StoreRetries int
-	RetryBackoff time.Duration
-	// HeartbeatPeriod > 0 replaces instant failure detection with a
-	// heartbeat detector: the dispatcher pings ranks and servers each
-	// period and declares a component dead after HeartbeatTimeout of
-	// silence (default 4× the period).
-	HeartbeatPeriod  time.Duration
-	HeartbeatTimeout time.Duration
-	// Platform is "ethernet" (GigE cluster), "myrinet-gm", "myrinet-tcp"
-	// or "grid" (the six-cluster Grid'5000 topology with per-cluster
-	// checkpoint servers).  Default "ethernet".
-	Platform string
-	// Seed drives the deterministic simulation.
-	Seed int64
-	// Failures schedules component kills; MTTF adds memoryless rank
-	// failures, ServerMTTF and NodeMTTF the same for checkpoint servers
-	// and compute nodes (each an independent failure process).
-	Failures   []Failure
-	MTTF       time.Duration
-	ServerMTTF time.Duration
-	NodeMTTF   time.Duration
-	// Verbose receives runtime progress lines.
-	Verbose func(format string, args ...any)
-	// Sink receives every structured observability event of the run (see
-	// observe.go); a Collector here enables timeline export.
-	Sink Sink
-	// Metrics, when set, makes the run fold its counters and histograms
-	// into an existing registry instead of a private one — sharing one
-	// registry aggregates several runs.
-	Metrics *Metrics
-}
-
 // Report summarizes a completed run.
 type Report struct {
 	// Completion is the job's virtual completion time.
@@ -259,21 +185,79 @@ func checksum(p mpi.Program) float64 {
 	}
 }
 
+// reconcileReplication resolves the deprecated flat replication fields
+// against Options.Replication.  A non-zero flat field that disagrees with
+// the sub-struct is a conflict, named after the field.
+func reconcileReplication(o Options) (ReplicationSpec, error) {
+	flat := ReplicationSpec{
+		Replicas:     o.Replicas,
+		WriteQuorum:  o.WriteQuorum,
+		StoreRetries: o.StoreRetries,
+		RetryBackoff: o.RetryBackoff,
+	}
+	if o.Replication == nil {
+		return flat, nil
+	}
+	spec := *o.Replication
+	if flat.Replicas != 0 && flat.Replicas != spec.Replicas {
+		return spec, fmt.Errorf("ftckpt: Options.Replicas (%d) conflicts with Options.Replication.Replicas (%d)", flat.Replicas, spec.Replicas)
+	}
+	if flat.WriteQuorum != 0 && flat.WriteQuorum != spec.WriteQuorum {
+		return spec, fmt.Errorf("ftckpt: Options.WriteQuorum (%d) conflicts with Options.Replication.WriteQuorum (%d)", flat.WriteQuorum, spec.WriteQuorum)
+	}
+	if flat.StoreRetries != 0 && flat.StoreRetries != spec.StoreRetries {
+		return spec, fmt.Errorf("ftckpt: Options.StoreRetries (%d) conflicts with Options.Replication.StoreRetries (%d)", flat.StoreRetries, spec.StoreRetries)
+	}
+	if flat.RetryBackoff != 0 && flat.RetryBackoff != spec.RetryBackoff {
+		return spec, fmt.Errorf("ftckpt: Options.RetryBackoff (%v) conflicts with Options.Replication.RetryBackoff (%v)", flat.RetryBackoff, spec.RetryBackoff)
+	}
+	return spec, nil
+}
+
+// reconcileHeartbeat does the same for the failure-detector fields.
+func reconcileHeartbeat(o Options) (HeartbeatSpec, error) {
+	flat := HeartbeatSpec{Period: o.HeartbeatPeriod, Timeout: o.HeartbeatTimeout}
+	if o.Heartbeat == nil {
+		return flat, nil
+	}
+	spec := *o.Heartbeat
+	if flat.Period != 0 && flat.Period != spec.Period {
+		return spec, fmt.Errorf("ftckpt: Options.HeartbeatPeriod (%v) conflicts with Options.Heartbeat.Period (%v)", flat.Period, spec.Period)
+	}
+	if flat.Timeout != 0 && flat.Timeout != spec.Timeout {
+		return spec, fmt.Errorf("ftckpt: Options.HeartbeatTimeout (%v) conflicts with Options.Heartbeat.Timeout (%v)", flat.Timeout, spec.Timeout)
+	}
+	return spec, nil
+}
+
 func buildConfig(o Options) (ftpm.Config, error) {
 	if o.NP <= 0 {
-		return ftpm.Config{}, fmt.Errorf("ftckpt: NP must be positive")
+		return ftpm.Config{}, fmt.Errorf("ftckpt: Options.NP must be positive, got %d", o.NP)
 	}
 	ppn := o.ProcsPerNode
 	if ppn <= 0 {
 		ppn = 1
 	}
-	proto := ftpm.Proto(o.Protocol)
-	if o.Protocol == "" {
-		proto = ftpm.ProtoNone
+	proto := ftpm.ProtoNone
+	switch o.Protocol {
+	case "", ProtocolNone:
+	case Pcl, Vcl, Mlog:
+		proto = ftpm.Proto(o.Protocol)
+	default:
+		return ftpm.Config{}, fmt.Errorf("ftckpt: Options.Protocol: unknown protocol %q (want %q, %q, %q or %q)",
+			o.Protocol, ProtocolNone, Pcl, Vcl, Mlog)
 	}
 	servers := o.Servers
 	if servers <= 0 && proto != ftpm.ProtoNone {
 		servers = 1
+	}
+	repl, err := reconcileReplication(o)
+	if err != nil {
+		return ftpm.Config{}, err
+	}
+	hb, err := reconcileHeartbeat(o)
+	if err != nil {
+		return ftpm.Config{}, err
 	}
 	newProgram, err := workloadFactory(o)
 	if err != nil {
@@ -285,12 +269,13 @@ func buildConfig(o Options) (ftpm.Config, error) {
 		Protocol:         proto,
 		Interval:         o.Interval,
 		Servers:          servers,
-		Replicas:         o.Replicas,
-		WriteQuorum:      o.WriteQuorum,
-		StoreRetries:     o.StoreRetries,
-		RetryBackoff:     o.RetryBackoff,
-		HeartbeatPeriod:  o.HeartbeatPeriod,
-		HeartbeatTimeout: o.HeartbeatTimeout,
+		Replicas:         repl.Replicas,
+		WriteQuorum:      repl.WriteQuorum,
+		StoreRetries:     repl.StoreRetries,
+		RetryBackoff:     repl.RetryBackoff,
+		HeartbeatPeriod:  hb.Period,
+		HeartbeatTimeout: hb.Timeout,
+		VclProcessLimit:  o.VclProcessLimit,
 		NewProgram:       newProgram,
 		Seed:             o.Seed,
 		MTTF:             o.MTTF,
@@ -312,23 +297,23 @@ func buildConfig(o Options) (ftpm.Config, error) {
 			ev.Kind = failure.KindServer
 			ev.Server = f.Server
 		default:
-			return ftpm.Config{}, fmt.Errorf("ftckpt: unknown failure kind %q", f.Kind)
+			return ftpm.Config{}, fmt.Errorf("ftckpt: Options.Failures: unknown failure kind %q (use KillRank, KillNode or KillServer)", f.Kind)
 		}
 		cfg.Failures = append(cfg.Failures, ev)
 	}
 	computeNodes := (o.NP + ppn - 1) / ppn
 	pad := computeNodes + servers + 1
 	switch o.Platform {
-	case "", "ethernet":
+	case "", PlatformEthernet:
 		cfg.Topology = platform.EthernetCluster(pad)
 		cfg.Profile = platform.PclSock
-	case "myrinet-gm":
+	case PlatformMyrinetGM:
 		cfg.Topology = platform.MyrinetGM(pad)
 		cfg.Profile = platform.PclNemesis
-	case "myrinet-tcp":
+	case PlatformMyrinetTCP:
 		cfg.Topology = platform.MyrinetTCP(pad)
 		cfg.Profile = platform.PclSock
-	case "grid":
+	case PlatformGrid:
 		lay, err := platform.Grid5000Layout(o.NP, ppn, 1)
 		if err != nil {
 			return ftpm.Config{}, err
@@ -341,7 +326,8 @@ func buildConfig(o Options) (ftpm.Config, error) {
 		cfg.Servers = lay.Servers
 		cfg.Profile = platform.PclSock
 	default:
-		return ftpm.Config{}, fmt.Errorf("ftckpt: unknown platform %q", o.Platform)
+		return ftpm.Config{}, fmt.Errorf("ftckpt: Options.Platform: unknown platform %q (want %q, %q, %q or %q)",
+			o.Platform, PlatformEthernet, PlatformMyrinetGM, PlatformMyrinetTCP, PlatformGrid)
 	}
 	if proto == ftpm.ProtoVcl || proto == ftpm.ProtoMlog {
 		// Both MPICH-V protocol families run through the daemon device.
@@ -351,44 +337,48 @@ func buildConfig(o Options) (ftpm.Config, error) {
 }
 
 func workloadFactory(o Options) (func(rank, size int) mpi.Program, error) {
-	class := o.Class
+	class := string(o.Class)
 	if class == "" {
-		class = "B"
+		class = string(ClassB)
+	}
+	wrapClass := func(err error) error {
+		return fmt.Errorf("ftckpt: Options.Class: %w", err)
 	}
 	switch o.Workload {
-	case "", "bt":
+	case "", WorkloadBT:
 		c, err := nas.BTClass(class)
 		if err != nil {
-			return nil, err
+			return nil, wrapClass(err)
 		}
 		return func(rank, size int) mpi.Program { return nas.NewBTModel(c, rank, size) }, nil
-	case "cg":
+	case WorkloadCG:
 		c, err := nas.CGClass(class)
 		if err != nil {
-			return nil, err
+			return nil, wrapClass(err)
 		}
 		return func(rank, size int) mpi.Program { return nas.NewCGModel(c, rank, size) }, nil
-	case "mg":
+	case WorkloadMG:
 		c, err := nas.MGClass(class)
 		if err != nil {
-			return nil, err
+			return nil, wrapClass(err)
 		}
 		return func(rank, size int) mpi.Program { return nas.NewMGModel(c, rank, size) }, nil
-	case "lu":
+	case WorkloadLU:
 		c, err := nas.LUClass(class)
 		if err != nil {
-			return nil, err
+			return nil, wrapClass(err)
 		}
 		return func(rank, size int) mpi.Program { return nas.NewLUModel(c, rank, size) }, nil
-	case "cg-real":
+	case WorkloadCGReal:
 		n := 256 * o.NP
 		return func(rank, size int) mpi.Program { return nas.NewCG(rank, size, n, o.Seed+11, 80) }, nil
-	case "ep":
+	case WorkloadEP:
 		return func(rank, size int) mpi.Program { return nas.NewEP(rank, size, 1<<18, o.Seed+13) }, nil
-	case "jacobi":
+	case WorkloadJacobi:
 		n := o.NP * 16
 		return func(rank, size int) mpi.Program { return nas.NewJacobi(rank, size, n, 2000) }, nil
 	default:
-		return nil, fmt.Errorf("ftckpt: unknown workload %q", o.Workload)
+		return nil, fmt.Errorf("ftckpt: Options.Workload: unknown workload %q (want %q, %q, %q, %q, %q, %q or %q)",
+			o.Workload, WorkloadBT, WorkloadCG, WorkloadMG, WorkloadLU, WorkloadCGReal, WorkloadEP, WorkloadJacobi)
 	}
 }

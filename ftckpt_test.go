@@ -69,9 +69,9 @@ func TestRunVclOnGrid(t *testing.T) {
 }
 
 func TestRunAllWorkloads(t *testing.T) {
-	for _, w := range []string{"bt", "cg", "mg", "lu", "ep", "cg-real", "jacobi"} {
+	for _, w := range []Workload{WorkloadBT, WorkloadCG, WorkloadMG, WorkloadLU, WorkloadEP, WorkloadCGReal, WorkloadJacobi} {
 		w := w
-		t.Run(w, func(t *testing.T) {
+		t.Run(string(w), func(t *testing.T) {
 			np := 4
 			rep, err := Run(Options{Workload: w, Class: "A", NP: np, Seed: 3})
 			if err != nil {

@@ -1,0 +1,110 @@
+package ftckpt
+
+// Golden determinism tests: the contract the performance work must not
+// bend is that a seed fully determines a run.  Every observable artifact —
+// the Report (including the workload checksum), the metrics export and the
+// Chrome trace timeline — must be byte-identical when the same Options run
+// twice, including runs that exercise failure injection, recovery and
+// replicated checkpoint servers.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// goldenArtifacts executes one run and returns its comparable Report (the
+// registry pointer stripped), metrics JSON and Chrome trace bytes.
+func goldenArtifacts(t *testing.T, o Options) (Report, []byte, []byte) {
+	t.Helper()
+	col := NewCollector()
+	o.Sink = col
+	rep, err := Run(o)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var met, trace bytes.Buffer
+	if err := rep.Metrics.WriteJSON(&met); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := col.WriteChromeTrace(&trace); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	rep.Metrics = nil
+	return rep, met.Bytes(), trace.Bytes()
+}
+
+func checkGolden(t *testing.T, o Options) {
+	t.Helper()
+	r1, m1, c1 := goldenArtifacts(t, o)
+	r2, m2, c2 := goldenArtifacts(t, o)
+	if r1 != r2 {
+		t.Errorf("Report differs across identical runs:\n  first  %+v\n  second %+v", r1, r2)
+	}
+	if r1.Checksum != r2.Checksum {
+		t.Errorf("checksum differs: %v vs %v", r1.Checksum, r2.Checksum)
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Errorf("metrics JSON differs across identical runs (%d vs %d bytes)", len(m1), len(m2))
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Errorf("Chrome trace differs across identical runs (%d vs %d bytes)", len(c1), len(c2))
+	}
+}
+
+// TestGoldenDeterminism runs each protocol twice through a failure and
+// recovery and requires byte-identical artifacts.
+func TestGoldenDeterminism(t *testing.T) {
+	for _, proto := range []Protocol{Pcl, Vcl, Mlog} {
+		t.Run(string(proto), func(t *testing.T) {
+			checkGolden(t, Options{
+				Workload:     WorkloadBT,
+				Class:        ClassA,
+				NP:           16,
+				ProcsPerNode: 2,
+				Protocol:     proto,
+				Interval:     2 * time.Second,
+				Servers:      2,
+				Seed:         42,
+				Failures:     []Failure{KillRank(3*time.Second, 5)},
+			})
+		})
+	}
+}
+
+// TestGoldenDeterminismReplicated covers the replication + heartbeat path,
+// whose retry timers and failover fetches must be as reproducible as the
+// base protocols.
+func TestGoldenDeterminismReplicated(t *testing.T) {
+	checkGolden(t, Options{
+		Workload:     WorkloadCGReal,
+		NP:           8,
+		ProcsPerNode: 2,
+		Protocol:     Pcl,
+		Interval:     5 * time.Millisecond,
+		Servers:      3,
+		Replication:  &ReplicationSpec{Replicas: 2, WriteQuorum: 1, StoreRetries: 2, RetryBackoff: time.Millisecond},
+		Heartbeat:    &HeartbeatSpec{Period: 2 * time.Millisecond},
+		Seed:         7,
+		Failures: []Failure{
+			KillServer(11*time.Millisecond, 1),
+			KillRank(17*time.Millisecond, 3),
+		},
+	})
+}
+
+// TestGoldenDeterminismGrid covers the multi-cluster topology: WAN flow
+// caps and per-cluster servers stress the fluid-flow rescheduling whose
+// ordering the allocation work reworked.
+func TestGoldenDeterminismGrid(t *testing.T) {
+	checkGolden(t, Options{
+		Workload:     WorkloadBT,
+		Class:        ClassA,
+		NP:           16,
+		ProcsPerNode: 2,
+		Protocol:     Vcl,
+		Interval:     2 * time.Second,
+		Platform:     PlatformGrid,
+		Seed:         9,
+	})
+}

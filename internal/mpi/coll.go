@@ -104,7 +104,12 @@ func (e *Engine) beginColl(kind CollKind) (cs *CollState, fresh bool) {
 		e.coll.Resumed = false
 		return e.coll, false
 	}
-	cs = &CollState{Kind: kind}
+	if cs = e.collFree; cs != nil {
+		e.collFree = nil
+	} else {
+		cs = &CollState{}
+	}
+	cs.Kind = kind
 	if kind != CollSendrecv && kind != CollWaitall {
 		// Point-to-point resumable ops don't consume a collective
 		// sequence number: tags stay aligned across ranks that perform
@@ -116,7 +121,17 @@ func (e *Engine) beginColl(kind CollKind) (cs *CollState, fresh bool) {
 	return cs, true
 }
 
-func (e *Engine) endColl() { e.coll = nil }
+// endColl retires the in-flight state, recycling the struct.  Nothing may
+// retain cs past the operation (images clone it), so reuse is safe; the
+// buffer fields are dropped rather than reused because the collectives
+// alias caller data into them.
+func (e *Engine) endColl() {
+	if cs := e.coll; cs != nil {
+		*cs = CollState{}
+		e.collFree = cs
+	}
+	e.coll = nil
+}
 
 // collTag builds an internal (negative) tag unique per (kind, collective
 // sequence mod 64, round): at most two consecutive collectives can have

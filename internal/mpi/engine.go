@@ -56,8 +56,14 @@ type Engine struct {
 	// inbox holds wire packets not yet run through the filter: with a
 	// synchronous profile (MPICH2-style progress engine) packets arriving
 	// while the application computes wait here until the next MPI call.
+	// It is a sliding-window ring (inboxHead advances, array reset when
+	// drained) so steady traffic reuses one backing array.
 	inbox      []*Packet
+	inboxHead  int
 	daemonBusy sim.Time
+	// admitPool recycles the records that carry a packet through a
+	// daemon-service delay event without a per-packet closure.
+	admitPool []*admitRec
 
 	unexpected []*Packet
 	opDepth    int
@@ -65,9 +71,10 @@ type Engine struct {
 	waitSrc    int
 	waitTag    int
 
-	collSeq uint64
-	coll    *CollState
-	closed  bool
+	collSeq  uint64
+	coll     *CollState
+	collFree *CollState // recycled by endColl, reused by beginColl
+	closed   bool
 	steal   float64 // background checkpoint work stealing compute speed
 
 	// met, when set, receives blocked-receive time observations
@@ -165,9 +172,35 @@ func (e *Engine) HandleWire(p *Packet) {
 		}
 		ready += svc
 		e.daemonBusy = ready
-		k.At(ready, func() { e.admit(p) })
+		r := e.getAdmit()
+		r.e, r.p = e, p
+		k.AtArg(ready, admitEvent, r)
 		return
 	}
+	e.admit(p)
+}
+
+// admitRec carries a packet through the daemon-service delay; it returns
+// to the engine's pool as the event fires.
+type admitRec struct {
+	e *Engine
+	p *Packet
+}
+
+func (e *Engine) getAdmit() *admitRec {
+	if last := len(e.admitPool) - 1; last >= 0 {
+		r := e.admitPool[last]
+		e.admitPool = e.admitPool[:last]
+		return r
+	}
+	return &admitRec{}
+}
+
+func admitEvent(x any) {
+	r := x.(*admitRec)
+	e, p := r.e, r.p
+	r.e, r.p = nil, nil
+	e.admitPool = append(e.admitPool, r)
 	e.admit(p)
 }
 
@@ -226,11 +259,14 @@ func (e *Engine) enterOp() {
 func (e *Engine) exitOp() { e.opDepth-- }
 
 func (e *Engine) drainInbox() {
-	for len(e.inbox) > 0 {
-		p := e.inbox[0]
-		e.inbox = e.inbox[1:]
+	for e.inboxHead < len(e.inbox) {
+		p := e.inbox[e.inboxHead]
+		e.inbox[e.inboxHead] = nil
+		e.inboxHead++
 		e.process(p)
 	}
+	e.inbox = e.inbox[:0]
+	e.inboxHead = 0
 }
 
 // advanceInOp parks inside an MPI call; packets arriving meanwhile are
@@ -415,7 +451,7 @@ func (e *Engine) Debug() string {
 		s += fmt.Sprintf(" in %v(seq=%d stage=%d mask=%d round=%d sent=%v)",
 			e.coll.Kind, e.coll.Seq, e.coll.Stage, e.coll.Mask, e.coll.Round, e.coll.Sent)
 	}
-	s += fmt.Sprintf(" unexpected=%d inbox=%d", len(e.unexpected), len(e.inbox))
+	s += fmt.Sprintf(" unexpected=%d inbox=%d", len(e.unexpected), len(e.inbox)-e.inboxHead)
 	for _, p := range e.unexpected {
 		s += fmt.Sprintf(" [%d:%d]", p.Src, p.Tag)
 	}

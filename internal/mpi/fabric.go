@@ -7,6 +7,19 @@ import (
 	"ftckpt/internal/simnet"
 )
 
+// handlerOff maps endpoint ids onto handler-table indices: ranks are
+// >= 0 and the runtime service ids are small negatives (currently only
+// SchedulerID), so id+handlerOff is a dense non-negative index.
+const handlerOff = -SchedulerID
+
+// link is the per-ordered-pair connection state: the FIFO channel and the
+// packet sequence counter, held together so the per-packet send path costs
+// one map access instead of three.
+type link struct {
+	ch  *simnet.Channel
+	seq uint64
+}
+
 // Fabric places endpoints (MPI ranks and runtime services) on simulated
 // nodes and provides a FIFO channel per ordered endpoint pair, created
 // lazily on first use — as MPICH2 opens TCP connections on the first
@@ -18,9 +31,8 @@ import (
 type Fabric struct {
 	net      *simnet.Network
 	nodeOf   map[int]int
-	handlers map[int]func(*Packet)
-	chans    map[[2]int]*simnet.Channel
-	seq      map[[2]int]uint64
+	handlers []func(*Packet) // indexed by endpoint id + handlerOff
+	links    map[[2]int]*link
 
 	// met, when set, mirrors the traffic counters into the observability
 	// registry ("fabric.msgs", "fabric.payload_bytes"); nil-safe.
@@ -34,11 +46,9 @@ type Fabric struct {
 // NewFabric wraps a simulated network.
 func NewFabric(net *simnet.Network) *Fabric {
 	return &Fabric{
-		net:      net,
-		nodeOf:   make(map[int]int),
-		handlers: make(map[int]func(*Packet)),
-		chans:    make(map[[2]int]*simnet.Channel),
-		seq:      make(map[[2]int]uint64),
+		net:    net,
+		nodeOf: make(map[int]int),
+		links:  make(map[[2]int]*link),
 	}
 }
 
@@ -76,19 +86,45 @@ func (f *Fabric) Placed(id int) bool {
 // Bind registers the packet handler for an endpoint.  The handler runs as
 // an event callback for every packet addressed to the endpoint.
 func (f *Fabric) Bind(id int, h func(*Packet)) {
-	f.handlers[id] = h
+	i := id + handlerOff
+	if i < 0 {
+		panic(fmt.Sprintf("mpi: endpoint id %d below the service id range", id))
+	}
+	for len(f.handlers) <= i {
+		f.handlers = append(f.handlers, nil)
+	}
+	f.handlers[i] = h
+}
+
+// handler returns the bound handler for an endpoint, nil when unbound.
+func (f *Fabric) handler(id int) func(*Packet) {
+	if i := id + handlerOff; i >= 0 && i < len(f.handlers) {
+		return f.handlers[i]
+	}
+	return nil
 }
 
 // Unbind removes an endpoint's handler and resets every channel touching
 // it.  Queued and in-flight packets are lost.
 func (f *Fabric) Unbind(id int) {
-	delete(f.handlers, id)
-	for key, ch := range f.chans {
+	if i := id + handlerOff; i >= 0 && i < len(f.handlers) {
+		f.handlers[i] = nil
+	}
+	for key, l := range f.links {
 		if key[0] == id || key[1] == id {
-			ch.Close()
-			delete(f.chans, key)
-			delete(f.seq, key)
+			l.ch.Close()
+			delete(f.links, key)
 		}
+	}
+}
+
+// deliverPacket is the arrival callback shared by every channel: it routes
+// the packet to its destination handler, silently dropping it when the
+// destination is unbound (peer died).
+func (f *Fabric) deliverPacket(payload any) {
+	pkt := payload.(*Packet)
+	if h := f.handler(pkt.Dst); h != nil {
+		h(pkt)
 	}
 }
 
@@ -99,21 +135,16 @@ func (f *Fabric) Unbind(id int) {
 func (f *Fabric) Send(src, dst int, p *Packet) {
 	p.Src, p.Dst = src, dst
 	key := [2]int{src, dst}
-	ch, ok := f.chans[key]
-	if !ok {
-		ch = f.net.NewChannel(f.NodeOf(src), f.NodeOf(dst), func(payload any) {
-			pkt := payload.(*Packet)
-			if h, bound := f.handlers[pkt.Dst]; bound {
-				h(pkt)
-			}
-		})
-		f.chans[key] = ch
+	l := f.links[key]
+	if l == nil {
+		l = &link{ch: f.net.NewChannel(f.NodeOf(src), f.NodeOf(dst), f.deliverPacket)}
+		f.links[key] = l
 	}
-	f.seq[key]++
-	p.Seq = f.seq[key]
+	l.seq++
+	p.Seq = l.seq
 	f.MsgCount++
 	f.PayloadBytes += p.PayloadSize()
 	f.met.Inc("fabric.msgs")
 	f.met.Add("fabric.payload_bytes", p.PayloadSize())
-	ch.Send(p, p.WireSize())
+	l.ch.Send(p, p.WireSize())
 }

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkKernelEvents is the canonical kernel event benchmark: it keeps a
+// population of 1024 pending timers (a realistic heap depth for an NP=256
+// job) and measures the cost of one schedule+dispatch cycle.  The fn is
+// shared, so every allocation charged to an op comes from the kernel's own
+// bookkeeping — the number BENCH_core.json tracks as allocs/op.
+func BenchmarkKernelEvents(b *testing.B) {
+	b.ReportAllocs()
+	k := New(1)
+	const population = 1024
+	remaining := b.N
+	var tick func()
+	tick = func() {
+		if remaining > 0 {
+			remaining--
+			k.After(Time(1+k.Rand().Intn(1000))*time.Microsecond, tick)
+		}
+	}
+	for i := 0; i < population && remaining > 0; i++ {
+		remaining--
+		k.After(Time(1+k.Rand().Intn(1000))*time.Microsecond, tick)
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkKernelCancel measures schedule+cancel (the Advance fast path
+// exercises this on every timer that is outlived by its LP).
+func BenchmarkKernelCancel(b *testing.B) {
+	b.ReportAllocs()
+	k := New(1)
+	fn := func() {}
+	n := b.N
+	k.After(0, func() {})
+	b.ResetTimer()
+	for i := 0; i < n; i++ {
+		id := k.At(Time(i)*time.Microsecond, fn)
+		if !k.Cancel(id) {
+			b.Fatal("cancel failed")
+		}
+	}
+}
+
+// BenchmarkAdvance measures the LP park/wake round trip: one logical
+// process advancing virtual time b.N times — two goroutine handoffs plus a
+// timer schedule/fire per op.  This is the dominant cost of every compute
+// step in a simulated MPI run.
+func BenchmarkAdvance(b *testing.B) {
+	b.ReportAllocs()
+	k := New(1)
+	k.Go("bench", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCondPingPong measures two LPs alternating through a pair of
+// condition variables — the blocking-receive hot path of the MPI engine.
+func BenchmarkCondPingPong(b *testing.B) {
+	b.ReportAllocs()
+	k := New(1)
+	a, bb := NewCond(k), NewCond(k)
+	turn := 0
+	k.Go("ping", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			for turn != 0 {
+				a.Wait(p)
+			}
+			turn = 1
+			bb.Signal()
+		}
+	})
+	k.Go("pong", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			for turn != 1 {
+				bb.Wait(p)
+			}
+			turn = 0
+			a.Signal()
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,22 +1,29 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
 // A simulation is a set of logical processes (LPs) — ordinary goroutines
-// created with Kernel.Go — plus a heap of timed event callbacks.  The kernel
-// runs exactly one thing at a time: either a single LP (until it parks on a
-// timer or a Cond) or a single event callback.  Events with equal timestamps
-// fire in scheduling order, and woken LPs run in wake order, so a simulation
-// is bit-reproducible: the same program produces the same trace on every run.
+// created with Kernel.Go — plus a queue of timed event callbacks.  The
+// kernel runs exactly one thing at a time: either a single LP (until it
+// parks on a timer or a Cond) or a single event callback.  Events with
+// equal timestamps fire in scheduling order, and woken LPs run in wake
+// order, so a simulation is bit-reproducible: the same program produces
+// the same trace on every run.
 //
-// Virtual time is a time.Duration measured from the start of the simulation.
-// It only advances when every LP is parked and the earliest pending event is
-// popped; an LP that never parks therefore freezes time (and eventually the
-// kernel reports it as a livelock through the caller hanging — don't do
-// that).  LPs model the passage of computation time explicitly with
-// Proc.Advance.
+// Virtual time is a time.Duration measured from the start of the
+// simulation.  It only advances when every LP is parked and the earliest
+// pending event is popped; an LP that never parks therefore freezes time
+// (and eventually the kernel reports it as a livelock through the caller
+// hanging — don't do that).  LPs model the passage of computation time
+// explicitly with Proc.Advance.
+//
+// The event queue is built for the hot path: an indexed 4-ary min-heap
+// over a pooled slot slab.  Scheduling reuses slots through a free list
+// (no per-At allocation in steady state), EventIDs carry a generation
+// counter so Cancel is an O(1) mark (the slot drains from the heap
+// lazily), and timers that only wake an LP (Advance) carry the *Proc
+// directly instead of a closure.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -62,14 +69,36 @@ func (p *Proc) ID() int { return p.id }
 // Name returns the diagnostic name given at spawn time.
 func (p *Proc) Name() string { return p.name }
 
+// eventSlot is one pooled event.  A slot is referenced by at most one
+// heap entry; cancelled slots stay in the heap (lazily skipped on pop)
+// and are recycled through the free list once popped.
+type eventSlot struct {
+	t    Time
+	seq  uint64
+	gen  uint32
+	live bool
+	// Exactly one of the payload forms is set: fn (closure callback),
+	// argFn+arg (closure-free callback), or proc (wake the LP).
+	fn    func()
+	argFn func(any)
+	arg   any
+	proc  *Proc
+}
+
 // Kernel is a discrete-event scheduler.  Create one with New, add LPs with
 // Go and events with At/After, then call Run.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	byID    map[uint64]*event
-	runq    []*Proc
+	now  Time
+	seq  uint64
+	slab []eventSlot
+	free []int32 // recycled slot indices (LIFO)
+	heap []int32 // 4-ary min-heap of slot indices, keyed by (t, seq)
+
+	dead int // cancelled slots still parked in the heap
+
+	runq     []*Proc
+	runqHead int
+
 	procs   []*Proc
 	live    int // non-daemon LPs not yet dead
 	yield   chan *Proc
@@ -88,7 +117,6 @@ type Kernel struct {
 // reproducible pseudo-randomness tied to the simulation.
 func New(seed int64) *Kernel {
 	return &Kernel{
-		byID:  make(map[uint64]*event),
 		yield: make(chan *Proc),
 		rng:   rand.New(rand.NewSource(seed)),
 	}
@@ -102,59 +130,135 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
-// event is a scheduled callback.
-type event struct {
-	t       Time
-	seq     uint64
-	fn      func()
-	index   int // heap index, -1 when popped/cancelled
-	id      uint64
-	cancled bool
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
-
-// EventID identifies a scheduled event for cancellation.
+// EventID identifies a scheduled event for cancellation.  It packs the
+// slot index and the slot's generation at schedule time; a recycled slot
+// has a new generation, so stale IDs can never cancel a later event.  The
+// zero EventID never names an event.
 type EventID uint64
 
-// At schedules fn to run as an event callback at virtual time t.  If t is
-// in the past it runs at the current time, after already-pending work.
-func (k *Kernel) At(t Time, fn func()) EventID {
+func makeEventID(idx int32, gen uint32) EventID {
+	return EventID(uint64(idx+1)<<32 | uint64(gen))
+}
+
+func (id EventID) split() (idx int32, gen uint32) {
+	return int32(uint64(id)>>32) - 1, uint32(uint64(id))
+}
+
+// --- 4-ary heap over the slot slab --------------------------------------
+
+func (k *Kernel) slotLess(a, b int32) bool {
+	sa, sb := &k.slab[a], &k.slab[b]
+	if sa.t != sb.t {
+		return sa.t < sb.t
+	}
+	return sa.seq < sb.seq
+}
+
+func (k *Kernel) heapPush(idx int32) {
+	k.heap = append(k.heap, idx)
+	h := k.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !k.slotLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (k *Kernel) heapPop() int32 {
+	h := k.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	k.heap = h[:last]
+	k.siftDown(0)
+	return top
+}
+
+func (k *Kernel) siftDown(i int) {
+	h := k.heap
+	n := len(h)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		m := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for j := first + 1; j < end; j++ {
+			if k.slotLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !k.slotLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// compactHeap drops cancelled slots and re-heapifies.  Called once more
+// than half the heap is dead, it keeps a cancel-heavy workload (rearming
+// timeouts, abandoned flows) at amortised O(1) per cancel and bounds the
+// queue's memory by twice its live population.
+func (k *Kernel) compactHeap() {
+	h := k.heap[:0]
+	for _, idx := range k.heap {
+		if k.slab[idx].live {
+			h = append(h, idx)
+		} else {
+			k.freeSlot(idx)
+		}
+	}
+	k.heap = h
+	for i := (len(h) - 2) / 4; i >= 0; i-- {
+		k.siftDown(i)
+	}
+	k.dead = 0
+}
+
+// schedule inserts one event, reusing a free slot when available.
+func (k *Kernel) schedule(t Time, fn func(), argFn func(any), arg any, proc *Proc) EventID {
 	if t < k.now {
 		t = k.now
 	}
 	k.seq++
-	ev := &event{t: t, seq: k.seq, fn: fn, id: k.seq}
-	heap.Push(&k.events, ev)
-	k.byID[ev.id] = ev
-	return EventID(ev.id)
+	var idx int32
+	if n := len(k.free); n > 0 {
+		idx = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		k.slab = append(k.slab, eventSlot{})
+		idx = int32(len(k.slab) - 1)
+	}
+	s := &k.slab[idx]
+	s.t, s.seq, s.live = t, k.seq, true
+	s.fn, s.argFn, s.arg, s.proc = fn, argFn, arg, proc
+	k.heapPush(idx)
+	return makeEventID(idx, s.gen)
+}
+
+// freeSlot recycles a popped slot.  Bumping the generation invalidates
+// every EventID issued for the slot's previous lives.
+func (k *Kernel) freeSlot(idx int32) {
+	s := &k.slab[idx]
+	s.gen++
+	s.live = false
+	s.fn, s.argFn, s.arg, s.proc = nil, nil, nil, nil
+	k.free = append(k.free, idx)
+}
+
+// At schedules fn to run as an event callback at virtual time t.  If t is
+// in the past it runs at the current time, after already-pending work.
+func (k *Kernel) At(t Time, fn func()) EventID {
+	return k.schedule(t, fn, nil, nil, nil)
 }
 
 // After schedules fn to run d from now.
@@ -162,19 +266,42 @@ func (k *Kernel) After(d Time, fn func()) EventID {
 	if d < 0 {
 		d = 0
 	}
-	return k.At(k.now+d, fn)
+	return k.schedule(k.now+d, fn, nil, nil, nil)
+}
+
+// AtArg schedules fn(arg) at virtual time t.  Passing the argument
+// explicitly lets hot paths share one callback func instead of allocating
+// a closure per event.
+func (k *Kernel) AtArg(t Time, fn func(any), arg any) EventID {
+	return k.schedule(t, nil, fn, arg, nil)
+}
+
+// AfterArg schedules fn(arg) to run d from now.
+func (k *Kernel) AfterArg(d Time, fn func(any), arg any) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return k.schedule(k.now+d, nil, fn, arg, nil)
 }
 
 // Cancel revokes a pending event.  Cancelling an event that already fired
-// (or was already cancelled) is a no-op and reports false.
+// (or was already cancelled) is a no-op and reports false.  Cancellation
+// is O(1): the slot is marked dead and drains from the heap lazily.
 func (k *Kernel) Cancel(id EventID) bool {
-	ev, ok := k.byID[uint64(id)]
-	if !ok || ev.cancled || ev.index < 0 {
+	idx, gen := id.split()
+	if idx < 0 || int(idx) >= len(k.slab) {
 		return false
 	}
-	ev.cancled = true
-	heap.Remove(&k.events, ev.index)
-	delete(k.byID, uint64(id))
+	s := &k.slab[idx]
+	if !s.live || s.gen != gen {
+		return false
+	}
+	s.live = false
+	s.fn, s.argFn, s.arg, s.proc = nil, nil, nil, nil
+	k.dead++
+	if k.dead > 64 && k.dead > len(k.heap)/2 {
+		k.compactHeap()
+	}
 	return true
 }
 
@@ -191,7 +318,7 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 	k.procs = append(k.procs, p)
 	k.live++
 	p.state = stateRunnable
-	k.runq = append(k.runq, p)
+	k.pushRunq(p)
 	go func() {
 		<-p.wake
 		defer func() {
@@ -268,6 +395,24 @@ func (p *Proc) checkKilled() {
 	}
 }
 
+// pushRunq appends to the run queue (a sliding-window ring: popRunq
+// advances runqHead and the array is reset once drained, so steady-state
+// scheduling never reallocates).
+func (k *Kernel) pushRunq(p *Proc) {
+	k.runq = append(k.runq, p)
+}
+
+func (k *Kernel) popRunq() *Proc {
+	p := k.runq[k.runqHead]
+	k.runq[k.runqHead] = nil
+	k.runqHead++
+	if k.runqHead == len(k.runq) {
+		k.runq = k.runq[:0]
+		k.runqHead = 0
+	}
+	return p
+}
+
 // ready moves a parked LP to the run queue.  Dead or already-runnable LPs
 // are skipped, which lets stale timer callbacks fire harmlessly.
 func (k *Kernel) ready(p *Proc) {
@@ -275,7 +420,7 @@ func (k *Kernel) ready(p *Proc) {
 		return
 	}
 	p.state = stateRunnable
-	k.runq = append(k.runq, p)
+	k.pushRunq(p)
 }
 
 // park yields the token to the kernel and blocks until woken.
@@ -289,13 +434,16 @@ func (p *Proc) park() {
 }
 
 // Advance blocks the LP for d of virtual time, modelling computation or
-// idle waiting.  Negative durations advance by zero.
+// idle waiting.  Negative durations advance by zero.  The timer carries
+// the LP directly (no closure); the deferred Cancel only matters when the
+// LP is killed while parked — otherwise the event has already fired and
+// the cancel is a cheap no-op.
 func (p *Proc) Advance(d Time) {
 	p.checkKilled()
 	if d < 0 {
 		d = 0
 	}
-	id := p.k.After(d, func() { p.k.ready(p) })
+	id := p.k.schedule(p.k.now+d, nil, nil, nil, p)
 	// If the LP is killed while parked, the timer would otherwise fire
 	// later and drag virtual time forward for a dead process.
 	defer p.k.Cancel(id)
@@ -312,7 +460,7 @@ func (p *Proc) Yield() {
 
 // ready2 is ready for a running LP that is about to park (Yield).
 func (k *Kernel) ready2(p *Proc) {
-	k.runq = append(k.runq, p)
+	k.pushRunq(p)
 	// park() will set stateParked then the queued entry flips it back; to
 	// keep the state machine simple we mark it runnable when dequeued.
 }
@@ -347,9 +495,8 @@ func (k *Kernel) Run() error {
 	defer k.cleanup()
 	for !k.stopped {
 		switch {
-		case len(k.runq) > 0:
-			p := k.runq[0]
-			k.runq = k.runq[1:]
+		case len(k.runq) > k.runqHead:
+			p := k.popRunq()
 			if p.state == stateDead {
 				continue
 			}
@@ -361,20 +508,31 @@ func (k *Kernel) Run() error {
 			p.wake <- struct{}{}
 			<-k.yield
 			k.running = nil
-		case k.events.Len() > 0:
-			ev := heap.Pop(&k.events).(*event)
-			delete(k.byID, ev.id)
-			if ev.cancled {
+		case len(k.heap) > 0:
+			idx := k.heapPop()
+			s := &k.slab[idx]
+			if !s.live {
+				k.freeSlot(idx)
+				k.dead--
 				continue
 			}
-			if ev.t < k.now {
-				return fmt.Errorf("sim: event time went backwards: %v < %v", ev.t, k.now)
+			if s.t < k.now {
+				return fmt.Errorf("sim: event time went backwards: %v < %v", s.t, k.now)
 			}
-			k.now = ev.t
+			k.now = s.t
+			fn, argFn, arg, proc := s.fn, s.argFn, s.arg, s.proc
+			k.freeSlot(idx)
 			if k.Trace != nil {
 				k.Trace(k.now, "event")
 			}
-			ev.fn()
+			switch {
+			case proc != nil:
+				k.ready(proc)
+			case argFn != nil:
+				argFn(arg)
+			default:
+				fn()
+			}
 		default:
 			if k.live > 0 {
 				return fmt.Errorf("%w at t=%v: %d live LP(s) parked forever: %v",

@@ -1,0 +1,86 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"ftckpt/internal/sim"
+)
+
+func benchTopo() Topology {
+	return Topology{Clusters: []ClusterSpec{{
+		Name: "bench", Nodes: 4, NICBW: 100 * float64(MB), Latency: 50 * time.Microsecond,
+	}}}
+}
+
+// BenchmarkChannelSmall measures the small-message fast path: b.N
+// back-to-back sub-cutoff messages through one FIFO channel, including
+// their delivery events.
+func BenchmarkChannelSmall(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.New(1)
+	n := New(k, benchTopo())
+	got := 0
+	ch := n.NewChannel(0, 1, func(payload any) { got++ })
+	k.After(0, func() {
+		for i := 0; i < b.N; i++ {
+			ch.Send(i, 512)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if got != b.N {
+		b.Fatalf("delivered %d of %d", got, b.N)
+	}
+}
+
+// BenchmarkChannelBulk measures the fluid-flow path: b.N above-cutoff
+// messages on one channel while a competing channel keeps the shared NIC
+// busy, so every completion reschedules a neighbour.
+func BenchmarkChannelBulk(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.New(1)
+	n := New(k, benchTopo())
+	got := 0
+	ch := n.NewChannel(0, 1, func(payload any) { got++ })
+	rival := n.NewChannel(0, 2, func(payload any) {})
+	k.After(0, func() {
+		for i := 0; i < b.N; i++ {
+			ch.Send(i, 64*KB)
+			rival.Send(i, 64*KB)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if got != b.N {
+		b.Fatalf("delivered %d of %d", got, b.N)
+	}
+}
+
+// BenchmarkFlows measures raw StartFlow churn: pairs of competing bulk
+// flows started back-to-back, exercising attach/detach/reschedule.
+func BenchmarkFlows(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.New(1)
+	n := New(k, benchTopo())
+	done := 0
+	var start func()
+	start = func() {
+		n.StartFlow(0, 1, 256*KB, func() {
+			done++
+			if done < b.N {
+				start()
+			}
+		})
+		n.StartFlow(2, 1, 128*KB, nil)
+	}
+	k.After(0, start)
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -26,10 +26,14 @@ type Channel struct {
 	src     int
 	dst     int
 	deliver func(payload any)
-	queue   []message
-	busy    bool
-	inFly   *Flow
-	closed  bool
+	// queue is a sliding-window ring: startNext advances qhead and the
+	// array is reset once drained, so a steady send/transmit cadence
+	// reuses the same backing array instead of reallocating per message.
+	queue  []message
+	qhead  int
+	busy   bool
+	inFly  *Flow
+	closed bool
 
 	// MsgsSent and BytesSent accumulate per-channel statistics.
 	MsgsSent  int
@@ -39,6 +43,24 @@ type Channel struct {
 type message struct {
 	payload any
 	size    Bytes
+}
+
+// smallMsg is a pooled fast-path delivery record (see startSmall): it
+// carries the payload to the delivery event without a per-message closure
+// and returns to the network's pool as it is consumed.
+type smallMsg struct {
+	c       *Channel
+	payload any
+	size    Bytes
+}
+
+func (n *Network) getSmall() *smallMsg {
+	if last := len(n.smallPool) - 1; last >= 0 {
+		sm := n.smallPool[last]
+		n.smallPool = n.smallPool[:last]
+		return sm
+	}
+	return &smallMsg{}
 }
 
 // NewChannel opens a FIFO message channel from node src to node dst.
@@ -70,80 +92,99 @@ func (c *Channel) Send(payload any, size Bytes) {
 }
 
 func (c *Channel) startNext() {
-	if c.closed || len(c.queue) == 0 {
+	if c.closed || c.qhead == len(c.queue) {
 		c.busy = false
+		if c.qhead > 0 {
+			c.queue = c.queue[:0]
+			c.qhead = 0
+		}
 		return
 	}
-	m := c.queue[0]
-	c.queue = c.queue[1:]
+	m := c.queue[c.qhead]
+	c.queue[c.qhead] = message{} // drop the payload reference
+	c.qhead++
+	if c.qhead == len(c.queue) {
+		c.queue = c.queue[:0]
+		c.qhead = 0
+	}
 	c.busy = true
 	if m.size < smallCutoff {
 		c.startSmall(m)
 		return
 	}
-	c.net.flowSeq++
+	n := c.net
+	n.flowSeq++
 	f := &Flow{
-		net:       c.net,
-		seq:       c.net.flowSeq,
+		net:       n,
+		seq:       n.flowSeq,
 		remaining: float64(m.size),
-		last:      c.net.k.Now(),
-		latency:   c.net.Latency(c.src, c.dst),
+		size:      m.size,
+		last:      n.k.Now(),
+		latency:   n.Latency(c.src, c.dst),
+		ch:        c,
+		payload:   m.payload,
 	}
-	f.onDone = func() {
-		if c.closed {
-			return
-		}
-		c.net.BytesMoved += m.size
-		c.net.FlowsDone++
-		c.deliver(m.payload)
-	}
-	// The next message may start transmitting as soon as this one clears
-	// the bottleneck.
-	f.onXfer = func() { c.startNext() }
 	c.inFly = f
 	if c.src == c.dst {
-		f.doneEv = c.net.k.After(0, f.transferComplete)
+		f.doneEv = n.k.AfterArg(0, flowXferComplete, f)
 		return
 	}
-	f.res = c.net.pathResources(c.src, c.dst)
-	if c.net.Cluster(c.src) != c.net.Cluster(c.dst) {
-		f.cap = c.net.topo.WanFlowCap
+	n.pathInto(f, c.src, c.dst)
+	if n.Cluster(c.src) != n.Cluster(c.dst) {
+		f.cap = n.topo.WanFlowCap
 	}
-	c.net.reschedule(f.attach())
+	n.attach(f)
+	n.reschedule()
 }
 
 // startSmall transmits a message on the fast path: the unloaded path
 // bandwidth, serialized against the sender node's transmit horizon.
 func (c *Channel) startSmall(m message) {
 	c.inFly = nil
-	k := c.net.k
+	n := c.net
+	k := n.k
 	now := k.Now()
 	var svc sim.Time
 	if c.src != c.dst {
-		svc = sim.Time(float64(m.size) / c.net.Bandwidth(c.src, c.dst) * 1e9)
+		svc = sim.Time(float64(m.size) / n.Bandwidth(c.src, c.dst) * 1e9)
 	}
-	node := c.net.nodes[c.src]
+	node := n.nodes[c.src]
 	ready := node.smallTxBusy
 	if ready < now {
 		ready = now
 	}
 	ready += svc
 	node.smallTxBusy = ready
-	lat := c.net.Latency(c.src, c.dst)
-	k.At(ready, func() {
-		if c.closed {
-			return
-		}
+	lat := n.Latency(c.src, c.dst)
+	k.AtArg(ready, smallNext, c)
+	sm := n.getSmall()
+	sm.c, sm.payload, sm.size = c, m.payload, m.size
+	k.AtArg(ready+lat, smallDeliver, sm)
+}
+
+// smallNext fires when a fast-path message clears the transmit horizon:
+// the channel may start its next message.
+func smallNext(x any) {
+	c := x.(*Channel)
+	if !c.closed {
 		c.startNext()
-	})
-	k.At(ready+lat, func() {
-		if c.closed {
-			return
-		}
-		c.net.BytesMoved += m.size
-		c.net.FlowsDone++
-		c.deliver(m.payload)
-	})
+	}
+}
+
+// smallDeliver fires one path latency later and hands the payload to the
+// receiver, recycling the record.
+func smallDeliver(x any) {
+	sm := x.(*smallMsg)
+	c, payload, size := sm.c, sm.payload, sm.size
+	sm.c, sm.payload = nil, nil
+	n := c.net
+	n.smallPool = append(n.smallPool, sm)
+	if c.closed {
+		return
+	}
+	n.BytesMoved += size
+	n.FlowsDone++
+	c.deliver(payload)
 }
 
 // Close tears the channel down, dropping queued and in-flight messages —
@@ -154,6 +195,7 @@ func (c *Channel) Close() {
 	}
 	c.closed = true
 	c.queue = nil
+	c.qhead = 0
 	c.busy = false
 	if c.inFly != nil {
 		c.inFly.Cancel()

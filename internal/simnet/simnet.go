@@ -20,12 +20,17 @@
 // Channels (channel.go) add FIFO ordering on top of flows: a Channel
 // serializes its messages (one in flight at a time), so per-channel FIFO —
 // which both checkpointing protocols require — holds by construction.
+//
+// The implementation keeps the per-event hot path allocation-free: flow
+// membership lives in seq-ordered slices (not maps), the affected set of a
+// reschedule is an epoch-marked scratch slice reused across calls, a
+// flow's resource path is a fixed-size array, and completion/delivery
+// events are scheduled through the kernel's closure-free AfterArg form.
 package simnet
 
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"ftckpt/internal/obs"
@@ -75,11 +80,15 @@ func (t Topology) TotalNodes() int {
 	return n
 }
 
-// resource is a capacity shared equally by the flows crossing it.
+// resource is a capacity shared equally by the flows crossing it.  The
+// member list is kept in flow-creation (seq) order: flows attach at
+// creation and seq is monotonic, so plain appends preserve it and ordered
+// removal keeps it — which makes the affected set of a reschedule
+// near-sorted for free.
 type resource struct {
 	name  string
 	bw    Rate
-	flows map[*Flow]struct{}
+	flows []*Flow
 }
 
 func (r *resource) share() Rate {
@@ -99,21 +108,29 @@ type node struct {
 	smallTxBusy sim.Time
 }
 
+// maxPathRes is the most resources a flow can cross: src NIC tx, dst NIC
+// rx, and (between clusters) each side's WAN uplink.
+const maxPathRes = 4
+
 // Flow is an in-progress bulk transfer.
 type Flow struct {
 	net       *Network
 	seq       uint64 // creation order, for deterministic rescheduling
-	res       []*resource
+	res       [maxPathRes]*resource
+	nres      int
 	cap       Rate    // per-flow rate ceiling (WAN), 0 = none
 	remaining float64 // bytes
+	size      Bytes
 	rate      Rate
 	last      sim.Time
 	latency   sim.Time
 	doneEv    sim.EventID
-	onDone    func()
-	onXfer    func() // optional: runs when the last byte clears the bottleneck
+	onDone    func()   // StartFlow API callback; nil for channel flows
+	ch        *Channel // owning channel for bulk channel messages
+	payload   any      // delivered payload for channel flows
 	done      bool
 	cancelled bool
+	mark      uint64 // affected-set epoch (see Network.addAffected)
 }
 
 // Network is the simulated platform.
@@ -124,6 +141,15 @@ type Network struct {
 	// wanUp[i] is cluster i's uplink, nil for single-cluster topologies.
 	wanUp   []*resource
 	flowSeq uint64
+
+	// affected is the scratch set of flows whose rate may have changed in
+	// the current attach/detach; epoch-marking makes membership tests O(1)
+	// without clearing per-flow state between calls.
+	affected []*Flow
+	epoch    uint64
+
+	// smallPool recycles the fast-path delivery records of channel.go.
+	smallPool []*smallMsg
 
 	// met, when set, mirrors delivery statistics into the observability
 	// registry ("net.flows", "net.bytes_moved"); nil-safe.
@@ -149,8 +175,8 @@ func New(k *sim.Kernel, topo Topology) *Network {
 			n.nodes = append(n.nodes, &node{
 				id:      id,
 				cluster: ci,
-				tx:      &resource{name: fmt.Sprintf("n%d.tx", id), bw: c.NICBW, flows: map[*Flow]struct{}{}},
-				rx:      &resource{name: fmt.Sprintf("n%d.rx", id), bw: c.NICBW, flows: map[*Flow]struct{}{}},
+				tx:      &resource{name: fmt.Sprintf("n%d.tx", id), bw: c.NICBW},
+				rx:      &resource{name: fmt.Sprintf("n%d.rx", id), bw: c.NICBW},
 			})
 		}
 	}
@@ -160,7 +186,7 @@ func New(k *sim.Kernel, topo Topology) *Network {
 		}
 		n.wanUp = make([]*resource, len(topo.Clusters))
 		for ci := range topo.Clusters {
-			n.wanUp[ci] = &resource{name: fmt.Sprintf("wan%d", ci), bw: topo.WanBW, flows: map[*Flow]struct{}{}}
+			n.wanUp[ci] = &resource{name: fmt.Sprintf("wan%d", ci), bw: topo.WanBW}
 		}
 	}
 	return n
@@ -190,26 +216,35 @@ func (n *Network) Latency(src, dst int) sim.Time {
 
 // Bandwidth returns the unloaded bottleneck bandwidth of one src→dst flow.
 func (n *Network) Bandwidth(src, dst int) Rate {
-	bw := math.Inf(1)
-	for _, r := range n.pathResources(src, dst) {
-		if r.bw < bw {
-			bw = r.bw
-		}
+	a, b := n.nodes[src], n.nodes[dst]
+	bw := a.tx.bw
+	if b.rx.bw < bw {
+		bw = b.rx.bw
 	}
-	if n.Cluster(src) != n.Cluster(dst) && n.topo.WanFlowCap > 0 && n.topo.WanFlowCap < bw {
-		bw = n.topo.WanFlowCap
+	if a.cluster != b.cluster {
+		if u := n.wanUp[a.cluster].bw; u < bw {
+			bw = u
+		}
+		if u := n.wanUp[b.cluster].bw; u < bw {
+			bw = u
+		}
+		if wc := n.topo.WanFlowCap; wc > 0 && wc < bw {
+			bw = wc
+		}
 	}
 	return bw
 }
 
-// pathResources returns the capacity resources a src→dst flow crosses.
-func (n *Network) pathResources(src, dst int) []*resource {
+// pathInto fills the flow's resource array with the capacities a src→dst
+// transfer crosses.
+func (n *Network) pathInto(f *Flow, src, dst int) {
 	a, b := n.nodes[src], n.nodes[dst]
-	res := []*resource{a.tx, b.rx}
+	f.res[0], f.res[1] = a.tx, b.rx
+	f.nres = 2
 	if a.cluster != b.cluster {
-		res = append(res, n.wanUp[a.cluster], n.wanUp[b.cluster])
+		f.res[2], f.res[3] = n.wanUp[a.cluster], n.wanUp[b.cluster]
+		f.nres = 4
 	}
-	return res
 }
 
 // StartFlow begins a bulk transfer of size bytes from node src to node dst.
@@ -230,76 +265,98 @@ func (n *Network) StartFlowCapped(src, dst int, size Bytes, cap Rate, onDone fun
 		seq:       n.flowSeq,
 		cap:       cap,
 		remaining: float64(size),
+		size:      size,
 		last:      n.k.Now(),
 		latency:   n.Latency(src, dst),
-		onDone: func() {
-			n.BytesMoved += size
-			n.FlowsDone++
-			n.met.Inc("net.flows")
-			n.met.Add("net.bytes_moved", size)
-			if onDone != nil {
-				onDone()
-			}
-		},
+		onDone:    onDone,
 	}
 	if src == dst {
 		// Loopback: latency only (applied by transferComplete); intra-node
 		// copies are not network flows.
-		f.doneEv = n.k.After(0, f.transferComplete)
+		f.doneEv = n.k.AfterArg(0, flowXferComplete, f)
 		return f
 	}
-	f.res = n.pathResources(src, dst)
+	n.pathInto(f, src, dst)
 	if n.Cluster(src) != n.Cluster(dst) {
 		if wc := n.topo.WanFlowCap; wc > 0 && (f.cap == 0 || wc < f.cap) {
 			f.cap = wc
 		}
 	}
-	affected := f.attach()
-	n.reschedule(affected)
+	n.attach(f)
+	n.reschedule()
 	return f
 }
 
-// attach inserts the flow into its resources and returns every flow whose
-// rate may have changed (including f itself).
-func (f *Flow) attach() map[*Flow]struct{} {
-	affected := map[*Flow]struct{}{f: {}}
-	for _, r := range f.res {
-		for g := range r.flows {
-			affected[g] = struct{}{}
-		}
-		r.flows[f] = struct{}{}
-	}
-	return affected
+// beginAffected starts a new affected-set collection.
+func (n *Network) beginAffected() {
+	n.epoch++
+	n.affected = n.affected[:0]
 }
 
-// detach removes the flow from its resources and returns the remaining
-// flows whose rate may have changed.
-func (f *Flow) detach() map[*Flow]struct{} {
-	affected := map[*Flow]struct{}{}
-	for _, r := range f.res {
-		delete(r.flows, f)
-		for g := range r.flows {
-			affected[g] = struct{}{}
-		}
+// addAffected inserts a flow into the current affected set once.
+func (n *Network) addAffected(g *Flow) {
+	if g.mark == n.epoch {
+		return
 	}
-	f.res = nil
-	return affected
+	g.mark = n.epoch
+	n.affected = append(n.affected, g)
+}
+
+// attach inserts the flow into its resources, collecting every flow whose
+// rate may have changed (including f itself) into the affected set.
+func (n *Network) attach(f *Flow) {
+	n.beginAffected()
+	n.addAffected(f)
+	for i := 0; i < f.nres; i++ {
+		r := f.res[i]
+		for _, g := range r.flows {
+			n.addAffected(g)
+		}
+		r.flows = append(r.flows, f)
+	}
+}
+
+// detach removes the flow from its resources, collecting the remaining
+// flows whose rate may have changed into the affected set.
+func (n *Network) detach(f *Flow) {
+	n.beginAffected()
+	for i := 0; i < f.nres; i++ {
+		r := f.res[i]
+		for j, g := range r.flows {
+			if g == f {
+				r.flows = append(r.flows[:j], r.flows[j+1:]...)
+				break
+			}
+		}
+		for _, g := range r.flows {
+			n.addAffected(g)
+		}
+		f.res[i] = nil
+	}
+	f.nres = 0
 }
 
 // reschedule settles progress and recomputes rate and completion time for
-// every affected live flow.  In the min-share model a flow's rate depends
-// only on the population counts of its own resources, so a single pass is
-// exact for the resources whose membership changed.
-func (n *Network) reschedule(affected map[*Flow]struct{}) {
+// every live flow in the affected set.  In the min-share model a flow's
+// rate depends only on the population counts of its own resources, so a
+// single pass is exact for the resources whose membership changed.
+func (n *Network) reschedule() {
 	now := n.k.Now()
-	// Iterate in flow-creation order: map iteration order would make
-	// equal-time completions fire nondeterministically.
-	ordered := make([]*Flow, 0, len(affected))
-	for g := range affected {
-		ordered = append(ordered, g)
+	// Iterate in flow-creation order — the per-resource lists are already
+	// seq-ordered, so the concatenated set is near-sorted and an insertion
+	// sort settles it without allocating.  (Collection order would make
+	// equal-time completions fire in attach order, not creation order.)
+	aff := n.affected
+	for i := 1; i < len(aff); i++ {
+		g := aff[i]
+		j := i - 1
+		for j >= 0 && aff[j].seq > g.seq {
+			aff[j+1] = aff[j]
+			j--
+		}
+		aff[j+1] = g
 	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
-	for _, g := range ordered {
+	for _, g := range aff {
 		if g.done || g.cancelled {
 			continue
 		}
@@ -311,8 +368,8 @@ func (n *Network) reschedule(affected map[*Flow]struct{}) {
 		}
 		g.last = now
 		rate := math.Inf(1)
-		for _, r := range g.res {
-			if s := r.share(); s < rate {
+		for i := 0; i < g.nres; i++ {
+			if s := g.res[i].share(); s < rate {
 				rate = s
 			}
 		}
@@ -331,9 +388,13 @@ func (n *Network) reschedule(affected map[*Flow]struct{}) {
 				dt = 0
 			}
 		}
-		g.doneEv = n.k.After(dt, g.transferComplete)
+		g.doneEv = n.k.AfterArg(dt, flowXferComplete, g)
 	}
 }
+
+// flowXferComplete is the shared completion callback: scheduling it through
+// AfterArg avoids binding a method-value closure per reschedule.
+func flowXferComplete(x any) { x.(*Flow).transferComplete() }
 
 // transferComplete fires when the last byte leaves the bottleneck; the
 // delivery callback runs one path latency later.
@@ -344,17 +405,42 @@ func (f *Flow) transferComplete() {
 	f.done = true
 	f.doneEv = 0
 	f.remaining = 0
-	if f.res != nil {
-		affected := f.detach()
-		f.net.reschedule(affected)
+	if f.nres > 0 {
+		f.net.detach(f)
+		f.net.reschedule()
 	}
-	f.net.k.After(f.latency, func() {
-		if !f.cancelled {
-			f.onDone()
+	f.net.k.AfterArg(f.latency, deliverFlow, f)
+	if f.ch != nil {
+		// The channel's next message may start transmitting as soon as
+		// this one clears the bottleneck.
+		f.ch.startNext()
+	}
+}
+
+// deliverFlow runs one path latency after the last byte cleared the
+// bottleneck: it settles the delivery statistics and hands the result to
+// the receiver (channel delivery callback or StartFlow onDone).
+func deliverFlow(x any) {
+	f := x.(*Flow)
+	if f.cancelled {
+		return
+	}
+	n := f.net
+	if c := f.ch; c != nil {
+		if c.closed {
+			return
 		}
-	})
-	if f.onXfer != nil {
-		f.onXfer()
+		n.BytesMoved += f.size
+		n.FlowsDone++
+		c.deliver(f.payload)
+		return
+	}
+	n.BytesMoved += f.size
+	n.FlowsDone++
+	n.met.Inc("net.flows")
+	n.met.Add("net.bytes_moved", f.size)
+	if f.onDone != nil {
+		f.onDone()
 	}
 }
 
@@ -366,9 +452,9 @@ func (f *Flow) Cancel() {
 		f.net.k.Cancel(f.doneEv)
 		f.doneEv = 0
 	}
-	if !f.done && f.res != nil {
-		affected := f.detach()
-		f.net.reschedule(affected)
+	if !f.done && f.nres > 0 {
+		f.net.detach(f)
+		f.net.reschedule()
 	}
 	f.done = true
 }

@@ -1,0 +1,191 @@
+package ftckpt
+
+import "time"
+
+// Typed facade constants.  Protocol, Platform, Workload and Class are
+// string-backed, so the stringly-typed literals of earlier releases
+// ("pcl", "ethernet", "bt", "B") keep compiling unchanged; the exported
+// constants below are the supported values, and buildConfig rejects
+// anything outside them with an error naming the Options field.
+
+// Protocol selects the fault-tolerance protocol of a run.
+type Protocol string
+
+// Protocols.
+const (
+	// ProtocolNone disables checkpointing (baseline runs).  The zero
+	// value "" means the same.
+	ProtocolNone Protocol = "none"
+	// Pcl is the blocking coordinated protocol (MPICH2 implementation).
+	Pcl Protocol = "pcl"
+	// Vcl is the non-blocking Chandy–Lamport protocol (MPICH-V).
+	Vcl Protocol = "vcl"
+	// Mlog is uncoordinated checkpointing with pessimistic message
+	// logging (single-process recovery).
+	Mlog Protocol = "mlog"
+)
+
+// Platform selects the simulated platform of a run.
+type Platform string
+
+// Platforms.
+const (
+	// PlatformEthernet is the Gigabit-Ethernet cluster (default).
+	PlatformEthernet Platform = "ethernet"
+	// PlatformMyrinetGM is Myrinet through the GM/Nemesis stack.
+	PlatformMyrinetGM Platform = "myrinet-gm"
+	// PlatformMyrinetTCP is Myrinet through the TCP/sock stack.
+	PlatformMyrinetTCP Platform = "myrinet-tcp"
+	// PlatformGrid is the six-cluster Grid'5000 topology with
+	// per-cluster checkpoint servers.
+	PlatformGrid Platform = "grid"
+)
+
+// Workload selects the application of a run.
+type Workload string
+
+// Workloads.
+const (
+	// WorkloadBT is the NPB BT model (default).
+	WorkloadBT Workload = "bt"
+	// WorkloadCG is the NPB CG model.
+	WorkloadCG Workload = "cg"
+	// WorkloadMG is the NPB MG model.
+	WorkloadMG Workload = "mg"
+	// WorkloadLU is the NPB LU model.
+	WorkloadLU Workload = "lu"
+	// WorkloadCGReal is the real distributed conjugate-gradient kernel.
+	WorkloadCGReal Workload = "cg-real"
+	// WorkloadEP is the real NAS EP kernel.
+	WorkloadEP Workload = "ep"
+	// WorkloadJacobi is the real 2D heat-diffusion kernel.
+	WorkloadJacobi Workload = "jacobi"
+)
+
+// Class selects the NPB problem class for the model workloads.
+type Class string
+
+// NPB classes.
+const (
+	ClassA Class = "A"
+	ClassB Class = "B"
+	ClassC Class = "C"
+)
+
+// Failure schedules the kill of one component at a virtual time.  Build
+// values with KillRank, KillNode or KillServer; the raw struct-literal
+// form (Kind plus the matching index field) is deprecated but still
+// honoured.  Kind "" means "rank".
+type Failure struct {
+	At     time.Duration
+	Kind   string
+	Rank   int
+	Node   int
+	Server int
+}
+
+// KillRank schedules the kill of one MPI process at virtual time at.
+func KillRank(at time.Duration, rank int) Failure {
+	return Failure{At: at, Kind: "rank", Rank: rank}
+}
+
+// KillNode schedules the kill of a whole compute node: every process on
+// it dies and the machine leaves the pool.
+func KillNode(at time.Duration, node int) Failure {
+	return Failure{At: at, Kind: "node", Node: node}
+}
+
+// KillServer schedules the kill of a checkpoint server: its stored images
+// and logs are lost; replicas on other servers survive.
+func KillServer(at time.Duration, server int) Failure {
+	return Failure{At: at, Kind: "server", Server: server}
+}
+
+// ReplicationSpec groups the checkpoint-image replication knobs.
+type ReplicationSpec struct {
+	// Replicas keeps that many copies of every image and log set across
+	// the checkpoint servers (default 1, the paper's single-copy model).
+	Replicas int
+	// WriteQuorum is how many replicas must acknowledge before a store
+	// counts as durable (default all Replicas).
+	WriteQuorum int
+	// StoreRetries bounds re-ship and recovery-fetch attempts after a
+	// replica dies; RetryBackoff is the delay before each retry.
+	StoreRetries int
+	RetryBackoff time.Duration
+}
+
+// HeartbeatSpec groups the failure-detector knobs.  A non-nil spec with
+// Period > 0 replaces instant failure detection with a heartbeat
+// detector: the dispatcher pings ranks and servers each Period and
+// declares a component dead after Timeout of silence (default 4×Period).
+type HeartbeatSpec struct {
+	Period  time.Duration
+	Timeout time.Duration
+}
+
+// Options describes one fault-tolerant MPI run.
+type Options struct {
+	// Workload selects the application: WorkloadBT, WorkloadCG,
+	// WorkloadMG, WorkloadLU (NPB models), WorkloadCGReal, WorkloadEP,
+	// WorkloadJacobi (real kernels).  Default WorkloadBT.
+	Workload Workload
+	// Class is the NPB class for the model workloads: ClassA, ClassB or
+	// ClassC.  Default ClassB.
+	Class Class
+	// NP is the number of MPI processes; ProcsPerNode co-locates them
+	// (dual-processor nodes sharing one NIC, default 1).
+	NP           int
+	ProcsPerNode int
+	// Protocol is ProtocolNone, Pcl (blocking), Vcl (non-blocking) or
+	// Mlog (uncoordinated checkpointing + pessimistic message logging);
+	// Interval is the time between checkpoint waves (per process for
+	// Mlog).
+	Protocol Protocol
+	Interval time.Duration
+	// Servers is the number of checkpoint servers (default 1 when
+	// checkpointing).
+	Servers int
+	// Replication groups the replication knobs; nil keeps the paper's
+	// single-copy model (or the deprecated flat fields below).
+	Replication *ReplicationSpec
+	// Heartbeat enables the ping/timeout failure detector; nil keeps
+	// instant failure detection (or the deprecated flat fields below).
+	Heartbeat *HeartbeatSpec
+	//
+	// Deprecated: the flat replication and heartbeat fields below are
+	// shims for the pre-spec API; use Replication and Heartbeat.  Setting
+	// both a sub-struct and a conflicting flat field is an error.
+	Replicas         int
+	WriteQuorum      int
+	StoreRetries     int
+	RetryBackoff     time.Duration
+	HeartbeatPeriod  time.Duration
+	HeartbeatTimeout time.Duration
+	// Platform is PlatformEthernet (default), PlatformMyrinetGM,
+	// PlatformMyrinetTCP or PlatformGrid.
+	Platform Platform
+	// VclProcessLimit overrides the Vcl dispatcher's select() limit
+	// (paper §5.4, ~300 processes); -1 removes it for what-if studies at
+	// larger scales, 0 keeps the default.
+	VclProcessLimit int
+	// Seed drives the deterministic simulation.
+	Seed int64
+	// Failures schedules component kills (KillRank, KillNode,
+	// KillServer); MTTF adds memoryless rank failures, ServerMTTF and
+	// NodeMTTF the same for checkpoint servers and compute nodes (each
+	// an independent failure process).
+	Failures   []Failure
+	MTTF       time.Duration
+	ServerMTTF time.Duration
+	NodeMTTF   time.Duration
+	// Verbose receives runtime progress lines.
+	Verbose func(format string, args ...any)
+	// Sink receives every structured observability event of the run (see
+	// observe.go); a Collector here enables timeline export.
+	Sink Sink
+	// Metrics, when set, makes the run fold its counters and histograms
+	// into an existing registry instead of a private one — sharing one
+	// registry aggregates several runs.
+	Metrics *Metrics
+}
