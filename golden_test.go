@@ -9,6 +9,8 @@ package ftckpt
 
 import (
 	"bytes"
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -91,6 +93,97 @@ func TestGoldenDeterminismReplicated(t *testing.T) {
 			KillRank(17*time.Millisecond, 3),
 		},
 	})
+}
+
+// TestGoldenDeterminismChaosSweep runs a replicated, heartbeat-enabled
+// chaos sweep concurrently (Jobs=4, with GOMAXPROCS pinned above 1 so
+// that under -race the points really execute in parallel) and requires
+// every artifact — reports, the deterministically merged metrics
+// registry, each point's Chrome trace and the serialized progress log —
+// to be byte-identical across two executions.  This is the dynamic half
+// of the contract ftlint enforces statically: no map-iteration order, no
+// worker interleaving and no shared-registry write may leak into output.
+func TestGoldenDeterminismChaosSweep(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	repl := &ReplicationSpec{Replicas: 2, WriteQuorum: 1, StoreRetries: 2, RetryBackoff: time.Millisecond}
+	hb := &HeartbeatSpec{Period: 2 * time.Millisecond}
+	base := []Options{
+		{Protocol: Pcl, Seed: 7, Failures: []Failure{
+			KillServer(11*time.Millisecond, 1), KillRank(17*time.Millisecond, 3)}},
+		{Protocol: Vcl, Seed: 11, Failures: []Failure{
+			KillRank(13*time.Millisecond, 2), KillNode(23*time.Millisecond, 1)}},
+		{Protocol: Mlog, Seed: 13, Failures: []Failure{
+			KillServer(9*time.Millisecond, 0)}},
+		{Protocol: Pcl, Seed: 21, Failures: []Failure{
+			KillNode(15*time.Millisecond, 2)}},
+	}
+	for i := range base {
+		base[i].Workload = WorkloadCGReal
+		base[i].NP = 8
+		base[i].ProcsPerNode = 2
+		base[i].Interval = 5 * time.Millisecond
+		base[i].Servers = 3
+		base[i].Replication = repl
+		base[i].Heartbeat = hb
+	}
+
+	runOnce := func() ([]Report, []byte, [][]byte, []byte) {
+		pts := make([]Options, len(base))
+		cols := make([]*Collector, len(base))
+		for i := range base {
+			pts[i] = base[i]
+			cols[i] = NewCollector()
+			pts[i].Sink = cols[i]
+			// Non-nil Verbose opts the point into the sweep's ordered
+			// trace sink; the function itself is replaced by Sweep.
+			pts[i].Verbose = func(string, ...any) {}
+		}
+		met := NewMetrics()
+		var traceLog bytes.Buffer
+		reps, err := Sweep(pts, SweepOptions{
+			Jobs:    4,
+			Metrics: met,
+			Trace:   func(format string, args ...any) { fmt.Fprintf(&traceLog, format+"\n", args...) },
+		})
+		if err != nil {
+			t.Fatalf("Sweep: %v", err)
+		}
+		var metJSON bytes.Buffer
+		if err := met.WriteJSON(&metJSON); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		chromes := make([][]byte, len(cols))
+		for i, col := range cols {
+			var b bytes.Buffer
+			if err := col.WriteChromeTrace(&b); err != nil {
+				t.Fatalf("WriteChromeTrace: %v", err)
+			}
+			chromes[i] = b.Bytes()
+		}
+		for i := range reps {
+			reps[i].Metrics = nil
+		}
+		return reps, metJSON.Bytes(), chromes, traceLog.Bytes()
+	}
+
+	r1, m1, c1, l1 := runOnce()
+	r2, m2, c2, l2 := runOnce()
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Errorf("point %d: Report differs across identical sweeps:\n  first  %+v\n  second %+v", i, r1[i], r2[i])
+		}
+		if !bytes.Equal(c1[i], c2[i]) {
+			t.Errorf("point %d: Chrome trace differs across identical sweeps (%d vs %d bytes)", i, len(c1[i]), len(c2[i]))
+		}
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Errorf("merged metrics JSON differs across identical sweeps (%d vs %d bytes)", len(m1), len(m2))
+	}
+	if !bytes.Equal(l1, l2) {
+		t.Errorf("serialized trace log differs across identical sweeps (%d vs %d bytes)", len(l1), len(l2))
+	}
 }
 
 // TestGoldenDeterminismGrid covers the multi-cluster topology: WAN flow

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages of the enclosing module.  All
+// packages of one Loader share a FileSet and an importer, so the standard
+// library and common internal dependencies are type-checked once.
+//
+// Import resolution uses the standard library's source importer, which
+// falls back to `go list` for module paths — the process must therefore
+// run with its working directory inside the module (cmd/ftlint and `go
+// test` both do).  This keeps the loader free of external dependencies;
+// see the package comment for why golang.org/x/tools is not used.
+type Loader struct {
+	Fset *token.FileSet
+	// IncludeTests adds in-package _test.go files to each package (files
+	// declaring an external <pkg>_test package are always skipped — they
+	// would need a second type-check universe and hold no simulation
+	// code).
+	IncludeTests bool
+
+	imp types.Importer
+}
+
+// NewLoader returns a loader with a fresh FileSet and importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// moduleRoot walks up from dir to the directory containing go.mod and
+// returns that directory and the module path declared in it.
+func moduleRoot(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load resolves the patterns ("./...", package directories, or import
+// paths relative to the module root) against the module containing the
+// current working directory and returns the type-checked packages in
+// deterministic (path) order.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := moduleRoot(cwd)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := walkPackages(root, add); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := resolveDir(root, modPath, cwd, strings.TrimSuffix(pat, "/..."))
+			if err := walkPackages(base, add); err != nil {
+				return nil, err
+			}
+		default:
+			add(resolveDir(root, modPath, cwd, pat))
+		}
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// resolveDir maps a pattern to a directory: import paths under the module
+// path map relative to the module root, everything else is a file path
+// relative to the working directory.
+func resolveDir(root, modPath, cwd, pat string) string {
+	if rest, ok := strings.CutPrefix(pat, modPath); ok {
+		return filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(rest, "/")))
+	}
+	if filepath.IsAbs(pat) {
+		return filepath.Clean(pat)
+	}
+	return filepath.Join(cwd, filepath.FromSlash(pat))
+}
+
+// walkPackages calls add for every directory under base holding Go files,
+// skipping testdata, vendor and hidden/underscore directories — the same
+// pruning the go tool applies to "./..." patterns.
+func walkPackages(base string, add func(string)) error {
+	return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			add(filepath.Dir(path))
+		}
+		return nil
+	})
+}
+
+// LoadDir parses and type-checks the single package in dir under the
+// given import path.  Directories with no eligible Go files return
+// (nil, nil).
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !l.IncludeTests {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	var pkgName string
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		// Skip external test packages; they cannot share the base
+		// package's type-check universe.
+		if strings.HasSuffix(f.Name.Name, "_test") && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if pkgName == "" || !strings.HasSuffix(name, "_test.go") {
+			pkgName = f.Name.Name
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}

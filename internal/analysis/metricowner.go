@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+)
+
+// MetricOwner enforces the obs.Metrics single-writer rule: the registry
+// has no internal synchronization, so all writes to one registry must
+// come from the goroutine that owns it.  Kernel LPs are serialized by the
+// simulation scheduler and are fine; the hazard is bare `go` statements
+// (sweep workers, background flushers) mutating a metric name that other
+// code also writes.  The analyzer groups mutation sites per metric name
+// literal by their goroutine-spawning scope — the innermost function
+// literal launched by a `go` statement, else the enclosing declaration —
+// and flags a name written both inside a spawned goroutine and anywhere
+// else (or in two distinct spawned goroutines) in the same package.  The
+// sanctioned pattern is a private registry per goroutine folded with
+// Merge afterwards (Merge is therefore exempt).
+var MetricOwner = &Analyzer{
+	Name: "metricowner",
+	Doc:  "enforce the obs.Metrics single-writer rule per metric name literal",
+	Run:  runMetricOwner,
+}
+
+// metricMutators are the obs.Metrics methods that write the registry.
+// Merge is the sanctioned cross-goroutine aggregation; reads are free.
+var metricMutators = map[string]bool{
+	"Add": true, "Inc": true, "Set": true,
+	"Observe": true, "Touch": true, "TouchHist": true,
+}
+
+// metricSite is one mutation of a metric name literal.
+type metricSite struct {
+	pos     token.Pos
+	scope   string // "go@file:line" or enclosing declaration name
+	spawned bool   // inside a go-launched function literal
+}
+
+func runMetricOwner(pass *Pass) error {
+	sites := make(map[string][]metricSite) // metric name -> sites
+	for _, file := range pass.Files {
+		collectMetricSites(pass, file, sites)
+	}
+	names := make([]string, 0, len(sites))
+	for name := range sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		scopes := make(map[string]bool)
+		anySpawned := false
+		for _, s := range sites[name] {
+			scopes[s.scope] = true
+			anySpawned = anySpawned || s.spawned
+		}
+		if !anySpawned || len(scopes) < 2 {
+			continue
+		}
+		for _, s := range sites[name] {
+			if s.spawned {
+				pass.Reportf(s.pos,
+					"metric %q is written from %d scopes including this spawned goroutine; obs.Metrics is single-writer — give the goroutine a private registry and Merge it afterwards",
+					name, len(scopes))
+			}
+		}
+	}
+	return nil
+}
+
+// collectMetricSites walks one file tracking the ancestor chain so each
+// mutator call can be attributed to its goroutine-spawning scope.
+func collectMetricSites(pass *Pass, file *ast.File, sites map[string][]metricSite) {
+	info := pass.TypesInfo
+	// spawned records function literals that are the immediate callee of
+	// a `go` statement.
+	spawned := make(map[*ast.FuncLit]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				spawned[lit] = true
+			}
+		}
+		return true
+	})
+
+	// ast.Inspect calls the visitor with nil after a node's children,
+	// which maintains the ancestor stack.
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := metricMutation(info, call); ok {
+				scope, isSpawned := scopeOf(pass, stack, spawned)
+				sites[name] = append(sites[name], metricSite{
+					pos: call.Pos(), scope: scope, spawned: isSpawned,
+				})
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// metricMutation returns the metric name when the call is an obs.Metrics
+// mutator with a string-literal first argument.
+func metricMutation(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || pkgBase(fn.Pkg().Path()) != "obs" || !metricMutators[fn.Name()] {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	if owner := ownerNamed(recv.Type()); owner == nil || owner.Obj().Name() != "Metrics" {
+		return "", false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return name, true
+}
+
+// scopeOf names the goroutine-spawning scope of the node at the top of
+// the ancestor stack: the innermost go-launched function literal, else
+// the enclosing function declaration (or file scope for initializers).
+func scopeOf(pass *Pass, stack []ast.Node, spawned map[*ast.FuncLit]bool) (string, bool) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit:
+			if spawned[n] {
+				p := pass.Fset.Position(n.Pos())
+				return fmt.Sprintf("go@%s:%d", p.Filename, p.Line), true
+			}
+			// A plain literal runs on its caller's goroutine; keep
+			// walking out.
+		case *ast.FuncDecl:
+			return pass.Pkg.Path() + "." + n.Name.Name, false
+		}
+	}
+	return pass.Pkg.Path() + ".<init>", false
+}

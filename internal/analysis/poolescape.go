@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolEscape flags pooled object pointers escaping into storage that
+// outlives the release back to the pool.  Types marked //ftlint:pooled
+// (the sim event slab's slots, simnet's small-message records, mpi's
+// admit records and CollState) are recycled: after release, the same
+// object is handed out again with new contents, so a retained pointer is
+// the ABA / use-after-release class of bug the PR 4 slab work made
+// possible.  The analyzer approximates "outlives the release" as any
+// store into a struct field or package variable; sanctioned holders — the
+// pool's own free list or the one in-use slot — carry a //ftlint:pool
+// marker on the field or var declaration.  Storing the result of a
+// clone/Clone call is allowed: a clone is a fresh object, not the pooled
+// instance.
+var PoolEscape = &Analyzer{
+	Name: "poolescape",
+	Doc:  "flag pooled (//ftlint:pooled) pointers stored into fields or globals not marked //ftlint:pool",
+	Run:  runPoolEscape,
+}
+
+func runPoolEscape(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkPoolAssign(pass, n)
+			case *ast.ValueSpec:
+				checkPoolValueSpec(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pooledTypeName returns the "pkgpath.Type" key when t is a pointer to a
+// pooled type or a slice/array of such pointers, "" otherwise.
+func pooledTypeName(markers *Markers, t types.Type) string {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return pooledElemName(markers, u.Elem())
+	case *types.Array:
+		return pooledElemName(markers, u.Elem())
+	default:
+		return pooledElemName(markers, t)
+	}
+}
+
+func pooledElemName(markers *Markers, t types.Type) string {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return ""
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	if markers.PooledTypes[key] {
+		return key
+	}
+	return ""
+}
+
+// isCloneCall reports whether the expression is a call to a method or
+// function named clone/Clone — the sanctioned way to persist a pooled
+// object's contents.
+func isCloneCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "clone" || fun.Sel.Name == "Clone"
+	case *ast.Ident:
+		return fun.Name == "clone" || fun.Name == "Clone"
+	}
+	return false
+}
+
+func checkPoolAssign(pass *Pass, n *ast.AssignStmt) {
+	// a, b = x, y pairs up; a, b = f() (len mismatch) is skipped — the
+	// pools in this repository never multi-return pooled pointers.
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, rhs := range n.Rhs {
+		t := pass.TypesInfo.TypeOf(rhs)
+		if t == nil {
+			continue
+		}
+		key := pooledTypeName(pass.Markers, t)
+		if key == "" || isCloneCall(rhs) {
+			continue
+		}
+		checkPoolStore(pass, n.Lhs[i], rhs, key)
+	}
+}
+
+// checkPoolValueSpec catches `var retained = pool.get()` at package or
+// function scope with a pooled initializer bound to a package-level var.
+func checkPoolValueSpec(pass *Pass, n *ast.ValueSpec) {
+	if len(n.Values) != len(n.Names) {
+		return
+	}
+	for i, value := range n.Values {
+		t := pass.TypesInfo.TypeOf(value)
+		if t == nil {
+			continue
+		}
+		key := pooledTypeName(pass.Markers, t)
+		if key == "" || isCloneCall(value) {
+			continue
+		}
+		obj := pass.TypesInfo.Defs[n.Names[i]]
+		if obj == nil || obj.Parent() != pass.Pkg.Scope() {
+			continue
+		}
+		reportPoolVar(pass, n.Names[i].Pos(), obj, key)
+	}
+}
+
+func checkPoolStore(pass *Pass, lhs ast.Expr, rhs ast.Expr, key string) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[lhs]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[lhs]
+		}
+		// Only package-level variables outlive the release; locals and
+		// parameters die with the frame that must finish before release.
+		if obj != nil && obj.Parent() == pass.Pkg.Scope() {
+			reportPoolVar(pass, lhs.Pos(), obj, key)
+		}
+	case *ast.SelectorExpr:
+		sel := pass.TypesInfo.Selections[lhs]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return
+		}
+		owner := ownerNamed(sel.Recv())
+		if owner == nil || owner.Obj().Pkg() == nil {
+			return
+		}
+		fieldKey := owner.Obj().Pkg().Path() + "." + owner.Obj().Name() + "." + sel.Obj().Name()
+		if pass.Markers.PoolFields[fieldKey] {
+			return
+		}
+		pass.Reportf(lhs.Pos(),
+			"pooled %s pointer stored into field %s.%s, which outlives the release back to the pool; mark the field //ftlint:pool if it is the pool's own storage, or store a clone",
+			key, owner.Obj().Name(), sel.Obj().Name())
+	case *ast.IndexExpr:
+		// Storing into an element of a field-held slice (pool[i] = p):
+		// attribute to the indexed expression recursively.
+		checkPoolStore(pass, lhs.X, rhs, key)
+	}
+}
+
+func reportPoolVar(pass *Pass, pos token.Pos, obj types.Object, key string) {
+	if pass.Markers.PoolVars[pass.Pkg.Path()+"."+obj.Name()] {
+		return
+	}
+	pass.Reportf(pos,
+		"pooled %s pointer stored into package variable %q, which outlives the release back to the pool; mark the var //ftlint:pool if it is the pool's own storage, or store a clone",
+		key, obj.Name())
+}
+
+// ownerNamed unwraps the receiver type of a field selection to its named
+// struct type.
+func ownerNamed(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Fixture: mapiter must flag map ranges feeding order-sensitive sinks in
+// a simulation package (import path base "sweep"), recognize the
+// sort-after idiom, and honor the //ftlint:ordered waiver.
+package sweep
+
+import (
+	"sort"
+
+	"ftckpt/internal/obs"
+	"ftckpt/internal/sim"
+)
+
+// collectBad appends map values to the returned slice without restoring
+// a total order.
+func collectBad(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "map iteration appends to returned slice .out. in random order"
+		out = append(out, v)
+	}
+	return out
+}
+
+// collectSorted restores a total order after the loop — allowed.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectWaived documents that the caller ignores order.
+func collectWaived(m map[string]int) []int {
+	var sum []int
+	//ftlint:ordered
+	for _, v := range m {
+		sum = append(sum, v)
+	}
+	return sum
+}
+
+// localOnly accumulates into a slice that never escapes — allowed.
+func localOnly(m map[string]int) int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	total := 0
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}
+
+// emitBad mutates the observability registry in map-permutation order.
+func emitBad(m map[string]int, met *obs.Metrics) {
+	for range m { // want "map iteration emits obs Inc calls in random order"
+		met.Inc("sweep.points")
+	}
+}
+
+// scheduleBad schedules kernel events in map-permutation order, which
+// assigns their tie-breaking sequence numbers by the permutation.
+func scheduleBad(k *sim.Kernel, waits map[int]sim.Time) {
+	for _, d := range waits { // want "map iteration calls sim.After, ordering kernel events"
+		k.After(d, func() {})
+	}
+}

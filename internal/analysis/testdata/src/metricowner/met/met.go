@@ -1,0 +1,37 @@
+// Fixture: metricowner must flag a metric name literal mutated both from
+// a spawned goroutine and elsewhere, allow single-scope and
+// private-registry-plus-Merge patterns, and honor //ftlint:allow.
+package met
+
+import "ftckpt/internal/obs"
+
+// record writes from the declaration's own goroutine.
+func record(m *obs.Metrics) {
+	m.Inc("points.done")
+}
+
+// spawnBad writes the same name from a bare goroutine: two scopes, one
+// spawned.
+func spawnBad(m *obs.Metrics) {
+	go func() {
+		m.Inc("points.done") // want "metric .points.done. is written from 2 scopes"
+	}()
+}
+
+// spawnPrivate is the sanctioned pattern: the goroutine owns a private
+// registry, folded in with Merge (exempt) afterwards.
+func spawnPrivate(m *obs.Metrics) {
+	priv := obs.NewMetrics()
+	go func() {
+		priv.Inc("points.private")
+	}()
+	m.Merge(priv)
+}
+
+// spawnWaived documents that the two writers are phase-separated.
+func spawnWaived(m *obs.Metrics) {
+	m.Inc("points.waived")
+	go func() {
+		m.Inc("points.waived") //ftlint:allow metricowner
+	}()
+}

@@ -1,0 +1,17 @@
+// Fixture: packages outside the simulation set (import path base
+// "clock") may read the wall clock — they time the simulator, they do
+// not run inside it.  No diagnostics expected.
+package clock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func jitter() int {
+	return rand.Intn(100)
+}

@@ -1,0 +1,20 @@
+// Fixture: reproduction of the exact mistake nodeterm exists to catch —
+// a failure-model helper drawing exponential variates from the global
+// math/rand source instead of a seeded generator.  One such call makes
+// every fault-injection schedule vary across runs of the same seed.
+package failure
+
+import "math/rand"
+
+// badExponential is the broken form: rand.ExpFloat64 reads the
+// per-process global source.
+func badExponential(mtbf float64) float64 {
+	return rand.ExpFloat64() * mtbf // want "rand.ExpFloat64 draws from the global math/rand source"
+}
+
+// goodExponential is the repository's real shape (failure.Exponential):
+// the generator is constructed from the run's seed.
+func goodExponential(seed int64, mtbf float64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.ExpFloat64() * mtbf
+}

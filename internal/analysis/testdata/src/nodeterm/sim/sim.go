@@ -1,0 +1,38 @@
+// Fixture: nodeterm must flag every wall-clock and ambient-randomness
+// reference in a simulation package (import path base "sim"), and honor
+// the //ftlint:allow waiver.
+package sim
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// stamp reads the wall clock three ways.
+func stamp() (time.Time, time.Duration) {
+	t := time.Now()              // want "time.Now reads the wall clock"
+	d := time.Since(t)           // want "time.Since reads the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep blocks on host time"
+	return t, d
+}
+
+// draw uses ambient entropy sources.
+func draw(buf []byte) int {
+	n := rand.Intn(8) // want "rand.Intn draws from the global math/rand source"
+	crand.Read(buf)   // want "crypto/rand.Read is hardware entropy"
+	n += os.Getpid()  // want "os.Getpid is per-process entropy"
+	return n
+}
+
+// seeded shows the sanctioned form: an explicitly seeded local source.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.ExpFloat64()
+}
+
+// waived shows the escape hatch for host-side instrumentation.
+func waived() time.Time {
+	return time.Now() //ftlint:allow nodeterm
+}

@@ -1,0 +1,59 @@
+// Fixture: poolescape must flag pooled pointers stored into fields or
+// package variables that outlive the release back to the pool, honor
+// //ftlint:pool sanctioned holders, exempt clone results, and honor the
+// //ftlint:allow waiver.
+package pool
+
+// rec is a pool-recycled record: after release the same object is handed
+// out again with new contents.
+//
+//ftlint:pooled
+type rec struct{ n int }
+
+// clone returns a fresh copy safe to retain.
+func (r *rec) clone() *rec { c := *r; return &c }
+
+// owner holds the pool.
+type owner struct {
+	//ftlint:pool
+	free []*rec
+
+	held *rec // not sanctioned storage
+}
+
+//ftlint:pool
+var freeList []*rec
+
+var leaked *rec
+
+// get recycles through the sanctioned free list — no diagnostics.
+func (o *owner) get() *rec {
+	if n := len(o.free); n > 0 {
+		r := o.free[n-1]
+		o.free = o.free[:n-1]
+		return r
+	}
+	return &rec{}
+}
+
+// put returns records to the sanctioned holders — no diagnostics.
+func (o *owner) put(r *rec) {
+	o.free = append(o.free, r)
+	freeList = append(freeList, r)
+}
+
+// retain stores a pooled pointer past its release.
+func (o *owner) retain(r *rec) {
+	o.held = r // want "pooled poolescape.test/pool.rec pointer stored into field owner.held"
+	leaked = r // want "stored into package variable .leaked."
+}
+
+// retainClone stores a fresh copy — allowed.
+func (o *owner) retainClone(r *rec) {
+	o.held = r.clone()
+}
+
+// retainWaived documents why the store is safe.
+func (o *owner) retainWaived(r *rec) {
+	o.held = r //ftlint:allow poolescape
+}

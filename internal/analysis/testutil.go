@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// wantRe matches one expectation inside a `// want "..." "..."` comment:
+// each quoted string is a regexp one diagnostic on that line must match.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// CheckFixture loads the fixture package rooted at dir under the given
+// import path, runs the analyzer, and compares the diagnostics against
+// the `// want "regexp"` comments in the fixture sources — the
+// analysistest contract, reimplemented on the stdlib driver.  It returns
+// one error per mismatch (unexpected diagnostic, or an expectation no
+// diagnostic matched).
+func CheckFixture(dir, path string, analyzer *Analyzer) []error {
+	loader := NewLoader()
+	pkg, err := loader.LoadDir(dir, path)
+	if err != nil {
+		return []error{err}
+	}
+	if pkg == nil {
+		return []error{fmt.Errorf("analysis: no Go files in fixture %s", dir)}
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{analyzer})
+	if err != nil {
+		return []error{err}
+	}
+	return matchWants(pkg, diags)
+}
+
+type wantExpect struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+func matchWants(pkg *Package, diags []Diagnostic) []error {
+	var wants []*wantExpect
+	var errs []error
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWants(pkg, c, &errs)...)
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			errs = append(errs, fmt.Errorf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			errs = append(errs, fmt.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw))
+		}
+	}
+	return errs
+}
+
+func parseWants(pkg *Package, c *ast.Comment, errs *[]error) []*wantExpect {
+	text := c.Text
+	idx := strings.Index(text, "// want ")
+	if idx < 0 {
+		idx = strings.Index(text, "//want ")
+	}
+	if idx < 0 {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	var out []*wantExpect
+	for _, m := range wantRe.FindAllStringSubmatch(text[idx:], -1) {
+		raw, err := strconv.Unquote(`"` + m[1] + `"`)
+		if err != nil {
+			*errs = append(*errs, fmt.Errorf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, m[0], err))
+			continue
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			*errs = append(*errs, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err))
+			continue
+		}
+		out = append(out, &wantExpect{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+	}
+	return out
+}

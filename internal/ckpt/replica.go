@@ -486,8 +486,11 @@ func (g *Group) LogsSinceUnion(rank, wave int) []*mpi.Packet {
 	return DedupLogs(out)
 }
 
-// sortLogs orders by (Src, PSeq) and drops duplicates — records the
-// same sender logged on several replicas.
+// sortLogs orders by (Src, PSeq).  The key is total over the surviving
+// records: duplicates (the same sender's packet logged on several
+// replicas) compare equal, but they are identical records and DedupLogs
+// keeps exactly one, so replica enumeration order cannot leak into the
+// replayed stream.
 func sortLogs(logs []*mpi.Packet) {
 	sort.SliceStable(logs, func(i, j int) bool {
 		if logs[i].Src != logs[j].Src {

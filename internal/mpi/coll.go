@@ -59,6 +59,13 @@ func applyOp(op ReduceOp, acc, x []float64) {
 // coordinated checkpoint while a process is blocked inside a collective:
 // after restart the re-invoked operation resumes at the recorded round
 // instead of re-executing completed sends.
+//
+// Lifetime rule (enforced by ftlint's poolescape analyzer): the engine
+// recycles its CollState through Engine.collFree, so a *CollState is
+// valid only while its collective is in flight; anything that must
+// outlive the operation (a checkpoint image) stores clone() instead.
+//
+//ftlint:pooled
 type CollState struct {
 	Kind    CollKind
 	Seq     uint64

@@ -63,6 +63,8 @@ type Engine struct {
 	daemonBusy sim.Time
 	// admitPool recycles the records that carry a packet through a
 	// daemon-service delay event without a per-packet closure.
+	//
+	//ftlint:pool
 	admitPool []*admitRec
 
 	unexpected []*Packet
@@ -71,8 +73,10 @@ type Engine struct {
 	waitSrc    int
 	waitTag    int
 
-	collSeq  uint64
-	coll     *CollState
+	collSeq uint64
+	//ftlint:pool
+	coll *CollState
+	//ftlint:pool
 	collFree *CollState // recycled by endColl, reused by beginColl
 	closed   bool
 	steal   float64 // background checkpoint work stealing compute speed
@@ -182,6 +186,13 @@ func (e *Engine) HandleWire(p *Packet) {
 
 // admitRec carries a packet through the daemon-service delay; it returns
 // to the engine's pool as the event fires.
+//
+// Lifetime rule (enforced by ftlint's poolescape analyzer): a *admitRec
+// is valid from getAdmit until admitEvent recycles it — the scheduled
+// event is the sole reference; a pointer retained past the event fire
+// aliases a later packet's record.
+//
+//ftlint:pooled
 type admitRec struct {
 	e *Engine
 	p *Packet

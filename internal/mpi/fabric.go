@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"sort"
 
 	"ftckpt/internal/obs"
 	"ftckpt/internal/simnet"
@@ -105,16 +106,31 @@ func (f *Fabric) handler(id int) func(*Packet) {
 }
 
 // Unbind removes an endpoint's handler and resets every channel touching
-// it.  Queued and in-flight packets are lost.
+// it.  Queued and in-flight packets are lost.  Channels close in sorted
+// endpoint-pair order: closing cancels in-flight flows and reschedules
+// every flow sharing a resource with them, which assigns fresh kernel
+// event sequence numbers — doing that in map-iteration order would let
+// the per-run map permutation pick which equal-time completions fire
+// first.
 func (f *Fabric) Unbind(id int) {
 	if i := id + handlerOff; i >= 0 && i < len(f.handlers) {
 		f.handlers[i] = nil
 	}
-	for key, l := range f.links {
+	var keys [][2]int
+	for key := range f.links {
 		if key[0] == id || key[1] == id {
-			l.ch.Close()
-			delete(f.links, key)
+			keys = append(keys, key)
 		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		f.links[key].ch.Close()
+		delete(f.links, key)
 	}
 }
 

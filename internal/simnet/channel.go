@@ -48,6 +48,13 @@ type message struct {
 // smallMsg is a pooled fast-path delivery record (see startSmall): it
 // carries the payload to the delivery event without a per-message closure
 // and returns to the network's pool as it is consumed.
+//
+// Lifetime rule (enforced by ftlint's poolescape analyzer): a *smallMsg
+// is valid from getSmall until smallDeliver recycles it — the delivery
+// event is the sole reference; storing the pointer anywhere that
+// survives delivery aliases the next message's record.
+//
+//ftlint:pooled
 type smallMsg struct {
 	c       *Channel
 	payload any

@@ -110,6 +110,8 @@ func (r *Recorder) Rollback(lastWave int) {
 
 // Committed returns the statistics of every committed wave, ordered by
 // wave number.  Waves aborted by a restart (never committed) are omitted.
+// Wave is the map key, so sorting by it is a total order: the map
+// iteration below cannot leak its per-run permutation into the result.
 func (r *Recorder) Committed() []WaveStat {
 	var out []WaveStat
 	for _, ws := range r.waves {
