@@ -43,8 +43,10 @@ type ChaosReport struct {
 	Degraded *DegradedError
 	// Violations lists recovery-invariant breaches: checksum divergence
 	// from the failure-free reference, waves committed without a full
-	// quorum-stored image set, or messages replayed more than once.
-	// Empty means the run behaved correctly.
+	// quorum-stored image set, messages replayed more than once, or (with
+	// Options.Attribution) a per-phase breakdown that fails to conserve
+	// the run's virtual completion time.  Empty means the run behaved
+	// correctly.
 	Violations []string
 	// Checksum and Reference are the verification values of the chaos
 	// run and of the failure-free reference (chaos value 0 when the run

@@ -26,6 +26,7 @@ import (
 
 	"ftckpt"
 	"ftckpt/internal/expt"
+	"ftckpt/internal/span"
 )
 
 // out receives every table; -bench-sweep redirects it to io.Discard.
@@ -40,6 +41,7 @@ func main() {
 		v      = flag.Bool("v", false, "trace per-run progress")
 		jobs   = flag.Int("jobs", runtime.NumCPU(), "concurrent sweep points per figure (1 = sequential; output is identical either way)")
 		metDir = flag.String("metrics-dir", "", "also write each figure's aggregated metrics as <dir>/fig<N>.metrics.json")
+		attrib = flag.Bool("attrib", false, "trace causal spans and append each figure's merged per-phase overhead attribution")
 		bench  = flag.String("bench-sweep", "", "time the selected figures sequentially and at -jobs, write the wall-clock baseline JSON to this file (suppresses tables)")
 		core   = flag.String("bench-core", "", "measure the hot-path core benchmarks (kernel events + one run per protocol and size) and write the JSON document to this file")
 		coreNP = flag.Int("bench-core-np", 1024, "largest NP measured by -bench-core")
@@ -101,8 +103,23 @@ func main() {
 		if *metDir != "" {
 			o.Metrics = ftckpt.NewMetrics()
 		}
+		if *attrib {
+			o.Attrib = &span.Attribution{}
+		}
 		if err := runners[name](o); err != nil {
 			return err
+		}
+		// The attribution accumulator merged every run of the figure in
+		// point order; a zero completion means the figure ran no simulated
+		// jobs (netpipe), so there is nothing to attribute.
+		if *attrib && o.Attrib.Completion > 0 {
+			if err := o.Attrib.Check(); err != nil {
+				return fmt.Errorf("fig %s attribution conservation: %w", name, err)
+			}
+			fmt.Fprintf(out, "\n-- overhead attribution, merged across the figure's sweep points --\n")
+			if err := o.Attrib.WriteTable(out); err != nil {
+				return err
+			}
 		}
 		if *metDir == "" {
 			return nil

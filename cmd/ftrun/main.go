@@ -65,9 +65,13 @@ func main() {
 		chaosNdFrac  = flag.Float64("chaos-node-frac", 0.25, "fraction of chaos kills aimed at whole compute nodes")
 		chaosFrom    = flag.Duration("chaos-from", 10*time.Millisecond, "start of the chaos kill window")
 		chaosUntil   = flag.Duration("chaos-until", 100*time.Millisecond, "end of the chaos kill window")
-		verbose  = flag.Bool("v", false, "trace runtime events")
-		traceOut = flag.String("trace-out", "", "write a Chrome trace_event timeline (open in Perfetto) to this file")
-		metOut   = flag.String("metrics-out", "", "write the run's metrics to this file (.csv extension selects CSV, else JSON)")
+		verbose      = flag.Bool("v", false, "trace runtime events")
+		traceOut     = flag.String("trace-out", "", "write a Chrome trace_event timeline (open in Perfetto) to this file")
+		streamTr     = flag.Bool("stream-trace", false, "stream -trace-out to disk as the run progresses (bounded memory, no causality arrows)")
+		metOut       = flag.String("metrics-out", "", "write the run's metrics to this file (.csv extension selects CSV, else JSON)")
+		explain      = flag.Bool("explain", false, "trace causal spans and print the per-phase overhead attribution (conservation-checked)")
+		explOut      = flag.String("explain-out", "", "write the attribution report as deterministic JSON to this file (implies span tracing)")
+		metSnap      = flag.Duration("metrics-snapshot", 0, "sample cumulative counters every period as Perfetto counter tracks (0 = off)")
 
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		memProf = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
@@ -107,10 +111,33 @@ func main() {
 	if *verbose {
 		o.Verbose = log.Printf
 	}
+	o.Attribution = *explain || *explOut != ""
+	o.MetricsSnapshot = *metSnap
 	var col *ftckpt.Collector
+	var closeStream func()
 	if *traceOut != "" {
-		col = ftckpt.NewCollector()
-		o.Sink = col
+		if *streamTr {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ftrun:", err)
+				os.Exit(1)
+			}
+			stream := ftckpt.NewChromeStreamSink(f)
+			o.Sink = stream
+			closeStream = func() {
+				err := stream.Close()
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "ftrun:", err)
+					os.Exit(1)
+				}
+			}
+		} else {
+			col = ftckpt.NewCollector()
+			o.Sink = col
+		}
 	}
 
 	finishProf := startProfiling(*cpuProf, *memProf, *allocs)
@@ -123,7 +150,10 @@ func main() {
 			NodeFrac:   *chaosNdFrac,
 			From:       *chaosFrom,
 			Until:      *chaosUntil,
-		})
+		}, *explain, *explOut)
+		if closeStream != nil {
+			closeStream()
+		}
 		finishProf()
 		os.Exit(code)
 	}
@@ -136,6 +166,9 @@ func main() {
 	}
 	if col != nil {
 		writeFile(*traceOut, col.WriteChromeTrace)
+	}
+	if closeStream != nil {
+		closeStream()
 	}
 	if *metOut != "" {
 		if strings.HasSuffix(*metOut, ".csv") {
@@ -171,6 +204,33 @@ func main() {
 	if *metOut != "" {
 		fmt.Printf("metrics           %s\n", *metOut)
 	}
+	if rep.Attribution != nil {
+		if code := explainReport(rep.Attribution, *explain, *explOut); code != 0 {
+			os.Exit(code)
+		}
+	}
+}
+
+// explainReport validates and emits the attribution: the conservation
+// check must hold (a broken partition is a bug, exit non-zero), then the
+// table goes to stdout and/or the deterministic JSON to a file.
+func explainReport(a *ftckpt.Attribution, table bool, jsonPath string) int {
+	if err := a.Check(); err != nil {
+		fmt.Fprintln(os.Stderr, "ftrun: attribution conservation violated:", err)
+		return 1
+	}
+	if jsonPath != "" {
+		writeFile(jsonPath, a.WriteJSON)
+		fmt.Printf("attribution       %s\n", jsonPath)
+	}
+	if table {
+		fmt.Println()
+		if err := a.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ftrun:", err)
+			return 1
+		}
+	}
+	return 0
 }
 
 // runChaos executes the job under a seeded random failure schedule and
@@ -178,7 +238,7 @@ func main() {
 // code rather than exiting, so profiling output is flushed first.
 // Invariant violations are non-zero; a degraded stop (unrecoverable loss,
 // expected without replication) is a reported outcome.
-func runChaos(o ftckpt.Options, sp ftckpt.ChaosSpec) int {
+func runChaos(o ftckpt.Options, sp ftckpt.ChaosSpec, explain bool, explOut string) int {
 	rep, err := ftckpt.Chaos(o, sp)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftrun:", err)
@@ -200,6 +260,11 @@ func runChaos(o ftckpt.Options, sp ftckpt.ChaosSpec) int {
 		fmt.Printf("outcome           recovered: completion %v, %d restarts, %d failovers\n",
 			rep.Report.Completion, rep.Report.Restarts, rep.Report.Failovers)
 		fmt.Printf("checksum          %v (reference %v)\n", rep.Checksum, rep.Reference)
+	}
+	if rep.Report.Attribution != nil {
+		if code := explainReport(rep.Report.Attribution, explain, explOut); code != 0 {
+			return code
+		}
 	}
 	if !rep.OK() {
 		fmt.Println("INVARIANT VIOLATIONS:")

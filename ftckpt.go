@@ -27,6 +27,7 @@ import (
 	"ftckpt/internal/mpi"
 	"ftckpt/internal/nas"
 	"ftckpt/internal/platform"
+	"ftckpt/internal/sim"
 	"ftckpt/internal/sweep"
 )
 
@@ -65,6 +66,10 @@ type Report struct {
 	// histograms, per-channel logged bytes, per-server image bytes …),
 	// exportable with its WriteJSON / WriteCSV methods.
 	Metrics *Metrics
+	// Attribution is the conservation-checked per-phase overhead
+	// breakdown of the run's virtual completion time, present when
+	// Options.Attribution was set (nil otherwise).
+	Attribution *Attribution
 }
 
 // Run executes the described job to completion (recovering from every
@@ -106,6 +111,7 @@ func reportFrom(res ftpm.Result) Report {
 		MeanWaveTransfer: res.WaveBreakdown.MeanTransfer,
 		MeanWaveCycle:    res.WaveBreakdown.MeanCycle,
 		Metrics:          res.Metrics,
+		Attribution:      res.Attribution,
 	}
 }
 
@@ -284,6 +290,8 @@ func buildConfig(o Options) (ftpm.Config, error) {
 		Trace:            o.Verbose,
 		Sink:             o.Sink,
 		Metrics:          o.Metrics,
+		Attrib:           o.Attribution,
+		SnapshotPeriod:   sim.Time(o.MetricsSnapshot),
 	}
 	for _, f := range o.Failures {
 		ev := failure.Event{At: f.At}

@@ -23,6 +23,7 @@ var simPackages = map[string]bool{
 	"trace":   true,
 	"obs":     true,
 	"sweep":   true,
+	"span":    true,
 }
 
 // isSimPackage reports whether an import path names a simulation package.

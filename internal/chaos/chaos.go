@@ -175,6 +175,15 @@ func Run(c Config) (Outcome, error) {
 	}
 
 	out.Violations = checkInvariants(col.Events(), cfg.NP, cfg.WriteQuorum, cfg.Protocol)
+	// When the job carried a span tracer (Config.Job.Attrib), its overhead
+	// attribution must conserve virtual time even under this chaos
+	// schedule — a broken partition is an invariant breach like any other.
+	if out.Result.Attribution != nil {
+		if err := out.Result.Attribution.Check(); err != nil {
+			out.Violations = append(out.Violations, fmt.Sprintf(
+				"attribution conservation: %v", err))
+		}
+	}
 	if out.Degraded == nil && c.Checksum != nil {
 		for _, p := range job.Programs() {
 			out.Checksums = append(out.Checksums, c.Checksum(p))

@@ -30,8 +30,8 @@ func checkInvariants(events []obs.Event, np, quorum int, proto ftpm.Proto) []str
 		seq uint64
 	}
 	var violations []string
-	stores := map[rw]int{}  // completed image stores per (rank, wave)
-	logged := map[rw]int{}  // vcl messages logged per (rank, wave)
+	stores := map[rw]int{}           // completed image stores per (rank, wave)
+	logged := map[rw]int{}           // vcl messages logged per (rank, wave)
 	seen := map[int]map[chseq]bool{} // mlog replays in the rank's current incarnation
 
 	// One vcl global-restart window at a time: opened by EvRestartBegin,

@@ -82,7 +82,7 @@ func (g *Group) emit(t obs.EventType, rank, wave, server int) {
 		g.Failovers++
 	}
 	g.obs.Emit(obs.Event{Type: t, T: g.net.Kernel().Now(), Rank: rank, Wave: wave,
-		Channel: -1, Node: -1, Server: server})
+		Channel: -1, Node: -1, Server: server, Span: g.obs.NextSpan()})
 }
 
 // Servers returns the underlying pool (shared slice; do not mutate).

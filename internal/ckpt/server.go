@@ -79,9 +79,9 @@ func (s *Server) Receive(img *Image, srcNode int, onStored func()) *simnet.Flow 
 // to (nil disables).
 func (s *Server) SetObs(h *obs.Hub) { s.obs = h }
 
-func (s *Server) emit(t obs.EventType, rank, wave int, bytes int64) {
+func (s *Server) emit(t obs.EventType, rank, wave int, bytes int64, span uint64) {
 	s.obs.Emit(obs.Event{Type: t, T: s.net.Kernel().Now(), Rank: rank, Wave: wave,
-		Channel: -1, Node: -1, Server: s.Index, Bytes: bytes})
+		Channel: -1, Node: -1, Server: s.Index, Bytes: bytes, Span: span})
 }
 
 // Alive reports whether the server is serving (not killed).
@@ -140,7 +140,10 @@ func (s *Server) ReceiveCappedAbort(img *Image, srcNode int, cap simnet.Rate, on
 		return nil
 	}
 	stored := img.Clone()
-	s.emit(obs.EvImageStoreBegin, stored.Rank, stored.Wave, stored.Bytes())
+	// One span per replica transfer, closed by the matching end event (or
+	// left open if the server dies mid-flight).
+	sp := s.obs.NextSpan()
+	s.emit(obs.EvImageStoreBegin, stored.Rank, stored.Wave, stored.Bytes(), sp)
 	tr := &transfer{onAbort: onAbort}
 	done := s.track(tr)
 	tr.flow = s.net.StartFlowCapped(srcNode, s.Node, img.Bytes(), cap, func() {
@@ -148,7 +151,7 @@ func (s *Server) ReceiveCappedAbort(img *Image, srcNode int, cap simnet.Rate, on
 		s.images[imgKey{stored.Rank, stored.Wave}] = stored
 		s.BytesReceived += stored.Bytes()
 		s.ImagesStored++
-		s.emit(obs.EvImageStoreEnd, stored.Rank, stored.Wave, stored.Bytes())
+		s.emit(obs.EvImageStoreEnd, stored.Rank, stored.Wave, stored.Bytes(), sp)
 		if onStored != nil {
 			onStored()
 		}
@@ -179,7 +182,8 @@ func (s *Server) ReceiveLogsAbort(rank, wave int, pkts []*mpi.Packet, srcNode in
 		cp[i] = p.Clone()
 		bytes += p.WireSize()
 	}
-	s.emit(obs.EvLogShipBegin, rank, wave, bytes)
+	sp := s.obs.NextSpan()
+	s.emit(obs.EvLogShipBegin, rank, wave, bytes, sp)
 	tr := &transfer{onAbort: onAbort}
 	done := s.track(tr)
 	tr.flow = s.net.StartFlow(srcNode, s.Node, bytes, func() {
@@ -187,7 +191,7 @@ func (s *Server) ReceiveLogsAbort(rank, wave int, pkts []*mpi.Packet, srcNode in
 		k := imgKey{rank, wave}
 		s.logs[k] = append(s.logs[k], cp...)
 		s.BytesReceived += bytes
-		s.emit(obs.EvLogShipEnd, rank, wave, bytes)
+		s.emit(obs.EvLogShipEnd, rank, wave, bytes, sp)
 		if onStored != nil {
 			onStored()
 		}

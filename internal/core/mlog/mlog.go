@@ -130,8 +130,9 @@ func (m *Mlog) checkpoint() {
 	m.waves++
 	w := m.wave
 	now := m.h.Now()
-	m.h.Obs().Emit(obs.Event{Type: obs.EvLocalCkptBegin, T: now, Rank: m.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1})
-	m.h.Obs().Emit(obs.Event{Type: obs.EvLocalCkptEnd, T: now, Rank: m.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1})
+	cs := m.h.Obs().NextSpan()
+	m.h.Obs().Emit(obs.Event{Type: obs.EvLocalCkptBegin, T: now, Rank: m.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1, Span: cs})
+	m.h.Obs().Emit(obs.Event{Type: obs.EvLocalCkptEnd, T: now, Rank: m.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1, Span: cs})
 	m.h.TakeCheckpoint(w, m.DeviceState(), func() {
 		// Logs older than this image are no longer needed.
 		m.h.CommitWave(w)
@@ -222,7 +223,7 @@ func (m *Mlog) drain() {
 func (m *Mlog) deliver(p *mpi.Packet) {
 	m.delUpTo[p.Src] = p.PSeq
 	m.LoggedMsgs++
-	m.h.Obs().Emit(obs.Event{Type: obs.EvMessageLogged, T: m.h.Now(), Rank: m.h.Rank(), Wave: m.wave, Channel: p.Src, Node: -1, Server: -1, Bytes: p.PayloadSize(), Seq: p.PSeq})
+	m.h.Obs().Emit(obs.Event{Type: obs.EvMessageLogged, T: m.h.Now(), Rank: m.h.Rank(), Wave: m.wave, Channel: p.Src, Node: -1, Server: -1, Bytes: p.PayloadSize(), Seq: p.PSeq, Span: m.h.Obs().NextSpan()})
 	m.h.Engine().Deliver(p)
 	m.ack(p.Src, p.PSeq)
 }
@@ -319,7 +320,8 @@ func (m *Mlog) Restore(dev []byte, logs []*mpi.Packet, lastWave int) {
 		m.delUpTo[p.Src] = p.PSeq
 		m.LoggedMsgs++
 		m.h.Obs().Emit(obs.Event{Type: obs.EvMessageReplayed, T: m.h.Now(), Rank: m.h.Rank(),
-			Wave: m.wave, Channel: p.Src, Node: -1, Server: -1, Bytes: p.PayloadSize(), Seq: p.PSeq})
+			Wave: m.wave, Channel: p.Src, Node: -1, Server: -1, Bytes: p.PayloadSize(), Seq: p.PSeq,
+			Span: m.h.Obs().NextSpan()})
 		m.h.Engine().Deliver(p.Clone())
 	}
 	m.nextSeq = map[int]uint64{}

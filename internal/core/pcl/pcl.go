@@ -54,6 +54,11 @@ type Pcl struct {
 	delayedRecv   []*mpi.Packet
 	waves         int
 
+	// Causal spans of the wave in progress: the local-checkpoint span and
+	// the freeze (blocked-send) window it causes.
+	ckptSpan   uint64
+	freezeSpan uint64
+
 	// Coordinator state (rank 0 only).
 	timer   sim.EventID
 	hasTick bool
@@ -108,11 +113,13 @@ func (p *Pcl) initiate() {
 	if p.checkpointing {
 		return // previous wave still flushing; should not happen (timer arms at commit)
 	}
-	p.enterWave(p.wave + 1)
+	p.enterWave(p.wave+1, 0)
 }
 
 // enterWave switches the process to checkpointing and floods markers.
-func (p *Pcl) enterWave(w int) {
+// cause is the flight span of the marker that pulled this process into the
+// wave (0 for the coordinator's timer-driven entry).
+func (p *Pcl) enterWave(w int, cause uint64) {
 	p.checkpointing = true
 	p.wave = w
 	p.markers = 0
@@ -120,14 +127,20 @@ func (p *Pcl) enterWave(w int) {
 		p.markerFrom[i] = false
 	}
 	now := p.h.Now()
-	p.h.Obs().Emit(obs.Event{Type: obs.EvLocalCkptBegin, T: now, Rank: p.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1})
+	hub := p.h.Obs()
+	p.ckptSpan = hub.NextSpan()
+	hub.Emit(obs.Event{Type: obs.EvLocalCkptBegin, T: now, Rank: p.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1, Span: p.ckptSpan, Cause: cause})
 	// The send gate is closed until the local checkpoint: the per-rank
 	// blocked-send span the paper's flush-straggle analysis measures.
-	p.h.Obs().Emit(obs.Event{Type: obs.EvChannelBlocked, T: now, Rank: p.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1})
+	p.freezeSpan = hub.NextSpan()
+	hub.Emit(obs.Event{Type: obs.EvChannelBlocked, T: now, Rank: p.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1, Span: p.freezeSpan, Cause: p.ckptSpan})
 	for dst := 0; dst < p.h.Size(); dst++ {
 		if dst != p.h.Rank() {
-			p.h.Obs().Emit(obs.Event{Type: obs.EvMarkerSent, T: now, Rank: p.h.Rank(), Wave: w, Channel: dst, Node: -1, Server: -1})
-			p.h.Wire(dst, core.Marker(w))
+			ms := hub.NextSpan()
+			hub.Emit(obs.Event{Type: obs.EvMarkerSent, T: now, Rank: p.h.Rank(), Wave: w, Channel: dst, Node: -1, Server: -1, Span: ms, Cause: p.ckptSpan})
+			mk := core.Marker(w)
+			mk.SpanID = ms
+			p.h.Wire(dst, mk)
 		}
 	}
 	if p.markers == p.h.Size()-1 { // single-process job
@@ -142,7 +155,7 @@ func (p *Pcl) OutPayload(pkt *mpi.Packet) bool {
 	if p.checkpointing {
 		p.delayedSend = append(p.delayedSend, pkt)
 		p.DelayedSends++
-		p.h.Obs().Emit(obs.Event{Type: obs.EvSendDelayed, T: p.h.Now(), Rank: p.h.Rank(), Wave: p.wave, Channel: pkt.Dst, Node: -1, Server: -1, Bytes: pkt.PayloadSize()})
+		p.h.Obs().Emit(obs.Event{Type: obs.EvSendDelayed, T: p.h.Now(), Rank: p.h.Rank(), Wave: p.wave, Channel: pkt.Dst, Node: -1, Server: -1, Bytes: pkt.PayloadSize(), Cause: p.freezeSpan})
 		return false
 	}
 	return true
@@ -153,7 +166,7 @@ func (p *Pcl) OutPayload(pkt *mpi.Packet) bool {
 func (p *Pcl) InPacket(pkt *mpi.Packet) bool {
 	switch pkt.Kind {
 	case mpi.KindMarker:
-		p.onMarker(pkt.Src, pkt.Wave)
+		p.onMarker(pkt.Src, pkt.Wave, pkt.SpanID)
 		return false
 	case mpi.KindControl:
 		p.onControl(pkt)
@@ -162,19 +175,19 @@ func (p *Pcl) InPacket(pkt *mpi.Packet) bool {
 		if p.checkpointing && pkt.Src >= 0 && p.markerFrom[pkt.Src] {
 			p.delayedRecv = append(p.delayedRecv, pkt)
 			p.DelayedRecvs++
-			p.h.Obs().Emit(obs.Event{Type: obs.EvRecvDelayed, T: p.h.Now(), Rank: p.h.Rank(), Wave: p.wave, Channel: pkt.Src, Node: -1, Server: -1, Bytes: pkt.PayloadSize()})
+			p.h.Obs().Emit(obs.Event{Type: obs.EvRecvDelayed, T: p.h.Now(), Rank: p.h.Rank(), Wave: p.wave, Channel: pkt.Src, Node: -1, Server: -1, Bytes: pkt.PayloadSize(), Cause: p.freezeSpan})
 			return false
 		}
 		return true
 	}
 }
 
-func (p *Pcl) onMarker(src, w int) {
+func (p *Pcl) onMarker(src, w int, spanID uint64) {
 	if !p.checkpointing {
 		if w <= p.wave {
 			return // stale marker from an already-completed wave
 		}
-		p.enterWave(w)
+		p.enterWave(w, spanID)
 	}
 	if w != p.wave {
 		panic(fmt.Sprintf("pcl: rank %d in wave %d got marker for wave %d", p.h.Rank(), p.wave, w))
@@ -184,7 +197,7 @@ func (p *Pcl) onMarker(src, w int) {
 	}
 	p.markerFrom[src] = true
 	p.markers++
-	p.h.Obs().Emit(obs.Event{Type: obs.EvMarkerRecv, T: p.h.Now(), Rank: p.h.Rank(), Wave: w, Channel: src, Node: -1, Server: -1})
+	p.h.Obs().Emit(obs.Event{Type: obs.EvMarkerRecv, T: p.h.Now(), Rank: p.h.Rank(), Wave: w, Channel: src, Node: -1, Server: -1, Span: spanID})
 	if p.markers == p.h.Size()-1 {
 		p.takeCheckpoint()
 	}
@@ -200,8 +213,8 @@ func (p *Pcl) takeCheckpoint() {
 	p.waves++
 	p.checkpointing = false
 	now := p.h.Now()
-	p.h.Obs().Emit(obs.Event{Type: obs.EvLocalCkptEnd, T: now, Rank: p.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1})
-	p.h.Obs().Emit(obs.Event{Type: obs.EvChannelUnblocked, T: now, Rank: p.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1})
+	p.h.Obs().Emit(obs.Event{Type: obs.EvLocalCkptEnd, T: now, Rank: p.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1, Span: p.ckptSpan})
+	p.h.Obs().Emit(obs.Event{Type: obs.EvChannelUnblocked, T: now, Rank: p.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1, Span: p.freezeSpan, Cause: p.ckptSpan})
 	// Release delayed sends in posting order.
 	sends := p.delayedSend
 	p.delayedSend = nil
@@ -268,6 +281,7 @@ func (p *Pcl) Restore(dev []byte, logs []*mpi.Packet, lastWave int) {
 		}
 	}
 	p.checkpointing = false
+	p.ckptSpan, p.freezeSpan = 0, 0
 	p.wave = lastWave
 	p.delayedSend = ds.Sends
 	p.delayedRecv = nil

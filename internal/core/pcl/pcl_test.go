@@ -195,7 +195,7 @@ func TestPclDeviceStateRoundTrip(t *testing.T) {
 	k := sim.New(1)
 	h := newFakeHost(k, 1, 2)
 	p := New(h, 0)
-	p.enterWave(1)
+	p.enterWave(1, 0)
 	if p.OutPayload(payload(1, 0)) {
 		t.Fatal("send not delayed in wave")
 	}

@@ -39,6 +39,7 @@ type Vcl struct {
 	imageStored bool
 	logsStored  bool
 	waves       int
+	ckptSpan    uint64 // causal span of the wave's local snapshot
 
 	// LoggedMsgs and LoggedBytes count channel-state captured across the
 	// run (Fig. 1's message m).
@@ -71,7 +72,7 @@ func (v *Vcl) OutPayload(*mpi.Packet) bool { return true }
 func (v *Vcl) InPacket(pkt *mpi.Packet) bool {
 	switch pkt.Kind {
 	case mpi.KindMarker:
-		v.onMarker(pkt.Src, pkt.Wave)
+		v.onMarker(pkt.Src, pkt.Wave, pkt.SpanID)
 		return false
 	case mpi.KindControl:
 		panic(fmt.Sprintf("vcl: unexpected control packet at process: %v", pkt))
@@ -82,18 +83,18 @@ func (v *Vcl) InPacket(pkt *mpi.Packet) bool {
 			v.logs = append(v.logs, pkt.Clone())
 			v.LoggedMsgs++
 			v.LoggedBytes += pkt.PayloadSize()
-			v.h.Obs().Emit(obs.Event{Type: obs.EvMessageLogged, T: v.h.Now(), Rank: v.h.Rank(), Wave: v.wave, Channel: pkt.Src, Node: -1, Server: -1, Bytes: pkt.PayloadSize()})
+			v.h.Obs().Emit(obs.Event{Type: obs.EvMessageLogged, T: v.h.Now(), Rank: v.h.Rank(), Wave: v.wave, Channel: pkt.Src, Node: -1, Server: -1, Bytes: pkt.PayloadSize(), Span: v.h.Obs().NextSpan(), Cause: v.ckptSpan})
 		}
 		return true
 	}
 }
 
-func (v *Vcl) onMarker(src, w int) {
+func (v *Vcl) onMarker(src, w int, spanID uint64) {
 	if !v.inWave {
 		if w <= v.wave {
 			return // stale
 		}
-		v.beginWave(w)
+		v.beginWave(w, spanID)
 	}
 	if w != v.wave {
 		panic(fmt.Sprintf("vcl: rank %d in wave %d got marker for wave %d", v.h.Rank(), v.wave, w))
@@ -106,15 +107,16 @@ func (v *Vcl) onMarker(src, w int) {
 	}
 	v.markerFrom[src] = true
 	v.markers++
-	v.h.Obs().Emit(obs.Event{Type: obs.EvMarkerRecv, T: v.h.Now(), Rank: v.h.Rank(), Wave: w, Channel: src, Node: -1, Server: -1})
+	v.h.Obs().Emit(obs.Event{Type: obs.EvMarkerRecv, T: v.h.Now(), Rank: v.h.Rank(), Wave: w, Channel: src, Node: -1, Server: -1, Span: spanID})
 	if v.markers == v.h.Size()-1 {
 		v.shipLogs()
 	}
 }
 
 // beginWave takes the local snapshot immediately and floods markers —
-// computation continues.
-func (v *Vcl) beginWave(w int) {
+// computation continues.  cause is the flight span of the marker that
+// triggered the wave (scheduler's or a peer's).
+func (v *Vcl) beginWave(w int, cause uint64) {
 	v.inWave = true
 	v.wave = w
 	v.markers = 0
@@ -125,7 +127,9 @@ func (v *Vcl) beginWave(w int) {
 		v.markerFrom[i] = false
 	}
 	now := v.h.Now()
-	v.h.Obs().Emit(obs.Event{Type: obs.EvLocalCkptBegin, T: now, Rank: v.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1})
+	hub := v.h.Obs()
+	v.ckptSpan = hub.NextSpan()
+	hub.Emit(obs.Event{Type: obs.EvLocalCkptBegin, T: now, Rank: v.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1, Span: v.ckptSpan, Cause: cause})
 	v.h.TakeCheckpoint(w, nil, func() {
 		v.imageStored = true
 		v.maybeAck(w)
@@ -133,11 +137,14 @@ func (v *Vcl) beginWave(w int) {
 	v.waves++
 	// The fork is immediate — computation never stops under Vcl, so the
 	// snapshot begin/end collapse to the same virtual instant.
-	v.h.Obs().Emit(obs.Event{Type: obs.EvLocalCkptEnd, T: now, Rank: v.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1})
+	hub.Emit(obs.Event{Type: obs.EvLocalCkptEnd, T: now, Rank: v.h.Rank(), Wave: w, Channel: -1, Node: -1, Server: -1, Span: v.ckptSpan})
 	for dst := 0; dst < v.h.Size(); dst++ {
 		if dst != v.h.Rank() {
-			v.h.Obs().Emit(obs.Event{Type: obs.EvMarkerSent, T: now, Rank: v.h.Rank(), Wave: w, Channel: dst, Node: -1, Server: -1})
-			v.h.Wire(dst, core.Marker(w))
+			ms := hub.NextSpan()
+			hub.Emit(obs.Event{Type: obs.EvMarkerSent, T: now, Rank: v.h.Rank(), Wave: w, Channel: dst, Node: -1, Server: -1, Span: ms, Cause: v.ckptSpan})
+			mk := core.Marker(w)
+			mk.SpanID = ms
+			v.h.Wire(dst, mk)
 		}
 	}
 	if v.h.Size() == 1 {
@@ -174,6 +181,7 @@ func (v *Vcl) DeviceState() []byte { return nil }
 // before any new traffic, in stored order (per-channel FIFO preserved).
 func (v *Vcl) Restore(dev []byte, logs []*mpi.Packet, lastWave int) {
 	v.inWave = false
+	v.ckptSpan = 0
 	v.wave = lastWave
 	v.logs = nil
 	v.markers = 0
@@ -182,7 +190,8 @@ func (v *Vcl) Restore(dev []byte, logs []*mpi.Packet, lastWave int) {
 	}
 	for _, pkt := range logs {
 		v.h.Obs().Emit(obs.Event{Type: obs.EvMessageReplayed, T: v.h.Now(), Rank: v.h.Rank(),
-			Wave: lastWave, Channel: pkt.Src, Node: -1, Server: -1, Bytes: pkt.PayloadSize()})
+			Wave: lastWave, Channel: pkt.Src, Node: -1, Server: -1, Bytes: pkt.PayloadSize(),
+			Span: v.h.Obs().NextSpan()})
 		v.h.Engine().Deliver(pkt.Clone())
 	}
 }
@@ -258,8 +267,11 @@ func (s *Scheduler) initiate() {
 	s.wave++
 	s.acks = 0
 	for r := 0; r < s.size; r++ {
-		s.Obs.Emit(obs.Event{Type: obs.EvMarkerSent, T: s.k.Now(), Rank: mpi.SchedulerID, Wave: s.wave, Channel: r, Node: -1, Server: -1})
-		s.fab.Send(mpi.SchedulerID, r, core.Marker(s.wave))
+		ms := s.Obs.NextSpan()
+		s.Obs.Emit(obs.Event{Type: obs.EvMarkerSent, T: s.k.Now(), Rank: mpi.SchedulerID, Wave: s.wave, Channel: r, Node: -1, Server: -1, Span: ms})
+		mk := core.Marker(s.wave)
+		mk.SpanID = ms
+		s.fab.Send(mpi.SchedulerID, r, mk)
 	}
 }
 

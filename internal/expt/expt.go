@@ -18,6 +18,7 @@ import (
 	"ftckpt/internal/platform"
 	"ftckpt/internal/sim"
 	"ftckpt/internal/simnet"
+	"ftckpt/internal/span"
 	"ftckpt/internal/sweep"
 )
 
@@ -39,6 +40,11 @@ type Options struct {
 	// Rows, trace output and exported metrics are byte-identical for any
 	// Jobs value with the same seed.
 	Jobs int
+	// Attrib, when set, attaches the causal span tracer to every run of
+	// the harness and folds each run's per-phase overhead attribution into
+	// this accumulator — deterministically in point order, like Metrics,
+	// so the merged breakdown is byte-identical for any Jobs value.
+	Attrib *span.Attribution
 
 	// point labels the sweep point a run belongs to ("fig6 interval=10s
 	// np=64"), for deadline/error reporting; set by runSweep.
@@ -132,7 +138,11 @@ func (o Options) deadline() sim.Time {
 func (o Options) run(cfg ftpm.Config) (ftpm.Result, error) {
 	cfg.Deadline = o.deadline()
 	cfg.Metrics = o.Metrics
+	cfg.Attrib = o.Attrib != nil
 	res, err := ftpm.Run(cfg)
+	if o.Attrib != nil && res.Attribution != nil {
+		o.Attrib.Merge(res.Attribution)
+	}
 	if err != nil {
 		point := o.point
 		if point == "" {
@@ -157,6 +167,7 @@ func (o Options) run(cfg ftpm.Config) (ftpm.Result, error) {
 // byte-identical to a Jobs=1 run with the same seed.
 func runSweep[P, R any](o Options, points []P, label func(P) string, fn func(Options, P) (R, error)) ([]R, error) {
 	regs := make([]*obs.Metrics, len(points))
+	attribs := make([]*span.Attribution, len(points))
 	out, err := sweep.Run(context.Background(), points,
 		func(_ context.Context, i int, p P, trace sweep.Tracef) (R, error) {
 			po := o
@@ -166,6 +177,10 @@ func runSweep[P, R any](o Options, points []P, label func(P) string, fn func(Opt
 				regs[i] = obs.NewMetrics()
 				po.Metrics = regs[i]
 			}
+			if o.Attrib != nil {
+				attribs[i] = &span.Attribution{}
+				po.Attrib = attribs[i]
+			}
 			return fn(po, p)
 		}, sweep.Opts{Jobs: o.Jobs, Trace: sweep.Tracef(o.Trace)})
 	if err != nil {
@@ -173,6 +188,9 @@ func runSweep[P, R any](o Options, points []P, label func(P) string, fn func(Opt
 	}
 	for _, reg := range regs {
 		o.Metrics.Merge(reg)
+	}
+	for _, at := range attribs {
+		o.Attrib.Merge(at)
 	}
 	return out, nil
 }

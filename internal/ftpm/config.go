@@ -19,6 +19,7 @@ import (
 	"ftckpt/internal/obs"
 	"ftckpt/internal/sim"
 	"ftckpt/internal/simnet"
+	"ftckpt/internal/span"
 	"ftckpt/internal/trace"
 )
 
@@ -134,6 +135,14 @@ type Config struct {
 	// shared across runs to aggregate (cmd/figures); nil gives the job a
 	// private registry, exposed through Result.Metrics either way.
 	Metrics *obs.Metrics
+	// Attrib attaches the causal span tracer (internal/span) to the run
+	// and computes the per-phase overhead attribution into
+	// Result.Attribution when the job completes.
+	Attrib bool
+	// SnapshotPeriod > 0 emits a periodic metrics snapshot (counter-sample
+	// events) every period, rendered as counter tracks by the Chrome trace
+	// exporters.
+	SnapshotPeriod sim.Time
 }
 
 // Result summarizes a completed run.
@@ -167,6 +176,10 @@ type Result struct {
 	// bytes per channel, image bytes per server), and virtual-time
 	// histograms (blocked-send spans, store transfers, wave phases).
 	Metrics *obs.Metrics
+	// Attribution is the conservation-checked per-phase overhead
+	// breakdown, computed when Config.Attrib is set (nil otherwise, and on
+	// degraded runs).
+	Attribution *span.Attribution
 }
 
 func (r Result) String() string {

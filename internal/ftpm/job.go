@@ -14,6 +14,7 @@ import (
 	"ftckpt/internal/obs"
 	"ftckpt/internal/sim"
 	"ftckpt/internal/simnet"
+	"ftckpt/internal/span"
 	"ftckpt/internal/trace"
 )
 
@@ -61,8 +62,17 @@ type Job struct {
 	rec     *trace.Recorder
 	hub     *obs.Hub
 	met     *obs.Metrics
+	spans   *span.Builder
 	res     Result
 	doneRes bool
+
+	// Causal-span bookkeeping for the failure → detection → rollback →
+	// replay cause chain.
+	deathSpan    []uint64 // per-rank EvComponentDead span (heartbeat mode)
+	detectSpan   []uint64 // per-rank EvHeartbeatTimeout span, consumed by detectedRank
+	restartSpan  []uint64 // per-rank local-restart span (mlog)
+	srvKillSpan  []uint64 // per-server EvServerKilled span
+	lastKillSpan uint64   // most recent global EvRankKilled span
 }
 
 // Run executes the job described by cfg and returns its result.
@@ -88,7 +98,12 @@ func NewJob(cfg Config) (*Job, error) {
 	if cfg.Trace != nil {
 		text = obs.NewTextSink(cfg.Trace)
 	}
-	job.hub = obs.NewHub(obs.NewMetricsSink(job.met), cfg.Sink, text)
+	sinks := []obs.Sink{obs.NewMetricsSink(job.met)}
+	if cfg.Attrib {
+		job.spans = span.NewBuilder(cfg.NP, string(cfg.Protocol))
+		sinks = append(sinks, job.spans)
+	}
+	job.hub = obs.NewHub(append(sinks, cfg.Sink, text)...)
 	job.net = simnet.New(job.k, cfg.Topology)
 	job.net.SetMetrics(job.met)
 	job.fab = mpi.NewFabric(job.net)
@@ -122,6 +137,10 @@ func NewJob(cfg Config) (*Job, error) {
 	job.nodeKilled = map[int]bool{}
 	job.rankDiedAt = make([]sim.Time, cfg.NP)
 	job.srvDiedAt = make([]sim.Time, cfg.Servers)
+	job.deathSpan = make([]uint64, cfg.NP)
+	job.detectSpan = make([]uint64, cfg.NP)
+	job.restartSpan = make([]uint64, cfg.NP)
+	job.srvKillSpan = make([]uint64, cfg.Servers)
 	for r := 0; r < cfg.NP; r++ {
 		if cfg.Placement != nil {
 			job.nodeMap[r] = cfg.Placement(r)
@@ -185,6 +204,9 @@ func (job *Job) Run() (Result, error) {
 	}
 	if job.cfg.HeartbeatPeriod > 0 {
 		job.det = newDetector(job)
+	}
+	if job.cfg.SnapshotPeriod > 0 {
+		job.scheduleSnapshot()
 	}
 	job.launch(0)
 	if job.det != nil {
@@ -355,8 +377,10 @@ func (job *Job) injectServerKill(s int) {
 	}
 	job.srvDiedAt[s] = job.k.Now()
 	job.serverFails++
+	job.srvKillSpan[s] = job.hub.NextSpan()
 	job.emit(obs.Event{Type: obs.EvServerKilled, Rank: -1, Wave: -1, Channel: -1,
-		Node: srv.Node, Server: s}, "checkpoint server %d (node %d) lost", s, srv.Node)
+		Node: srv.Node, Server: s, Span: job.srvKillSpan[s]},
+		"checkpoint server %d (node %d) lost", s, srv.Node)
 	srv.Kill()
 }
 
@@ -415,6 +439,9 @@ func (job *Job) silentKill(rank int) {
 		return
 	}
 	job.rankDiedAt[rank] = job.k.Now()
+	job.deathSpan[rank] = job.hub.NextSpan()
+	job.emit(obs.Event{Type: obs.EvComponentDead, Rank: rank, Wave: job.lastWave, Channel: -1,
+		Node: job.nodeMap[rank], Server: -1, Span: job.deathSpan[rank]}, "")
 	job.harvest(pr)
 	pr.teardown()
 }
@@ -426,15 +453,16 @@ func (job *Job) silentKill(rank int) {
 func (job *Job) suspectRank(r int, silence sim.Time) {
 	pr := job.procs[r]
 	now := job.k.Now()
+	job.detectSpan[r] = job.hub.NextSpan()
 	if pr == nil || pr.down {
 		job.met.Observe(obs.MDetectLatency, now-job.rankDiedAt[r])
 		job.emit(obs.Event{Type: obs.EvHeartbeatTimeout, Rank: r, Wave: -1, Channel: -1,
-			Node: job.nodeMap[r], Server: -1},
+			Node: job.nodeMap[r], Server: -1, Span: job.detectSpan[r], Cause: job.deathSpan[r]},
 			"rank %d silent %v; declared dead (detection latency %v)", r, silence, now-job.rankDiedAt[r])
 	} else {
 		job.met.Inc(obs.MFalseSuspicions)
 		job.emit(obs.Event{Type: obs.EvHeartbeatTimeout, Rank: r, Wave: -1, Channel: -1,
-			Node: job.nodeMap[r], Server: -1},
+			Node: job.nodeMap[r], Server: -1, Span: job.detectSpan[r]},
 			"rank %d silent %v; false suspicion, restarting it anyway", r, silence)
 	}
 	job.detectedRank(r)
@@ -449,14 +477,45 @@ func (job *Job) suspectServer(s int, silence sim.Time) {
 	if !srv.Alive() {
 		job.met.Observe(obs.MDetectLatency, now-job.srvDiedAt[s])
 		job.emit(obs.Event{Type: obs.EvHeartbeatTimeout, Rank: -1, Wave: -1, Channel: -1,
-			Node: srv.Node, Server: s},
+			Node: srv.Node, Server: s, Span: job.hub.NextSpan(), Cause: job.srvKillSpan[s]},
 			"server %d silent %v; declared dead (detection latency %v)", s, silence, now-job.srvDiedAt[s])
 	} else {
 		job.met.Inc(obs.MFalseSuspicions)
 		job.emit(obs.Event{Type: obs.EvHeartbeatTimeout, Rank: -1, Wave: -1, Channel: -1,
-			Node: srv.Node, Server: s},
+			Node: srv.Node, Server: s, Span: job.hub.NextSpan()},
 			"server %d silent %v; false suspicion", s, silence)
 	}
+}
+
+// snapshotCounters is the fixed set of cumulative counters sampled by
+// the periodic metrics snapshot (Config.SnapshotPeriod).  The list and
+// its order are frozen so snapshot streams are byte-deterministic.
+var snapshotCounters = []string{
+	obs.MMarkersSent,
+	obs.MDelayedSends,
+	obs.MLoggedMsgs,
+	obs.MLoggedBytes,
+	obs.MLocalCkpts,
+	obs.MImageBytes,
+	obs.MWavesCommitted,
+	obs.MFailures,
+	obs.MReplayedMsgs,
+}
+
+// scheduleSnapshot arms the recurring metrics-snapshot timer: every
+// SnapshotPeriod it emits one EvCounterSample per tracked counter, which
+// trace exporters render as Perfetto counter tracks.
+func (job *Job) scheduleSnapshot() {
+	job.k.After(job.cfg.SnapshotPeriod, func() {
+		if job.doneRes {
+			return
+		}
+		for _, name := range snapshotCounters {
+			job.emit(obs.Event{Type: obs.EvCounterSample, Rank: -1, Wave: -1, Channel: -1,
+				Node: -1, Server: -1, Bytes: job.met.Counter(name), Detail: name}, "")
+		}
+		job.scheduleSnapshot()
+	})
 }
 
 // launch starts every process, fresh (wave 0) or restored from wave.
@@ -465,22 +524,27 @@ func (job *Job) launch(wave int) {
 	job.finishedRank = make([]bool, job.cfg.NP)
 	restarting := job.gen > 0
 	if wave == 0 {
+		var rs uint64
 		if restarting {
-			job.emit(obs.Event{Type: obs.EvRestartBegin, Rank: -1, Wave: 0, Channel: -1, Node: -1, Server: -1}, "")
+			rs = job.hub.NextSpan()
+			job.emit(obs.Event{Type: obs.EvRestartBegin, Rank: -1, Wave: 0, Channel: -1, Node: -1, Server: -1,
+				Span: rs, Cause: job.lastKillSpan}, "")
 		}
 		for r := 0; r < job.cfg.NP; r++ {
 			job.spawn(r, nil, nil)
 		}
 		job.startSchedulers()
 		if restarting {
-			job.emit(obs.Event{Type: obs.EvRestartEnd, Rank: -1, Wave: 0, Channel: -1, Node: -1, Server: -1}, "")
+			job.emit(obs.Event{Type: obs.EvRestartEnd, Rank: -1, Wave: 0, Channel: -1, Node: -1, Server: -1, Span: rs}, "")
 		}
 		return
 	}
 	// Restart: fetch every image (in parallel, contending for server
 	// NICs), then start all processes together so every engine is bound
 	// before the first re-execution message flies.
-	job.emit(obs.Event{Type: obs.EvRestartBegin, Rank: -1, Wave: wave, Channel: -1, Node: -1, Server: -1},
+	rs := job.hub.NextSpan()
+	job.emit(obs.Event{Type: obs.EvRestartBegin, Rank: -1, Wave: wave, Channel: -1, Node: -1, Server: -1,
+		Span: rs, Cause: job.lastKillSpan},
 		"restart: fetching %d images for wave %d", job.cfg.NP, wave)
 	type restored struct {
 		img  *ckpt.Image
@@ -503,7 +567,7 @@ func (job *Job) launch(wave int) {
 					job.spawn(q, pending[q].img, pending[q].logs)
 				}
 				job.startSchedulers()
-				job.emit(obs.Event{Type: obs.EvRestartEnd, Rank: -1, Wave: wave, Channel: -1, Node: -1, Server: -1}, "")
+				job.emit(obs.Event{Type: obs.EvRestartEnd, Rank: -1, Wave: wave, Channel: -1, Node: -1, Server: -1, Span: rs}, "")
 			}
 		}, func(err error) {
 			if job.gen != gen || job.doneRes {
@@ -599,7 +663,11 @@ func (job *Job) detectedRank(rank int) {
 			return
 		}
 	}
-	job.emit(obs.Event{Type: obs.EvRankKilled, Rank: rank, Wave: job.lastWave, Channel: -1, Node: node, Server: -1},
+	job.lastKillSpan = job.hub.NextSpan()
+	ds := job.detectSpan[rank]
+	job.detectSpan[rank] = 0
+	job.emit(obs.Event{Type: obs.EvRankKilled, Rank: rank, Wave: job.lastWave, Channel: -1, Node: node, Server: -1,
+		Span: job.lastKillSpan, Cause: ds},
 		"rank %d failed; killing job, restarting from wave %d", rank, job.lastWave)
 	job.running = false
 	job.restarts++
@@ -634,7 +702,11 @@ func (job *Job) onFailureLocal(rank int) {
 	if pr == nil || job.recovering[rank] {
 		return
 	}
-	job.emit(obs.Event{Type: obs.EvRankKilled, Rank: rank, Wave: job.rankWave[rank], Channel: -1, Node: job.nodeMap[rank], Server: -1},
+	ks := job.hub.NextSpan()
+	ds := job.detectSpan[rank]
+	job.detectSpan[rank] = 0
+	job.emit(obs.Event{Type: obs.EvRankKilled, Rank: rank, Wave: job.rankWave[rank], Channel: -1, Node: job.nodeMap[rank], Server: -1,
+		Span: ks, Cause: ds},
 		"rank %d failed; local recovery from its wave %d", rank, job.rankWave[rank])
 	job.restarts++
 	job.recovering[rank] = true
@@ -645,7 +717,9 @@ func (job *Job) onFailureLocal(rank int) {
 		if job.doneRes {
 			return
 		}
-		job.emit(obs.Event{Type: obs.EvRestartBegin, Rank: rank, Wave: wave, Channel: -1, Node: -1, Server: -1}, "")
+		job.restartSpan[rank] = job.hub.NextSpan()
+		job.emit(obs.Event{Type: obs.EvRestartBegin, Rank: rank, Wave: wave, Channel: -1, Node: -1, Server: -1,
+			Span: job.restartSpan[rank], Cause: ks}, "")
 		if wave == 0 {
 			// No image yet: restart from scratch and replay the whole
 			// reception history recorded since launch — the union across
@@ -688,7 +762,9 @@ func (job *Job) respawnLocal(rank int, img *ckpt.Image, logs []*mpi.Packet) {
 		job.det.resetRank(rank)
 	}
 	job.spawn(rank, img, logs)
-	job.emit(obs.Event{Type: obs.EvRestartEnd, Rank: rank, Wave: job.rankWave[rank], Channel: -1, Node: -1, Server: -1}, "")
+	job.emit(obs.Event{Type: obs.EvRestartEnd, Rank: rank, Wave: job.rankWave[rank], Channel: -1, Node: -1, Server: -1,
+		Span: job.restartSpan[rank]}, "")
+	job.restartSpan[rank] = 0
 	// Once the fresh engine is bound (the LP runs before queued events),
 	// live peers retransmit their unacknowledged messages.
 	job.k.After(0, func() {
@@ -727,7 +803,8 @@ func (job *Job) commitRank(r, w int) {
 	}
 	job.commits++
 	job.rec.Commit(w, job.k.Now())
-	job.emit(obs.Event{Type: obs.EvWaveCommit, Rank: r, Wave: w, Channel: -1, Node: -1, Server: -1}, "")
+	job.emit(obs.Event{Type: obs.EvWaveCommit, Rank: r, Wave: w, Channel: -1, Node: -1, Server: -1,
+		Span: job.hub.NextSpan()}, "")
 	job.group.GCRank(r, w)
 }
 
@@ -735,7 +812,8 @@ func (job *Job) commitWave(w int) {
 	job.lastWave = w
 	job.commits++
 	job.rec.Commit(w, job.k.Now())
-	job.emit(obs.Event{Type: obs.EvWaveCommit, Rank: -1, Wave: w, Channel: -1, Node: -1, Server: -1},
+	job.emit(obs.Event{Type: obs.EvWaveCommit, Rank: -1, Wave: w, Channel: -1, Node: -1, Server: -1,
+		Span: job.hub.NextSpan()},
 		"wave %d committed", w)
 	if ws, ok := job.rec.Stat(w); ok {
 		job.met.Observe(obs.MWaveSpread, ws.SnapshotSpread())
@@ -751,6 +829,7 @@ func (job *Job) procFinished(pr *procRun) {
 	}
 	job.finishedRank[pr.rank] = true
 	job.finished++
+	job.emit(obs.Event{Type: obs.EvRankDone, Rank: pr.rank, Wave: job.lastWave, Channel: -1, Node: -1, Server: -1}, "")
 	if job.finished < job.cfg.NP {
 		return
 	}
@@ -786,6 +865,9 @@ func (job *Job) procFinished(pr *procRun) {
 	}
 	if job.group != nil {
 		job.res.Failovers = job.group.Failovers
+	}
+	if job.spans != nil {
+		job.res.Attribution = job.spans.Finalize(job.k.Now())
 	}
 	job.doneRes = true
 	job.met.Set("job.completion_s", job.k.Now().Seconds())

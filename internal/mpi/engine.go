@@ -79,7 +79,7 @@ type Engine struct {
 	//ftlint:pool
 	collFree *CollState // recycled by endColl, reused by beginColl
 	closed   bool
-	steal   float64 // background checkpoint work stealing compute speed
+	steal    float64 // background checkpoint work stealing compute speed
 
 	// met, when set, receives blocked-receive time observations
 	// ("mpi.recv_blocked"); nil-safe.

@@ -89,6 +89,7 @@ type Packet struct {
 	Seq      uint64 // per-channel sequence, assigned by the Fabric
 	Wave     int    // checkpoint wave number (markers, control)
 	PSeq     uint64 // protocol sequence (message logging: per-pair, survives restarts)
+	SpanID   uint64 // causal span of the packet's flight (markers), 0 when untraced
 	Data     []byte
 	VSize    int64 // modelled payload size when Data is empty or symbolic
 }

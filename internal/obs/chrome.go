@@ -19,11 +19,14 @@ const (
 // struct) plus sorted Args maps make the marshalled output deterministic.
 type chromeEvent struct {
 	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"` // microseconds of virtual time
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	Id   uint64         `json:"id,omitempty"`
+	Bp   string         `json:"bp,omitempty"`
 	S    string         `json:"s,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
@@ -86,12 +89,41 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		})
 	}
 
+	// Causality: the first event carrying each span id anchors the span's
+	// origin; every event naming that span as its Cause becomes a flow
+	// arrow from the origin in Perfetto ("s" at origin, "f" at consumer).
+	type flowPoint struct {
+		ts       float64
+		pid, tid int
+	}
+	spanOrigin := map[uint64]flowPoint{}
+	type flowRef struct {
+		cause uint64
+		at    flowPoint
+	}
+	var flowRefs []flowRef
+	pointOf := func(ev Event) flowPoint {
+		pid, tid := trackOf(ev.Rank)
+		if ev.Server >= 0 {
+			pid, tid = pidServers, ev.Server
+		}
+		return flowPoint{ts: usec(int64(ev.T)), pid: pid, tid: tid}
+	}
+
 	for _, ev := range events {
 		if ev.Rank >= 0 {
 			ranks[ev.Rank] = true
 		}
 		if ev.Server >= 0 {
 			servers[ev.Server] = true
+		}
+		if ev.Span != 0 {
+			if _, seen := spanOrigin[ev.Span]; !seen {
+				spanOrigin[ev.Span] = pointOf(ev)
+			}
+		}
+		if ev.Cause != 0 {
+			flowRefs = append(flowRefs, flowRef{cause: ev.Cause, at: pointOf(ev)})
 		}
 		switch ev.Type {
 		case EvMarkerSent:
@@ -150,9 +182,42 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			})
 		case EvRestartEnd:
 			closeSpan(fmt.Sprintf("rst:%d", ev.Rank), usec(int64(ev.T)))
+		case EvComponentDead:
+			pid, tid := trackOf(ev.Rank)
+			instant(fmt.Sprintf("rank %d dead (silent)", ev.Rank), pid, tid, ev, nil)
+		case EvRankDone:
+			pid, tid := trackOf(ev.Rank)
+			instant(fmt.Sprintf("rank %d done", ev.Rank), pid, tid, ev, nil)
+		case EvCounterSample:
+			out = append(out, chromeEvent{
+				Name: ev.Detail, Ph: "C", Ts: usec(int64(ev.T)),
+				Pid: pidRuntime, Tid: 0,
+				Args: map[string]any{"value": ev.Bytes},
+			})
 		case EvJobComplete:
 			instant("job complete", pidRuntime, 0, ev, nil)
 		}
+	}
+
+	// Flow arrows: one "s" per referenced span origin (first reference
+	// wins), one "f" per consumer, in stream order — deterministic.
+	started := map[uint64]bool{}
+	for _, fr := range flowRefs {
+		org, ok := spanOrigin[fr.cause]
+		if !ok {
+			continue
+		}
+		if !started[fr.cause] {
+			started[fr.cause] = true
+			out = append(out, chromeEvent{
+				Name: "cause", Cat: "flow", Ph: "s", Ts: org.ts,
+				Pid: org.pid, Tid: org.tid, Id: fr.cause,
+			})
+		}
+		out = append(out, chromeEvent{
+			Name: "cause", Cat: "flow", Ph: "f", Bp: "e", Ts: fr.at.ts,
+			Pid: fr.at.pid, Tid: fr.at.tid, Id: fr.cause,
+		})
 	}
 
 	// Close spans left open (transfers aborted by a failure) at the trace

@@ -109,6 +109,100 @@ func TestMergeIntoEmptyPreservesSchema(t *testing.T) {
 	}
 }
 
+// TestMergeEmptyRegistries pins the degenerate folds: empty into empty
+// stays empty, and empty into populated leaves the populated registry
+// byte-identical.
+func TestMergeEmptyRegistries(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	a.Merge(b)
+	var out strings.Builder
+	if err := a.WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	var fresh strings.Builder
+	if err := NewMetrics().WriteJSON(&fresh); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != fresh.String() {
+		t.Fatalf("empty-into-empty merge changed the registry: %s", out.String())
+	}
+
+	pop := NewMetrics()
+	pop.Add("c", 7)
+	pop.Observe("h", 3*time.Millisecond)
+	pop.Set("g", 2.5)
+	var before strings.Builder
+	if err := pop.WriteJSON(&before); err != nil {
+		t.Fatal(err)
+	}
+	pop.Merge(NewMetrics())
+	var after strings.Builder
+	if err := pop.WriteJSON(&after); err != nil {
+		t.Fatal(err)
+	}
+	if before.String() != after.String() {
+		t.Fatalf("empty merge mutated a populated registry:\nbefore: %s\nafter: %s",
+			before.String(), after.String())
+	}
+}
+
+// TestMergeSingleSampleExtrema covers the Count==1 histograms where
+// Min==Max, and the touched-but-empty histogram whose zero Min must never
+// clobber a real minimum.
+func TestMergeSingleSampleExtrema(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	a.Observe("h", 5*time.Millisecond)
+	b.Observe("h", 2*time.Millisecond)
+	m := NewMetrics()
+	m.Merge(a)
+	if h := m.Hist("h"); h.Min != h.Max || h.Min != 5*time.Millisecond {
+		t.Fatalf("single sample: min=%v max=%v, want both 5ms", h.Min, h.Max)
+	}
+	m.Merge(b)
+	if h := m.Hist("h"); h.Min != 2*time.Millisecond || h.Max != 5*time.Millisecond {
+		t.Fatalf("two singletons: min=%v max=%v", h.Min, h.Max)
+	}
+
+	// A touched histogram has Count==0 and zero extrema; folding it in
+	// either direction must not invent a 0ns minimum.
+	empty := NewMetrics()
+	empty.TouchHist("h")
+	m.Merge(empty)
+	if h := m.Hist("h"); h.Min != 2*time.Millisecond {
+		t.Fatalf("empty hist clobbered min: %v", h.Min)
+	}
+	adopt := NewMetrics()
+	adopt.TouchHist("h")
+	adopt.Merge(m)
+	if h := adopt.Hist("h"); h.Min != 2*time.Millisecond || h.Max != 5*time.Millisecond {
+		t.Fatalf("touched registry did not adopt extrema: min=%v max=%v", h.Min, h.Max)
+	}
+}
+
+// TestMergeOverflowBucket sends durations past the last HistBound (100s)
+// on both sides and requires them to land in — and add across — the
+// overflow bucket.
+func TestMergeOverflowBucket(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	a.Observe("h", 150*time.Second)
+	a.Observe("h", time.Millisecond)
+	b.Observe("h", 100*time.Second) // exactly the last bound: overflow by convention
+	b.Observe("h", 3600*time.Second)
+	m := NewMetrics()
+	m.Merge(a)
+	m.Merge(b)
+	h := m.Hist("h")
+	if len(h.Buckets) != len(HistBounds)+1 {
+		t.Fatalf("bucket layout: %d buckets for %d bounds", len(h.Buckets), len(HistBounds))
+	}
+	if got := h.Buckets[len(h.Buckets)-1]; got != 3 {
+		t.Fatalf("overflow bucket = %d, want 3 (150s, 100s, 3600s): %v", got, h.Buckets)
+	}
+	if h.Max != 3600*time.Second {
+		t.Fatalf("max = %v", h.Max)
+	}
+}
+
 func TestMergeNilSafety(t *testing.T) {
 	var nilM *Metrics
 	nilM.Merge(NewMetrics()) // must not panic

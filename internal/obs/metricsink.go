@@ -34,15 +34,15 @@ const (
 	// manager, which knows the true death time), false suspicions, fetch
 	// failovers, store retries, waves whose write quorum became
 	// unreachable, replayed log messages, and degraded stops.
-	MServerFailures   = "failures.server"
-	MDetectTimeouts   = "detect.timeouts"
-	MDetectLatency    = "detect.latency" // hist: component death → detection
-	MFalseSuspicions  = "detect.false_suspicions"
-	MFailovers        = "ckpt.failover"
-	MStoreRetries     = "ckpt.store_retry"
-	MQuorumLost       = "ckpt.quorum_lost"
-	MReplayedMsgs     = "log.replayed"
-	MDegradedStops    = "degraded.stops"
+	MServerFailures  = "failures.server"
+	MDetectTimeouts  = "detect.timeouts"
+	MDetectLatency   = "detect.latency" // hist: component death → detection
+	MFalseSuspicions = "detect.false_suspicions"
+	MFailovers       = "ckpt.failover"
+	MStoreRetries    = "ckpt.store_retry"
+	MQuorumLost      = "ckpt.quorum_lost"
+	MReplayedMsgs    = "log.replayed"
+	MDegradedStops   = "degraded.stops"
 )
 
 // MetricsSink folds the event stream into a Metrics registry: counters

@@ -96,6 +96,18 @@ const (
 	// EvDegraded: the job stopped in degraded mode — unrecoverable loss;
 	// Detail carries the structured error text.
 	EvDegraded
+	// EvComponentDead: the simulator's omniscient record of a silent death
+	// under heartbeat detection — Rank (or Server) stopped at T, but the
+	// dispatcher does not know yet.  Opens the detection-latency span that
+	// the matching EvHeartbeatTimeout closes.
+	EvComponentDead
+	// EvRankDone: Rank finalized (reached the end of its program).  The
+	// last EvRankDone anchors the critical path of the run.
+	EvRankDone
+	// EvCounterSample: a periodic metrics snapshot — Detail is the metric
+	// name, Bytes its current value.  Rendered as a counter track in the
+	// Chrome trace exporters.
+	EvCounterSample
 
 	numEventTypes
 )
@@ -109,6 +121,7 @@ var eventNames = [numEventTypes]string{
 	"restart-begin", "restart-end", "job-complete",
 	"server-killed", "heartbeat-timeout", "replica-failover", "store-retry",
 	"quorum-lost", "message-replayed", "degraded",
+	"component-dead", "rank-done", "counter-sample",
 }
 
 // String returns the event type's kebab-case name.
@@ -144,6 +157,16 @@ type Event struct {
 	// Seq is the per-pair protocol sequence number for logged/replayed
 	// messages under protocols that stamp one (mlog), 0 otherwise.
 	Seq uint64
+	// Span is the causal-span identifier this event belongs to (allocated
+	// with Hub.NextSpan), 0 when the event is not span-scoped.  Begin/end
+	// event pairs share one Span; a marker's send and receipt share the
+	// marker's flight span.
+	Span uint64
+	// Cause is the Span of the event that causally triggered this one
+	// (marker flight → wave entry, snapshot → freeze, kill → detection →
+	// restart), 0 when there is no recorded cause.  The exporters render
+	// cause edges as Perfetto flow arrows; internal/span rebuilds the DAG.
+	Cause uint64
 	// Detail carries free-text context for runtime events.
 	Detail string
 }
@@ -155,9 +178,13 @@ type Sink interface {
 }
 
 // Hub fans events out to its sinks.  A nil *Hub is a valid no-op emitter,
-// so instrumented layers never branch on "is observability on".
+// so instrumented layers never branch on "is observability on".  The hub
+// also allocates span identifiers: one counter per hub, incremented in
+// emission order, so IDs are deterministic per run and independent of how
+// many runs execute concurrently (each run owns its hub).
 type Hub struct {
-	sinks []Sink
+	sinks    []Sink
+	nextSpan uint64
 }
 
 // NewHub builds a hub over the given sinks (nils are skipped).
@@ -184,6 +211,17 @@ func (h *Hub) Emit(ev Event) {
 // Active reports whether any sink is attached (lets hot paths skip
 // assembling expensive Detail strings).
 func (h *Hub) Active() bool { return h != nil && len(h.sinks) > 0 }
+
+// NextSpan allocates a fresh span identifier.  Runs in simulation
+// (single-threaded) context; IDs start at 1 so 0 always means "no span".
+// Safe on a nil hub, which returns 0 (events stay unstamped).
+func (h *Hub) NextSpan() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.nextSpan++
+	return h.nextSpan
+}
 
 // Collector is a sink retaining every event in emission order — the
 // input of the timeline exporter and of event-level assertions in tests.

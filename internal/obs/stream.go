@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ChromeStreamSink writes a Chrome trace_event JSON document incrementally
+// as events arrive, so a trace can be exported without retaining the run's
+// event history in memory (a Collector at NP=1024 holds every event just
+// to serialize them at the end; this sink holds O(NP) track-name state).
+//
+// Differences from WriteChromeTrace, forced by statelessness:
+//
+//   - Intervals are async begin/end pairs ("b"/"e") instead of complete
+//     "X" events — Perfetto pairs them by (cat, id, name), all of which
+//     are reconstructible from the end event's fields alone.
+//   - No flow arrows: rendering a cause edge needs the coordinates of the
+//     origin event, which a streaming writer has already forgotten.  Use
+//     the collector-based exporter when causality arrows matter.
+//   - Intervals still open at Close (transfers aborted by a failure) are
+//     ended at the last timestamp seen, mirroring the batch exporter's
+//     close-at-horizon for aborted spans.  Only the open set is retained,
+//     so memory stays bounded.
+//
+// Output is deterministic: identical event streams produce identical
+// bytes.  Close writes the closing bracket; the sink is unusable after.
+type ChromeStreamSink struct {
+	w     io.Writer
+	err   error
+	first bool // next record is the first (no leading comma)
+
+	namedRank map[int]bool
+	namedSrv  map[int]bool
+	open      map[string]streamEvent // async spans begun but not yet ended
+	lastTs    float64                // horizon for spans still open at Close
+}
+
+// NewChromeStreamSink starts a streaming trace document on w.  The caller
+// owns w (buffering, closing the file); call Close to finish the JSON.
+func NewChromeStreamSink(w io.Writer) *ChromeStreamSink {
+	s := &ChromeStreamSink{w: w, first: true,
+		namedRank: map[int]bool{}, namedSrv: map[int]bool{},
+		open: map[string]streamEvent{}}
+	s.raw(`{"displayTimeUnit":"ms","traceEvents":[`)
+	s.record(metaName("process_name", pidRuntime, 0, "runtime"))
+	s.record(metaName("process_name", pidRanks, 0, "mpi ranks"))
+	s.record(metaName("process_name", pidServers, 0, "ckpt servers"))
+	return s
+}
+
+func (s *ChromeStreamSink) raw(text string) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = io.WriteString(s.w, text)
+}
+
+// streamEvent mirrors chromeEvent but with a string id, letting async
+// intervals be keyed by the same composite keys the batch exporter uses.
+type streamEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Id   string         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func (s *ChromeStreamSink) record(ev chromeEvent) {
+	s.recordStream(streamEvent{Name: ev.Name, Cat: ev.Cat, Ph: ev.Ph, Ts: ev.Ts,
+		Pid: ev.Pid, Tid: ev.Tid, S: ev.S, Args: ev.Args})
+}
+
+func (s *ChromeStreamSink) recordStream(ev streamEvent) {
+	if s.err != nil {
+		return
+	}
+	if !s.first {
+		s.raw(",\n")
+	}
+	s.first = false
+	b, err := json.Marshal(ev)
+	if err != nil {
+		s.err = err
+		return
+	}
+	_, s.err = s.w.Write(b)
+}
+
+// nameTracks lazily emits thread-name metadata the first time a rank or
+// server track appears, since a streaming writer cannot front-load them.
+func (s *ChromeStreamSink) nameTracks(ev Event) {
+	if ev.Rank >= 0 && !s.namedRank[ev.Rank] {
+		s.namedRank[ev.Rank] = true
+		s.record(metaName("thread_name", pidRanks, ev.Rank, fmt.Sprintf("rank %d", ev.Rank)))
+	}
+	if ev.Server >= 0 && !s.namedSrv[ev.Server] {
+		s.namedSrv[ev.Server] = true
+		s.record(metaName("thread_name", pidServers, ev.Server, fmt.Sprintf("server %d", ev.Server)))
+	}
+}
+
+func (s *ChromeStreamSink) instant(name string, pid, tid int, ev Event, args map[string]any) {
+	s.recordStream(streamEvent{Name: name, Ph: "i", Ts: usec(int64(ev.T)),
+		Pid: pid, Tid: tid, S: "t", Args: args})
+}
+
+func (s *ChromeStreamSink) async(ph, name, id string, pid, tid int, ev Event, args map[string]any) {
+	// The composite (rank, wave, server) id repeats when a wave aborted by
+	// a failure re-runs after the restart; the event's span id is unique
+	// per attempt, so prefer it whenever the emitter stamped one.
+	if ev.Span != 0 {
+		id = fmt.Sprintf("sp:%d", ev.Span)
+	}
+	rec := streamEvent{Name: name, Cat: "span", Ph: ph,
+		Ts: usec(int64(ev.T)), Pid: pid, Tid: tid, Id: id, Args: args}
+	if ph == "b" {
+		s.open[id] = rec
+	} else {
+		delete(s.open, id)
+	}
+	s.recordStream(rec)
+}
+
+// Emit translates one event to trace records.  Implements Sink.
+func (s *ChromeStreamSink) Emit(ev Event) {
+	if s.err != nil {
+		return
+	}
+	if ts := usec(int64(ev.T)); ts > s.lastTs {
+		s.lastTs = ts
+	}
+	s.nameTracks(ev)
+	switch ev.Type {
+	case EvMarkerSent:
+		pid, tid := trackOf(ev.Rank)
+		s.instant("marker-sent", pid, tid, ev, map[string]any{"wave": ev.Wave, "to": ev.Channel})
+	case EvMarkerRecv:
+		pid, tid := trackOf(ev.Rank)
+		s.instant("marker-recv", pid, tid, ev, map[string]any{"wave": ev.Wave, "from": ev.Channel})
+	case EvChannelBlocked:
+		s.async("b", fmt.Sprintf("blocked send (wave %d)", ev.Wave),
+			fmt.Sprintf("blk:%d", ev.Rank), pidRanks, ev.Rank, ev,
+			map[string]any{"wave": ev.Wave})
+	case EvChannelUnblocked:
+		s.async("e", fmt.Sprintf("blocked send (wave %d)", ev.Wave),
+			fmt.Sprintf("blk:%d", ev.Rank), pidRanks, ev.Rank, ev, nil)
+	case EvSendDelayed:
+		s.instant("send-delayed", pidRanks, ev.Rank, ev, map[string]any{"to": ev.Channel})
+	case EvRecvDelayed:
+		s.instant("recv-delayed", pidRanks, ev.Rank, ev, map[string]any{"from": ev.Channel})
+	case EvMessageLogged:
+		s.instant("message-logged", pidRanks, ev.Rank, ev,
+			map[string]any{"from": ev.Channel, "bytes": ev.Bytes, "wave": ev.Wave})
+	case EvLocalCkptEnd:
+		s.instant(fmt.Sprintf("snapshot (wave %d)", ev.Wave), pidRanks, ev.Rank, ev, nil)
+	case EvImageStoreBegin:
+		s.async("b", fmt.Sprintf("store r%d w%d", ev.Rank, ev.Wave),
+			fmt.Sprintf("img:%d:%d:%d", ev.Rank, ev.Wave, ev.Server),
+			pidServers, ev.Server, ev, map[string]any{"bytes": ev.Bytes})
+	case EvImageStoreEnd:
+		s.async("e", fmt.Sprintf("store r%d w%d", ev.Rank, ev.Wave),
+			fmt.Sprintf("img:%d:%d:%d", ev.Rank, ev.Wave, ev.Server),
+			pidServers, ev.Server, ev, nil)
+	case EvLogShipBegin:
+		s.async("b", fmt.Sprintf("logs r%d w%d", ev.Rank, ev.Wave),
+			fmt.Sprintf("log:%d:%d:%d", ev.Rank, ev.Wave, ev.Server),
+			pidServers, ev.Server, ev, map[string]any{"bytes": ev.Bytes})
+	case EvLogShipEnd:
+		s.async("e", fmt.Sprintf("logs r%d w%d", ev.Rank, ev.Wave),
+			fmt.Sprintf("log:%d:%d:%d", ev.Rank, ev.Wave, ev.Server),
+			pidServers, ev.Server, ev, nil)
+	case EvWaveCommit:
+		pid, tid := trackOf(ev.Rank)
+		s.instant(fmt.Sprintf("wave %d committed", ev.Wave), pid, tid, ev, nil)
+	case EvRankKilled:
+		s.instant(fmt.Sprintf("rank %d killed", ev.Rank), pidRuntime, 0, ev,
+			map[string]any{"restart_wave": ev.Wave})
+	case EvNodeLost:
+		s.instant(fmt.Sprintf("node %d lost", ev.Node), pidRuntime, 0, ev, nil)
+	case EvRestartBegin:
+		pid, tid := trackOf(ev.Rank)
+		s.async("b", fmt.Sprintf("restart (wave %d)", ev.Wave),
+			fmt.Sprintf("rst:%d", ev.Rank), pid, tid, ev,
+			map[string]any{"wave": ev.Wave})
+	case EvRestartEnd:
+		pid, tid := trackOf(ev.Rank)
+		s.async("e", fmt.Sprintf("restart (wave %d)", ev.Wave),
+			fmt.Sprintf("rst:%d", ev.Rank), pid, tid, ev, nil)
+	case EvComponentDead:
+		pid, tid := trackOf(ev.Rank)
+		s.instant(fmt.Sprintf("rank %d dead (silent)", ev.Rank), pid, tid, ev, nil)
+	case EvRankDone:
+		pid, tid := trackOf(ev.Rank)
+		s.instant(fmt.Sprintf("rank %d done", ev.Rank), pid, tid, ev, nil)
+	case EvCounterSample:
+		s.recordStream(streamEvent{Name: ev.Detail, Ph: "C", Ts: usec(int64(ev.T)),
+			Pid: pidRuntime, Tid: 0, Args: map[string]any{"value": ev.Bytes}})
+	case EvJobComplete:
+		s.instant("job complete", pidRuntime, 0, ev, nil)
+	}
+}
+
+// Close ends any still-open interval at the horizon, terminates the JSON
+// document, and reports any write error seen during the stream.
+func (s *ChromeStreamSink) Close() error {
+	ids := make([]string, 0, len(s.open))
+	for id := range s.open {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic close order for aborted spans
+	for _, id := range ids {
+		b := s.open[id]
+		s.recordStream(streamEvent{Name: b.Name, Cat: b.Cat, Ph: "e",
+			Ts: s.lastTs, Pid: b.Pid, Tid: b.Tid, Id: id})
+	}
+	s.open = nil
+	s.raw("]}\n")
+	return s.err
+}

@@ -16,8 +16,10 @@ func NewTextSink(fn func(format string, args ...any)) *TextSink {
 }
 
 // Emit renders the event if it carries a human-readable Detail line.
+// Counter samples carry the metric name in Detail and are skipped: they
+// are timeline data, not job-level progress.
 func (s *TextSink) Emit(ev Event) {
-	if ev.Detail == "" {
+	if ev.Detail == "" || ev.Type == EvCounterSample {
 		return
 	}
 	s.fn("[%12v] %s", ev.T, ev.Detail)

@@ -1,0 +1,227 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ftckpt/internal/sim"
+)
+
+// Breakdown splits a stretch of virtual time into the nine phases of the
+// paper's cost decomposition.  All values are integer virtual nanoseconds;
+// a rank's breakdown sums exactly to the run's completion time.
+type Breakdown struct {
+	// Compute is time spent running the application — the remainder once
+	// every overhead phase is accounted.
+	Compute sim.Time `json:"compute_ns"`
+	// Coordination is time waiting on another endpoint's checkpoint
+	// marker: the flight of the marker that pulled the rank into a wave.
+	Coordination sim.Time `json:"coordination_ns"`
+	// Freeze is Pcl's blocked-send window: channels frozen between the
+	// flush and the local checkpoint.
+	Freeze sim.Time `json:"freeze_ns"`
+	// Logging is time shipping logged in-transit payloads (Vcl channel
+	// state, mlog pessimistic logs) to the checkpoint servers.
+	Logging sim.Time `json:"logging_ns"`
+	// ImageTransfer is time a checkpoint image of the rank was in flight
+	// to a server (the fork-and-pipeline background store).
+	ImageTransfer sim.Time `json:"image_transfer_ns"`
+	// QuorumWait is the replication tail: first replica stored, last
+	// replica (the write quorum) still outstanding.
+	QuorumWait sim.Time `json:"quorum_wait_ns"`
+	// Detection is the heartbeat detector's latency: component dead,
+	// dispatcher not yet aware.
+	Detection sim.Time `json:"detection_ns"`
+	// Rollback is recovery up to the image fetch: kill to restart, minus
+	// the replay share below.
+	Rollback sim.Time `json:"rollback_ns"`
+	// Replay is the log-replay share of the restart window, in proportion
+	// to replayed-log bytes vs. fetched image bytes.
+	Replay sim.Time `json:"replay_ns"`
+}
+
+// addPhase adds d to the phase with the given index.
+func (b *Breakdown) addPhase(phase int, d sim.Time) {
+	switch phase {
+	case phaseCompute:
+		b.Compute += d
+	case phaseCoordination:
+		b.Coordination += d
+	case phaseFreeze:
+		b.Freeze += d
+	case phaseLogging:
+		b.Logging += d
+	case phaseImage:
+		b.ImageTransfer += d
+	case phaseQuorum:
+		b.QuorumWait += d
+	case phaseDetection:
+		b.Detection += d
+	case phaseRollback:
+		b.Rollback += d
+	case phaseReplay:
+		b.Replay += d
+	}
+}
+
+// accum adds another breakdown field-wise.
+func (b *Breakdown) accum(o Breakdown) {
+	b.Compute += o.Compute
+	b.Coordination += o.Coordination
+	b.Freeze += o.Freeze
+	b.Logging += o.Logging
+	b.ImageTransfer += o.ImageTransfer
+	b.QuorumWait += o.QuorumWait
+	b.Detection += o.Detection
+	b.Rollback += o.Rollback
+	b.Replay += o.Replay
+}
+
+// Total sums every phase.
+func (b Breakdown) Total() sim.Time {
+	return b.Compute + b.Coordination + b.Freeze + b.Logging +
+		b.ImageTransfer + b.QuorumWait + b.Detection + b.Rollback + b.Replay
+}
+
+// Overhead sums every phase except compute.
+func (b Breakdown) Overhead() sim.Time { return b.Total() - b.Compute }
+
+// phaseList enumerates (name, value) pairs in display order.
+func (b Breakdown) phaseList() []struct {
+	Name string
+	V    sim.Time
+} {
+	return []struct {
+		Name string
+		V    sim.Time
+	}{
+		{"compute", b.Compute},
+		{"coordination", b.Coordination},
+		{"freeze", b.Freeze},
+		{"logging", b.Logging},
+		{"image-transfer", b.ImageTransfer},
+		{"quorum-wait", b.QuorumWait},
+		{"detection", b.Detection},
+		{"rollback", b.Rollback},
+		{"replay", b.Replay},
+	}
+}
+
+// Attribution is the per-phase overhead attribution of one finished run.
+type Attribution struct {
+	Protocol   string   `json:"protocol"`
+	NP         int      `json:"np"`
+	Completion sim.Time `json:"completion_ns"`
+	// Aggregate sums the per-rank breakdowns (NP × Completion in total).
+	Aggregate Breakdown `json:"aggregate"`
+	// CriticalPath is the breakdown of the longest causal chain ending at
+	// the last rank to finish; it sums to Completion exactly.
+	CriticalPath Breakdown `json:"critical_path"`
+	// CriticalRank is the rank whose finish anchors the critical path;
+	// CriticalHops counts marker edges the path crosses between ranks.
+	CriticalRank int `json:"critical_rank"`
+	CriticalHops int `json:"critical_hops"`
+	// Ranks are the per-rank breakdowns, indexed by rank.
+	Ranks []Breakdown `json:"ranks"`
+}
+
+// Check verifies the conservation invariant: every per-rank breakdown and
+// the critical path sum exactly to the completion time, with no negative
+// phase.  A nil error is the structural guarantee the attribution rests
+// on; a non-nil error means the event stream violated the span model.
+func (a *Attribution) Check() error {
+	if a == nil {
+		return fmt.Errorf("span: nil attribution")
+	}
+	check := func(who string, b Breakdown) error {
+		for _, p := range b.phaseList() {
+			if p.V < 0 {
+				return fmt.Errorf("span: %s: negative %s phase (%d ns)", who, p.Name, p.V)
+			}
+		}
+		if got := b.Total(); got != a.Completion {
+			return fmt.Errorf("span: %s: phases sum to %d ns, completion is %d ns (leak %d ns)",
+				who, got, a.Completion, a.Completion-got)
+		}
+		return nil
+	}
+	for r, b := range a.Ranks {
+		if err := check(fmt.Sprintf("rank %d", r), b); err != nil {
+			return err
+		}
+	}
+	// The critical path conserves under Merge too: each run's path sums to
+	// its completion, and both sides accumulate.
+	return check("critical path", a.CriticalPath)
+}
+
+// WriteJSON writes the attribution as an indented JSON document.  Struct
+// field order fixes the layout, so identical attributions produce
+// byte-identical documents.
+func (a *Attribution) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(a)
+}
+
+// WriteTable renders the attribution as an aligned text table: aggregate
+// and critical-path columns, one row per phase, with percentages of the
+// respective totals.
+func (a *Attribution) WriteTable(w io.Writer) error {
+	agg, cp := a.Aggregate.phaseList(), a.CriticalPath.phaseList()
+	aggTotal, cpTotal := a.Aggregate.Total(), a.CriticalPath.Total()
+	if _, err := fmt.Fprintf(w, "attribution: protocol=%s np=%d completion=%v critical-rank=%d hops=%d\n",
+		a.Protocol, a.NP, a.Completion, a.CriticalRank, a.CriticalHops); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-16s %22s %8s %22s %8s\n",
+		"phase", "aggregate", "", "critical path", ""); err != nil {
+		return err
+	}
+	for i := range agg {
+		if _, err := fmt.Fprintf(w, "  %-16s %22v %7.2f%% %22v %7.2f%%\n",
+			agg[i].Name, agg[i].V, pct(agg[i].V, aggTotal), cp[i].V, pct(cp[i].V, cpTotal)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pct(v, total sim.Time) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return 100 * float64(v) / float64(total)
+}
+
+// Merge folds another run's attribution into this one field-wise — the
+// deterministic sweep reduction: fold per-point attributions in input
+// order, like obs.Metrics.Merge.  Completion accumulates; the critical
+// path and per-rank breakdowns accumulate when shapes match (same NP).
+func (a *Attribution) Merge(o *Attribution) {
+	if a == nil || o == nil {
+		return
+	}
+	if a.NP == 0 && a.Completion == 0 {
+		// First fold into a zero accumulator adopts the run's shape.
+		a.Protocol, a.NP, a.CriticalRank = o.Protocol, o.NP, o.CriticalRank
+		a.Ranks = make([]Breakdown, len(o.Ranks))
+	} else if a.Protocol != o.Protocol {
+		a.Protocol = "mixed"
+	}
+	a.Completion += o.Completion
+	a.Aggregate.accum(o.Aggregate)
+	a.CriticalPath.accum(o.CriticalPath)
+	a.CriticalHops += o.CriticalHops
+	if len(a.Ranks) == len(o.Ranks) {
+		for i := range a.Ranks {
+			a.Ranks[i].accum(o.Ranks[i])
+		}
+	} else {
+		// Mixed system sizes: per-rank identity is gone, and stale partial
+		// rank sums would fake a conservation leak — drop to the aggregate
+		// and critical-path views, which conserve under any merge.
+		a.Ranks, a.NP = nil, 0
+	}
+}

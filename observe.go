@@ -1,6 +1,11 @@
 package ftckpt
 
-import "ftckpt/internal/obs"
+import (
+	"io"
+
+	"ftckpt/internal/obs"
+	"ftckpt/internal/span"
+)
 
 // Observability surface.  The simulator publishes a structured event for
 // every protocol action worth seeing — marker sends and receipts, channel
@@ -55,7 +60,33 @@ const (
 	EvQuorumLost       = obs.EvQuorumLost
 	EvMessageReplayed  = obs.EvMessageReplayed
 	EvDegraded         = obs.EvDegraded
+	EvComponentDead    = obs.EvComponentDead
+	EvRankDone         = obs.EvRankDone
+	EvCounterSample    = obs.EvCounterSample
 )
+
+// Attribution is a conservation-checked per-phase breakdown of a run's
+// virtual completion time — compute, coordination, freeze, logging, image
+// transfer, quorum wait, detection, rollback, replay — per rank, in
+// aggregate, and along the run's critical path.  Produced on
+// Report.Attribution when Options.Attribution is set; its Check method
+// re-verifies the conservation invariant, WriteJSON emits the
+// byte-deterministic report and WriteTable a human-readable summary.
+type Attribution = span.Attribution
+
+// Breakdown is one phase decomposition of a time interval (one rank, the
+// aggregate, or the critical path) inside an Attribution.
+type Breakdown = span.Breakdown
+
+// ChromeStreamSink streams a Chrome trace_event document to a writer as
+// the run progresses, holding O(ranks+servers) memory instead of the full
+// event history a Collector would retain.  Call Close after the run to
+// finish the JSON document.
+type ChromeStreamSink = obs.ChromeStreamSink
+
+// NewChromeStreamSink starts a streaming trace document on w; attach the
+// sink through Options.Sink and Close it when the run returns.
+func NewChromeStreamSink(w io.Writer) *ChromeStreamSink { return obs.NewChromeStreamSink(w) }
 
 // NewCollector returns an empty event Collector.
 func NewCollector() *Collector { return obs.NewCollector() }

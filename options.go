@@ -188,4 +188,12 @@ type Options struct {
 	// into an existing registry instead of a private one — sharing one
 	// registry aggregates several runs.
 	Metrics *Metrics
+	// Attribution attaches the causal span tracer and computes the run's
+	// conservation-checked per-phase overhead breakdown, returned on
+	// Report.Attribution.
+	Attribution bool
+	// MetricsSnapshot > 0 samples the run's cumulative counters every
+	// period as counter-sample events, rendered by the trace exporters as
+	// Perfetto counter tracks alongside the timeline.
+	MetricsSnapshot time.Duration
 }
