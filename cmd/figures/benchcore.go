@@ -27,9 +27,10 @@ import (
 )
 
 type corePoint struct {
-	Bench string `json:"bench"`           // "kernel-events" or "run"
-	Proto string `json:"proto,omitempty"` // run: protocol
-	NP    int    `json:"np,omitempty"`    // run: process count
+	Bench  string `json:"bench"`            // "kernel-events" or "run"
+	Proto  string `json:"proto,omitempty"`  // run: protocol
+	NP     int    `json:"np,omitempty"`     // run: process count
+	Shards int    `json:"shards,omitempty"` // run: kernel shards (0 = sequential)
 	// WallMS is the wall-clock of the whole measurement; NsPerOp the
 	// per-event cost (kernel-events only).
 	WallMS  float64 `json:"wall_ms"`
@@ -41,6 +42,12 @@ type corePoint struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	VirtS       float64 `json:"virt_s,omitempty"`
 	Waves       int     `json:"waves,omitempty"`
+	// Speedup is sequential wall / sharded wall for the same proto and NP,
+	// set on shard points when the matching sequential point was measured
+	// in the same document.  Recorded, and gated by -bench-core-check: a
+	// shard point whose speedup falls >25% below the committed baseline's
+	// fails CI.
+	Speedup float64 `json:"speedup,omitempty"`
 }
 
 type coreDoc struct {
@@ -58,12 +65,16 @@ type coreFile struct {
 	After  *coreDoc `json:"after,omitempty"`
 }
 
-// coreRunOpts mirrors benchRunOpts in bench_core_test.go.
-func coreRunOpts(proto string, np int) ftckpt.Options {
+// coreRunOpts mirrors benchRunOpts in bench_core_test.go; shards>0 runs
+// the same job on the sharded kernel (output identical, wall-clock the
+// variable under measurement).
+func coreRunOpts(proto string, np, shards int) ftckpt.Options {
 	intervals := map[int]time.Duration{
-		64:   8 * time.Second,
-		256:  2 * time.Second,
-		1024: 400 * time.Millisecond,
+		64:    8 * time.Second,
+		256:   2 * time.Second,
+		1024:  400 * time.Millisecond,
+		4096:  8 * time.Second,
+		16384: 8 * time.Second,
 	}
 	interval := intervals[np]
 	if proto == "mlog" && np == 1024 {
@@ -78,6 +89,7 @@ func coreRunOpts(proto string, np int) ftckpt.Options {
 		Interval:        interval,
 		Servers:         4,
 		Seed:            1,
+		Shards:          shards,
 		VclProcessLimit: -1,
 	}
 }
@@ -118,14 +130,14 @@ func measureKernelEvents() (corePoint, error) {
 }
 
 // measureRun times one complete fault-tolerant run.
-func measureRun(proto string, np int) (corePoint, error) {
+func measureRun(proto string, np, shards int) (corePoint, error) {
 	runtime.GC()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
-	rep, err := ftckpt.Run(coreRunOpts(proto, np))
+	rep, err := ftckpt.Run(coreRunOpts(proto, np, shards))
 	if err != nil {
-		return corePoint{}, fmt.Errorf("run proto=%s np=%d: %w", proto, np, err)
+		return corePoint{}, fmt.Errorf("run proto=%s np=%d shards=%d: %w", proto, np, shards, err)
 	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&m1)
@@ -133,6 +145,7 @@ func measureRun(proto string, np int) (corePoint, error) {
 		Bench:       "run",
 		Proto:       proto,
 		NP:          np,
+		Shards:      shards,
 		WallMS:      float64(wall.Nanoseconds()) / 1e6,
 		AllocsPerOp: float64(m1.Mallocs - m0.Mallocs),
 		BytesPerOp:  float64(m1.TotalAlloc - m0.TotalAlloc),
@@ -141,7 +154,15 @@ func measureRun(proto string, np int) (corePoint, error) {
 	}, nil
 }
 
-func coreMeasure(points [][2]any) (*coreDoc, error) {
+// coreSpec names one run measurement: protocol, size and shard count
+// (0 = sequential kernel).
+type coreSpec struct {
+	proto  string
+	np     int
+	shards int
+}
+
+func coreMeasure(points []coreSpec) (*coreDoc, error) {
 	doc := &coreDoc{
 		Cmd:  "figures -bench-core",
 		Go:   runtime.Version(),
@@ -152,7 +173,7 @@ func coreMeasure(points [][2]any) (*coreDoc, error) {
 	// consistently 20-50% slower than steady state, which would bias
 	// whichever matrix point happens to run first.
 	if len(points) > 0 {
-		if _, err := ftckpt.Run(coreRunOpts("pcl", 64)); err != nil {
+		if _, err := ftckpt.Run(coreRunOpts("pcl", 64, 0)); err != nil {
 			return nil, err
 		}
 	}
@@ -164,30 +185,68 @@ func coreMeasure(points [][2]any) (*coreDoc, error) {
 	fmt.Fprintf(os.Stderr, "figures: %-28s %8.1f ns/op  %7.3f allocs/op  %8.1f B/op\n",
 		"kernel-events", ke.NsPerOp, ke.AllocsPerOp, ke.BytesPerOp)
 	for _, pt := range points {
-		proto, np := pt[0].(string), pt[1].(int)
-		p, err := measureRun(proto, np)
+		p, err := measureRun(pt.proto, pt.np, pt.shards)
 		if err != nil {
 			return nil, err
 		}
 		if p.NP > doc.MaxNP {
 			doc.MaxNP = p.NP
 		}
+		// A shard point's speedup is computed against the sequential point
+		// of the same protocol and size measured earlier in this document,
+		// so both sides of the ratio come from the same machine and load.
+		if pt.shards > 1 {
+			for i := range doc.Points {
+				s := &doc.Points[i]
+				if s.Bench == "run" && s.Proto == pt.proto && s.NP == pt.np && s.Shards == 0 && s.WallMS > 0 {
+					p.Speedup = s.WallMS / p.WallMS
+					break
+				}
+			}
+		}
 		doc.Points = append(doc.Points, p)
-		fmt.Fprintf(os.Stderr, "figures: %-28s %8.0f ms  %12.0f allocs  %6.1f virt-s  %d waves\n",
-			fmt.Sprintf("run proto=%s np=%d", proto, np), p.WallMS, p.AllocsPerOp, p.VirtS, p.Waves)
+		label := fmt.Sprintf("run proto=%s np=%d", pt.proto, pt.np)
+		if pt.shards > 0 {
+			label += fmt.Sprintf(" shards=%d", pt.shards)
+		}
+		fmt.Fprintf(os.Stderr, "figures: %-28s %8.0f ms  %12.0f allocs  %6.1f virt-s  %d waves",
+			label, p.WallMS, p.AllocsPerOp, p.VirtS, p.Waves)
+		if p.Speedup > 0 {
+			fmt.Fprintf(os.Stderr, "  %.2fx vs sequential", p.Speedup)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 	return doc, nil
 }
 
 // benchCore measures the full matrix up to maxNP and writes the document.
+// After the sequential matrix it measures the shard-scaling points: mlog
+// (the protocol with the densest event stream, hence the one the sharded
+// kernel targets) at NP=1024 and — when -bench-core-np raises the ceiling
+// — 4096 and 16384, each on a 4-shard kernel, with speedup computed
+// against the sequential run of the same size.
 func benchCore(path string, maxNP int) error {
-	var pts [][2]any
+	var pts []coreSpec
 	for _, proto := range []string{"pcl", "vcl", "mlog"} {
 		for _, np := range []int{64, 256, 1024} {
 			if np <= maxNP {
-				pts = append(pts, [2]any{proto, np})
+				pts = append(pts, coreSpec{proto, np, 0})
 			}
 		}
+	}
+	// The cheap pcl point backs -bench-core-check's smoke gate; the mlog
+	// points are the recorded scaling trajectory.
+	pts = append(pts, coreSpec{"pcl", 256, 4})
+	for _, np := range []int{1024, 4096, 16384} {
+		if np > maxNP {
+			continue
+		}
+		if np > 1024 {
+			// The matrix stops at 1024; larger scaling points need their
+			// own sequential baseline for the speedup ratio.
+			pts = append(pts, coreSpec{"mlog", np, 0})
+		}
+		pts = append(pts, coreSpec{"mlog", np, 4})
 	}
 	doc, err := coreMeasure(pts)
 	if err != nil {
@@ -231,26 +290,32 @@ func benchCoreCheck(path string) error {
 		}
 		base = &flat
 	}
-	find := func(bench, proto string, np int) *corePoint {
+	find := func(bench, proto string, np, shards int) *corePoint {
 		for i := range base.Points {
 			p := &base.Points[i]
-			if p.Bench == bench && p.Proto == proto && p.NP == np {
+			if p.Bench == bench && p.Proto == proto && p.NP == np && p.Shards == shards {
 				return p
 			}
 		}
 		return nil
 	}
-	smoke := [][2]any{{"pcl", 64}, {"vcl", 64}, {"mlog", 64}, {"pcl", 256}, {"pcl", 1024}}
+	smoke := []coreSpec{
+		{"pcl", 64, 0}, {"vcl", 64, 0}, {"mlog", 64, 0},
+		{"pcl", 256, 0}, {"pcl", 1024, 0},
+		// One sharded point: keeps the parallel staging path and its
+		// speedup under the same regression gate as the allocation counts.
+		{"pcl", 256, 4},
+	}
 	doc, err := coreMeasure(smoke)
 	if err != nil {
 		return err
 	}
 	bad := 0
 	for _, p := range doc.Points {
-		b := find(p.Bench, p.Proto, p.NP)
+		b := find(p.Bench, p.Proto, p.NP, p.Shards)
 		if b == nil {
-			fmt.Fprintf(os.Stderr, "figures: %s proto=%s np=%d: no committed baseline point — add it with -bench-core\n",
-				p.Bench, p.Proto, p.NP)
+			fmt.Fprintf(os.Stderr, "figures: %s proto=%s np=%d shards=%d: no committed baseline point — add it with -bench-core\n",
+				p.Bench, p.Proto, p.NP, p.Shards)
 			bad++
 			continue
 		}
@@ -265,12 +330,25 @@ func benchCoreCheck(path string) error {
 			verdict = "REGRESSION"
 			bad++
 		}
-		fmt.Fprintf(os.Stderr, "figures: %-12s proto=%-4s np=%-5d allocs %12.3f vs baseline %12.3f (limit %12.3f) %s\n",
-			p.Bench, p.Proto, p.NP, p.AllocsPerOp, b.AllocsPerOp, limit, verdict)
+		fmt.Fprintf(os.Stderr, "figures: %-12s proto=%-4s np=%-5d shards=%d allocs %12.3f vs baseline %12.3f (limit %12.3f) %s\n",
+			p.Bench, p.Proto, p.NP, p.Shards, p.AllocsPerOp, b.AllocsPerOp, limit, verdict)
+		// Shard points additionally gate on speedup: losing more than 25%
+		// of the committed speedup means staging parallelism regressed
+		// (lookahead collapsed, a new barrier, or shard workers serialized).
+		if p.Shards > 1 && b.Speedup > 0 && p.Speedup > 0 {
+			floor := b.Speedup * 0.75
+			sv := "ok"
+			if p.Speedup < floor {
+				sv = "REGRESSION"
+				bad++
+			}
+			fmt.Fprintf(os.Stderr, "figures: %-12s proto=%-4s np=%-5d shards=%d speedup %8.2fx vs baseline %8.2fx (floor %8.2fx) %s\n",
+				p.Bench, p.Proto, p.NP, p.Shards, p.Speedup, b.Speedup, floor, sv)
+		}
 	}
 	if bad > 0 {
-		return fmt.Errorf("allocation regression: %d point(s) exceed 1.25x the committed baseline in %s", bad, path)
+		return fmt.Errorf("core regression: %d point(s) exceed the committed baseline in %s (allocs >1.25x or shard speedup <0.75x)", bad, path)
 	}
-	fmt.Fprintln(os.Stderr, "figures: core allocations within 25% of the committed baseline")
+	fmt.Fprintln(os.Stderr, "figures: core allocations and shard speedup within 25% of the committed baseline")
 	return nil
 }

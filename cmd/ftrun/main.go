@@ -47,6 +47,7 @@ func main() {
 		servers  = flag.Int("servers", 1, "number of checkpoint servers")
 		plat     = flag.String("platform", "ethernet", "platform: ethernet, myrinet-gm, myrinet-tcp, grid")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		shards   = flag.Int("shards", 0, "event-kernel shards (parallel staging workers); 0/1 = sequential, output is identical either way")
 		failAt   = flag.Duration("fail-at", 0, "inject a failure at this virtual time (0 = none)")
 		failRank = flag.Int("fail-rank", 0, "rank killed by -fail-at")
 		mttf     = flag.Duration("mttf", 0, "mean time to failure for random failures (0 = none)")
@@ -98,6 +99,7 @@ func main() {
 		},
 		Platform:   ftckpt.Platform(*plat),
 		Seed:       *seed,
+		Shards:     *shards,
 		MTTF:       *mttf,
 		ServerMTTF: *srvMTTF,
 		NodeMTTF:   *nodeMTTF,
@@ -160,15 +162,20 @@ func main() {
 
 	rep, err := ftckpt.Run(o)
 	finishProf()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ftrun:", err)
-		os.Exit(1)
-	}
+	// Flush trace artifacts before deciding the exit: a failure-aborted
+	// run (degraded stop, deadline) must still leave a valid trace
+	// document — the streaming sink closes its open intervals and writes
+	// the JSON tail, and the collector dumps what it saw.  Exiting first
+	// used to truncate -stream-trace output mid-document.
 	if col != nil {
 		writeFile(*traceOut, col.WriteChromeTrace)
 	}
 	if closeStream != nil {
 		closeStream()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftrun:", err)
+		os.Exit(1)
 	}
 	if *metOut != "" {
 		if strings.HasSuffix(*metOut, ".csv") {

@@ -284,6 +284,7 @@ func buildConfig(o Options) (ftpm.Config, error) {
 		VclProcessLimit:  o.VclProcessLimit,
 		NewProgram:       newProgram,
 		Seed:             o.Seed,
+		Shards:           o.Shards,
 		MTTF:             o.MTTF,
 		ServerMTTF:       o.ServerMTTF,
 		NodeMTTF:         o.NodeMTTF,

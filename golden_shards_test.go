@@ -1,0 +1,232 @@
+package ftckpt
+
+// Sharded-kernel equivalence tests: Options.Shards parallelizes event
+// staging inside the kernel, and the contract is absolute — every
+// artifact a run produces (Report, workload checksum, metrics export,
+// Chrome trace, per-phase attribution JSON) must be byte-identical to
+// the sequential kernel for the same seed, for every protocol, through
+// failures, replication, heartbeats and chaos sweeps.  GOMAXPROCS is
+// pinned above 1 so that under -race the shard workers really run in
+// parallel rather than degenerating into cooperative scheduling.
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// shardArtifacts executes one run and returns its comparable Report
+// (registry and attribution pointers stripped) plus the serialized
+// metrics, Chrome trace and attribution documents.
+func shardArtifacts(t *testing.T, o Options) (Report, []byte, []byte, []byte) {
+	t.Helper()
+	col := NewCollector()
+	o.Sink = col
+	rep, err := Run(o)
+	if err != nil {
+		t.Fatalf("Run (shards=%d): %v", o.Shards, err)
+	}
+	var met, trace bytes.Buffer
+	if err := rep.Metrics.WriteJSON(&met); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := col.WriteChromeTrace(&trace); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var attr []byte
+	if rep.Attribution != nil {
+		attr = attribJSON(t, rep.Attribution)
+	}
+	rep.Metrics = nil
+	rep.Attribution = nil
+	return rep, met.Bytes(), trace.Bytes(), attr
+}
+
+// checkShardEquivalence runs o sequentially and at each shard count and
+// requires byte-identical artifacts throughout.
+func checkShardEquivalence(t *testing.T, o Options, shardCounts ...int) {
+	t.Helper()
+	o.Shards = 0
+	seqRep, seqMet, seqTrace, seqAttr := shardArtifacts(t, o)
+	for _, n := range shardCounts {
+		so := o
+		so.Shards = n
+		rep, met, trace, attr := shardArtifacts(t, so)
+		if rep != seqRep {
+			t.Errorf("shards=%d: Report differs from sequential:\n  seq     %+v\n  sharded %+v", n, seqRep, rep)
+		}
+		if rep.Checksum != seqRep.Checksum {
+			t.Errorf("shards=%d: checksum differs: %v vs %v", n, seqRep.Checksum, rep.Checksum)
+		}
+		if !bytes.Equal(met, seqMet) {
+			t.Errorf("shards=%d: metrics JSON differs from sequential (%d vs %d bytes)", n, len(seqMet), len(met))
+		}
+		if !bytes.Equal(trace, seqTrace) {
+			t.Errorf("shards=%d: Chrome trace differs from sequential (%d vs %d bytes)", n, len(seqTrace), len(trace))
+		}
+		if !bytes.Equal(attr, seqAttr) {
+			t.Errorf("shards=%d: attribution JSON differs from sequential (%d vs %d bytes)", n, len(seqAttr), len(attr))
+		}
+	}
+}
+
+// TestGoldenShardEquivalence pins the tentpole contract per protocol:
+// a failure-and-recovery run on the sharded kernel (Shards=1 and
+// Shards=4) produces the same bytes as the sequential kernel — report,
+// checksum, metrics, trace and the -explain attribution document.
+func TestGoldenShardEquivalence(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, proto := range []Protocol{Pcl, Vcl, Mlog} {
+		t.Run(string(proto), func(t *testing.T) {
+			checkShardEquivalence(t, Options{
+				Workload:     WorkloadBT,
+				Class:        ClassA,
+				NP:           16,
+				ProcsPerNode: 2,
+				Protocol:     proto,
+				Interval:     2 * time.Second,
+				Servers:      2,
+				Seed:         42,
+				Attribution:  true,
+				Failures:     []Failure{KillRank(3*time.Second, 5)},
+			}, 1, 4)
+		})
+	}
+}
+
+// TestGoldenShardReplicated covers replication, heartbeats and failover
+// on the sharded kernel: retry timers and fetch ordering must survive
+// parallel staging bit-for-bit.
+func TestGoldenShardReplicated(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	checkShardEquivalence(t, Options{
+		Workload:     WorkloadCGReal,
+		NP:           8,
+		ProcsPerNode: 2,
+		Protocol:     Pcl,
+		Interval:     5 * time.Millisecond,
+		Servers:      3,
+		Replication:  &ReplicationSpec{Replicas: 2, WriteQuorum: 1, StoreRetries: 2, RetryBackoff: time.Millisecond},
+		Heartbeat:    &HeartbeatSpec{Period: 2 * time.Millisecond},
+		Seed:         7,
+		Attribution:  true,
+		Failures: []Failure{
+			KillServer(11*time.Millisecond, 1),
+			KillRank(17*time.Millisecond, 3),
+		},
+	}, 1, 4)
+}
+
+// TestGoldenShardGrid covers the multi-cluster topology, where the
+// lookahead is derived from LAN latencies but cross-cluster flows pay
+// the WAN — the window logic must not let a WAN delivery slip a window.
+func TestGoldenShardGrid(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	checkShardEquivalence(t, Options{
+		Workload:     WorkloadBT,
+		Class:        ClassA,
+		NP:           16,
+		ProcsPerNode: 2,
+		Protocol:     Vcl,
+		Interval:     2 * time.Second,
+		Platform:     PlatformGrid,
+		Seed:         9,
+	}, 4)
+}
+
+// TestGoldenShardChaosSweep replicates the heartbeat-chaos sweep of
+// TestGoldenDeterminismChaosSweep with every point on a 4-shard kernel
+// and requires the full artifact set — reports, the deterministically
+// merged metrics registry, per-point Chrome traces and the serialized
+// progress log — to match the sequential sweep byte for byte.  Sweep
+// workers (Jobs=4) and shard workers compose here: two layers of real
+// parallelism, one output.
+func TestGoldenShardChaosSweep(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	repl := &ReplicationSpec{Replicas: 2, WriteQuorum: 1, StoreRetries: 2, RetryBackoff: time.Millisecond}
+	hb := &HeartbeatSpec{Period: 2 * time.Millisecond}
+	base := []Options{
+		{Protocol: Pcl, Seed: 7, Failures: []Failure{
+			KillServer(11*time.Millisecond, 1), KillRank(17*time.Millisecond, 3)}},
+		{Protocol: Vcl, Seed: 11, Failures: []Failure{
+			KillRank(13*time.Millisecond, 2), KillNode(23*time.Millisecond, 1)}},
+		{Protocol: Mlog, Seed: 13, Failures: []Failure{
+			KillServer(9*time.Millisecond, 0)}},
+		{Protocol: Pcl, Seed: 21, Failures: []Failure{
+			KillNode(15*time.Millisecond, 2)}},
+	}
+	for i := range base {
+		base[i].Workload = WorkloadCGReal
+		base[i].NP = 8
+		base[i].ProcsPerNode = 2
+		base[i].Interval = 5 * time.Millisecond
+		base[i].Servers = 3
+		base[i].Replication = repl
+		base[i].Heartbeat = hb
+	}
+
+	runOnce := func(shards int) ([]Report, []byte, [][]byte, []byte) {
+		pts := make([]Options, len(base))
+		cols := make([]*Collector, len(base))
+		for i := range base {
+			pts[i] = base[i]
+			pts[i].Shards = shards
+			cols[i] = NewCollector()
+			pts[i].Sink = cols[i]
+			pts[i].Verbose = func(string, ...any) {}
+		}
+		met := NewMetrics()
+		var traceLog bytes.Buffer
+		reps, err := Sweep(pts, SweepOptions{
+			Jobs:    4,
+			Metrics: met,
+			Trace:   func(format string, args ...any) { fmt.Fprintf(&traceLog, format+"\n", args...) },
+		})
+		if err != nil {
+			t.Fatalf("Sweep (shards=%d): %v", shards, err)
+		}
+		var metJSON bytes.Buffer
+		if err := met.WriteJSON(&metJSON); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		chromes := make([][]byte, len(cols))
+		for i, col := range cols {
+			var b bytes.Buffer
+			if err := col.WriteChromeTrace(&b); err != nil {
+				t.Fatalf("WriteChromeTrace: %v", err)
+			}
+			chromes[i] = b.Bytes()
+		}
+		for i := range reps {
+			reps[i].Metrics = nil
+		}
+		return reps, metJSON.Bytes(), chromes, traceLog.Bytes()
+	}
+
+	r1, m1, c1, l1 := runOnce(0)
+	r2, m2, c2, l2 := runOnce(4)
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Errorf("point %d: Report differs between sequential and sharded sweep:\n  seq     %+v\n  sharded %+v", i, r1[i], r2[i])
+		}
+		if !bytes.Equal(c1[i], c2[i]) {
+			t.Errorf("point %d: Chrome trace differs between sequential and sharded sweep (%d vs %d bytes)", i, len(c1[i]), len(c2[i]))
+		}
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Errorf("merged metrics JSON differs between sequential and sharded sweep (%d vs %d bytes)", len(m1), len(m2))
+	}
+	if !bytes.Equal(l1, l2) {
+		t.Errorf("serialized trace log differs between sequential and sharded sweep (%d vs %d bytes)", len(l1), len(l2))
+	}
+}

@@ -122,6 +122,12 @@ type Config struct {
 	// VclProcessLimit overrides the Vcl dispatcher's select() limit;
 	// -1 removes it (what-if studies), 0 means the default.
 	VclProcessLimit int
+	// Shards partitions the event kernel into that many conservatively
+	// synchronized shards (sim.Kernel.SetShards), each staging its ranks'
+	// events on its own goroutine with the platform's minimum link
+	// latency as lookahead.  0 or 1 runs the sequential kernel (the
+	// default).  Output is byte-identical for every shard count.
+	Shards int
 	// Seed feeds the deterministic kernel.
 	Seed int64
 	// Trace, when set, receives runtime progress lines (the legacy
@@ -270,6 +276,9 @@ func (c *Config) Validate() error {
 	}
 	if c.SpareNodes < 0 {
 		return errors.New("ftpm: SpareNodes must be non-negative")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("ftpm: Shards must be non-negative, got %d", c.Shards)
 	}
 	if c.Placement == nil {
 		computeNodes := (c.NP + c.ProcsPerNode - 1) / c.ProcsPerNode

@@ -28,9 +28,10 @@ import (
 // Output is deterministic: identical event streams produce identical
 // bytes.  Close writes the closing bracket; the sink is unusable after.
 type ChromeStreamSink struct {
-	w     io.Writer
-	err   error
-	first bool // next record is the first (no leading comma)
+	w      io.Writer
+	err    error
+	first  bool // next record is the first (no leading comma)
+	closed bool // document terminated; late emits are dropped
 
 	namedRank map[int]bool
 	namedSrv  map[int]bool
@@ -128,9 +129,12 @@ func (s *ChromeStreamSink) async(ph, name, id string, pid, tid int, ev Event, ar
 	s.recordStream(rec)
 }
 
-// Emit translates one event to trace records.  Implements Sink.
+// Emit translates one event to trace records.  Implements Sink.  Events
+// arriving after Close — possible when an aborted run's teardown races a
+// caller flushing artifacts — are dropped rather than appended past the
+// document terminator.
 func (s *ChromeStreamSink) Emit(ev Event) {
-	if s.err != nil {
+	if s.err != nil || s.closed {
 		return
 	}
 	if ts := usec(int64(ev.T)); ts > s.lastTs {
@@ -208,8 +212,15 @@ func (s *ChromeStreamSink) Emit(ev Event) {
 }
 
 // Close ends any still-open interval at the horizon, terminates the JSON
-// document, and reports any write error seen during the stream.
+// document, and reports any write error seen during the stream.  It runs
+// on every exit path — normal completion, DegradedError, deadline — so an
+// aborted run still leaves a valid, importable trace.  Closing twice is
+// a no-op.
 func (s *ChromeStreamSink) Close() error {
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
 	ids := make([]string, 0, len(s.open))
 	for id := range s.open {
 		ids = append(ids, id)

@@ -58,6 +58,7 @@ type Proc struct {
 	name   string
 	wake   chan struct{}
 	state  procState
+	shard  int32 // staging shard for the LP's timers and scheduled events
 	daemon bool
 	killed error // poison: delivered at the next kernel call
 }
@@ -85,6 +86,12 @@ type eventSlot struct {
 	seq  uint64
 	gen  uint32
 	live bool
+	// Sharded mode only: shard is the staging owner, staged reports that
+	// the slot has left its shard's heap/inbox and now lives in a staged
+	// run or the executor's overflow heap (so Cancel must not touch the
+	// shard's dead counter).
+	shard  int32
+	staged bool
 	// Exactly one of the payload forms is set: fn (closure callback),
 	// argFn+arg (closure-free callback), or proc (wake the LP).
 	fn    func()
@@ -115,6 +122,19 @@ type Kernel struct {
 	stopErr error
 	started bool
 	rng     *rand.Rand
+
+	// Sharded mode (SetShards > 1).  The sequential fields above stay
+	// untouched when sharding is on: events live in per-shard heaps
+	// staged by worker goroutines, and the executor dispatches them in
+	// the global (t, seq) order.  See shard.go.
+	nshards   int
+	shards    []*shard
+	lookahead Time
+	curShard  int32   // shard context of the running event/LP
+	inboxMin  []Time  // earliest pending time per shard inbox
+	ov        []int32 // overflow heap: events scheduled inside the open window
+	inWindow  bool
+	windowEnd Time
 	// Trace, when non-nil, receives a line for every LP wake and event
 	// dispatch.  Intended for debugging; off by default.
 	Trace func(t Time, format string, args ...any)
@@ -232,8 +252,11 @@ func (k *Kernel) compactHeap() {
 	k.dead = 0
 }
 
-// schedule inserts one event, reusing a free slot when available.
-func (k *Kernel) schedule(t Time, fn func(), argFn func(any), arg any, proc *Proc) EventID {
+// schedule inserts one event, reusing a free slot when available.  owner
+// is the explicit staging shard for the event, or -1 to inherit it from
+// the scheduling context (the waking proc's shard, else the shard of the
+// event/LP currently executing); it is ignored by a sequential kernel.
+func (k *Kernel) schedule(t Time, fn func(), argFn func(any), arg any, proc *Proc, owner int32) EventID {
 	if t < k.now {
 		t = k.now
 	}
@@ -249,7 +272,19 @@ func (k *Kernel) schedule(t Time, fn func(), argFn func(any), arg any, proc *Pro
 	s := &k.slab[idx]
 	s.t, s.seq, s.live = t, k.seq, true
 	s.fn, s.argFn, s.arg, s.proc = fn, argFn, arg, proc
-	k.heapPush(idx)
+	if k.nshards > 1 {
+		if owner < 0 {
+			owner = k.curShard
+			if proc != nil {
+				owner = proc.shard
+			}
+		} else if owner >= int32(k.nshards) {
+			owner %= int32(k.nshards)
+		}
+		k.routeSlot(idx, owner)
+	} else {
+		k.heapPush(idx)
+	}
 	return makeEventID(idx, s.gen)
 }
 
@@ -259,14 +294,23 @@ func (k *Kernel) freeSlot(idx int32) {
 	s := &k.slab[idx]
 	s.gen++
 	s.live = false
+	s.staged = false
 	s.fn, s.argFn, s.arg, s.proc = nil, nil, nil, nil
+	if s.gen == 0 {
+		// The generation counter wrapped: an EventID issued 2^32 lives
+		// ago would now alias a future event in this slot and could
+		// cancel it (the ABA problem the generation exists to prevent).
+		// Retire the slot instead of recycling it — one leaked slab
+		// entry per four billion reuses of a single slot.
+		return
+	}
 	k.free = append(k.free, idx)
 }
 
 // At schedules fn to run as an event callback at virtual time t.  If t is
 // in the past it runs at the current time, after already-pending work.
 func (k *Kernel) At(t Time, fn func()) EventID {
-	return k.schedule(t, fn, nil, nil, nil)
+	return k.schedule(t, fn, nil, nil, nil, -1)
 }
 
 // After schedules fn to run d from now.
@@ -274,14 +318,14 @@ func (k *Kernel) After(d Time, fn func()) EventID {
 	if d < 0 {
 		d = 0
 	}
-	return k.schedule(k.now+d, fn, nil, nil, nil)
+	return k.schedule(k.now+d, fn, nil, nil, nil, -1)
 }
 
 // AtArg schedules fn(arg) at virtual time t.  Passing the argument
 // explicitly lets hot paths share one callback func instead of allocating
 // a closure per event.
 func (k *Kernel) AtArg(t Time, fn func(any), arg any) EventID {
-	return k.schedule(t, nil, fn, arg, nil)
+	return k.schedule(t, nil, fn, arg, nil, -1)
 }
 
 // AfterArg schedules fn(arg) to run d from now.
@@ -289,7 +333,19 @@ func (k *Kernel) AfterArg(d Time, fn func(any), arg any) EventID {
 	if d < 0 {
 		d = 0
 	}
-	return k.schedule(k.now+d, nil, fn, arg, nil)
+	return k.schedule(k.now+d, nil, fn, arg, nil, -1)
+}
+
+// AtArgOn schedules fn(arg) at t with an explicit staging shard.  The
+// hint only decides which shard worker stages the event — dispatch order
+// is the global (time, seq) total order regardless — so a poor hint costs
+// locality, never determinism.  Out-of-range shards wrap; a sequential
+// kernel ignores the hint entirely.
+func (k *Kernel) AtArgOn(shard int, t Time, fn func(any), arg any) EventID {
+	if shard < 0 {
+		shard = 0
+	}
+	return k.schedule(t, nil, fn, arg, nil, int32(shard))
 }
 
 // Cancel revokes a pending event.  Cancelling an event that already fired
@@ -306,6 +362,16 @@ func (k *Kernel) Cancel(id EventID) bool {
 	}
 	s.live = false
 	s.fn, s.argFn, s.arg, s.proc = nil, nil, nil, nil
+	if k.nshards > 1 {
+		// Slots still owned by a shard (heap or inbox) count toward that
+		// shard's dead total so its worker knows when to compact; staged
+		// slots are already en route to dispatch, which skips and frees
+		// dead slots itself.
+		if !s.staged {
+			k.shards[s.shard].dead++
+		}
+		return true
+	}
 	k.dead++
 	if k.dead > 64 && k.dead > len(k.heap)/2 {
 		k.compactHeap()
@@ -318,10 +384,11 @@ func (k *Kernel) Cancel(id EventID) bool {
 // immediately but does not start executing until the scheduler selects it.
 func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
-		k:    k,
-		id:   len(k.procs),
-		name: name,
-		wake: make(chan struct{}, 1),
+		k:     k,
+		id:    len(k.procs),
+		name:  name,
+		wake:  make(chan struct{}, 1),
+		shard: k.curShard, // inherit the spawner's shard; SetShard overrides
 	}
 	k.procs = append(k.procs, p)
 	k.live++
@@ -349,6 +416,26 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 	}()
 	return p
 }
+
+// SetShard pins the LP to a kernel shard: its wake timers and the events
+// it schedules are staged by that shard's worker.  Like ownership hints
+// generally, placement affects staging locality only, never the dispatch
+// order, so the choice cannot change simulation output.  Must be called
+// from the LP itself or before the LP has first run; out-of-range shards
+// wrap, and a sequential kernel ignores the call.
+func (p *Proc) SetShard(s int) {
+	n := p.k.nshards
+	if n <= 1 {
+		return
+	}
+	if s < 0 {
+		s = 0
+	}
+	p.shard = int32(s % n)
+}
+
+// Shard reports the LP's staging shard (0 on a sequential kernel).
+func (p *Proc) Shard() int { return int(p.shard) }
 
 // SetDaemon marks the LP as a daemon: the simulation may end while the LP
 // is still parked (servers, dispatchers).  Must be called from the LP
@@ -451,7 +538,7 @@ func (p *Proc) Advance(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	id := p.k.schedule(p.k.now+d, nil, nil, nil, p)
+	id := p.k.schedule(p.k.now+d, nil, nil, nil, p, -1)
 	// If the LP is killed while parked, the timer would otherwise fire
 	// later and drag virtual time forward for a dead process.
 	defer p.k.Cancel(id)
@@ -492,6 +579,20 @@ func (k *Kernel) Stop(err error) {
 // parked but no event can ever wake them.
 var ErrDeadlock = errors.New("sim: deadlock")
 
+// runLP hands the execution token to a runnable LP and blocks until it
+// parks, exits, or yields.
+func (k *Kernel) runLP(p *Proc) {
+	p.state = stateRunning
+	k.running = p
+	k.curShard = p.shard
+	if k.Trace != nil {
+		k.Trace(k.now, "run %s", p.name)
+	}
+	p.wake <- struct{}{}
+	<-k.yield
+	k.running = nil
+}
+
 // Run executes the simulation until all non-daemon LPs have exited, Stop is
 // called, or no progress is possible.  It must be called exactly once, from
 // the goroutine that built the kernel.
@@ -501,6 +602,9 @@ func (k *Kernel) Run() error {
 	}
 	k.started = true
 	defer k.cleanup()
+	if k.nshards > 1 {
+		return k.runSharded()
+	}
 	for !k.stopped {
 		switch {
 		case len(k.runq) > k.runqHead:
@@ -508,14 +612,7 @@ func (k *Kernel) Run() error {
 			if p.state == stateDead {
 				continue
 			}
-			p.state = stateRunning
-			k.running = p
-			if k.Trace != nil {
-				k.Trace(k.now, "run %s", p.name)
-			}
-			p.wake <- struct{}{}
-			<-k.yield
-			k.running = nil
+			k.runLP(p)
 		case len(k.heap) > 0:
 			idx := k.heapPop()
 			s := &k.slab[idx]

@@ -1,0 +1,51 @@
+// Package placement maps simulation entities (ranks, nodes, servers) to
+// kernel shards.  Policies here decide only which shard worker stages an
+// entity's events — the kernel dispatches in the global (time, seq) order
+// regardless — so placement tunes staging locality and balance, never
+// output.  Keeping the arithmetic in one package lets ftpm, simnet and
+// the benchmarks agree on the partition without copying formulas.
+package placement
+
+// Block partitions n entities into contiguous blocks across shards and
+// returns the shard owning entity i.  Contiguity matters for ranks: the
+// BT-style neighbour exchanges in the workload models touch adjacent
+// ranks, so block placement keeps most traffic staging shard-locally.
+// Out-of-range entities clamp into [0, n); shards <= 1 always maps to 0.
+func Block(i, n, shards int) int {
+	if shards <= 1 || n <= 0 {
+		return 0
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	if shards > n {
+		shards = n
+	}
+	return i * shards / n
+}
+
+// BlockSpan reports the half-open entity range [lo, hi) owned by shard s
+// under Block partitioning — the inverse view, used by diagnostics and
+// tests to assert the partition is a cover without gaps or overlap.
+func BlockSpan(s, n, shards int) (lo, hi int) {
+	if shards <= 1 || n <= 0 {
+		if s == 0 {
+			return 0, n
+		}
+		return 0, 0
+	}
+	if shards > n {
+		shards = n
+	}
+	if s < 0 || s >= shards {
+		return 0, 0
+	}
+	// Block(i) = i*shards/n is nondecreasing, so shard s owns exactly
+	// the i with i*shards/n == s, i.e. [ceil(s*n/shards), ceil((s+1)*n/shards)).
+	lo = (s*n + shards - 1) / shards
+	hi = ((s+1)*n + shards - 1) / shards
+	return lo, hi
+}

@@ -1,0 +1,57 @@
+package placement
+
+import "testing"
+
+func TestBlockPartition(t *testing.T) {
+	for _, n := range []int{1, 3, 7, 16, 100, 1024} {
+		for _, shards := range []int{1, 2, 4, 5, 16, 64, 5000} {
+			prev := 0
+			for i := 0; i < n; i++ {
+				s := Block(i, n, shards)
+				if s < prev {
+					t.Fatalf("n=%d shards=%d: Block(%d)=%d below Block(%d)=%d", n, shards, i, s, i-1, prev)
+				}
+				if s >= shards && shards > 1 {
+					t.Fatalf("n=%d shards=%d: Block(%d)=%d out of range", n, shards, i, s)
+				}
+				prev = s
+			}
+			// Spans must tile [0, n) exactly and agree with Block.
+			eff := shards
+			if eff > n {
+				eff = n
+			}
+			if eff < 1 {
+				eff = 1
+			}
+			next := 0
+			for s := 0; s < eff; s++ {
+				lo, hi := BlockSpan(s, n, shards)
+				if lo != next {
+					t.Fatalf("n=%d shards=%d: span %d starts at %d, want %d", n, shards, s, lo, next)
+				}
+				for i := lo; i < hi; i++ {
+					if Block(i, n, shards) != s {
+						t.Fatalf("n=%d shards=%d: Block(%d)=%d outside its span %d", n, shards, i, Block(i, n, shards), s)
+					}
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("n=%d shards=%d: spans cover [0,%d), want [0,%d)", n, shards, next, n)
+			}
+		}
+	}
+}
+
+func TestBlockClamps(t *testing.T) {
+	if Block(-5, 10, 4) != 0 {
+		t.Fatal("negative entity should clamp to shard 0")
+	}
+	if got := Block(99, 10, 4); got != 3 {
+		t.Fatalf("overflow entity mapped to %d, want last shard 3", got)
+	}
+	if Block(3, 10, 0) != 0 || Block(3, 0, 4) != 0 {
+		t.Fatal("degenerate partitions must map to shard 0")
+	}
+}

@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// shardTrace runs one randomized mixed workload — LPs with random
+// advances, timers (some cancelled), cond chains, spawn-from-LP, explicit
+// cross-shard events — and returns the full execution trace.  shards <= 1
+// runs the sequential kernel.
+func shardTrace(seed int64, shards int, lookahead Time) []string {
+	k := New(seed)
+	if shards > 1 {
+		k.SetShards(shards)
+		k.SetLookahead(lookahead)
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	var trace []string
+	record := func(ev string) { trace = append(trace, fmt.Sprintf("%s@%v", ev, k.Now())) }
+
+	c := NewCond(k)
+	done := 0
+	const nlp = 6
+	for i := 0; i < nlp; i++ {
+		i := i
+		p := k.Go(fmt.Sprintf("lp%d", i), func(p *Proc) {
+			for j := 0; j < 25; j++ {
+				p.Advance(Time(rng.Intn(300)) * time.Microsecond)
+				record(fmt.Sprintf("lp%d.%d", i, j))
+				if j%3 == i%3 {
+					tag := i*100 + j
+					id := k.AfterArg(Time(rng.Intn(200))*time.Microsecond,
+						func(a any) { record(fmt.Sprintf("t%v", a)) }, tag)
+					if j%2 == 0 {
+						k.Cancel(id)
+					}
+				}
+				if j == 10 {
+					k.Go(fmt.Sprintf("lp%d.kid", i), func(kid *Proc) {
+						kid.Advance(time.Microsecond)
+						record(fmt.Sprintf("kid%d", i))
+					})
+				}
+				if j%11 == 0 {
+					c.Broadcast()
+				} else if j%5 == 0 {
+					c.Signal()
+				}
+			}
+			done++
+			c.Broadcast()
+		})
+		p.SetShard(i % 4)
+	}
+	k.Go("waiter", func(p *Proc) {
+		for done < nlp {
+			c.Wait(p)
+			record("waiter-woke")
+		}
+	})
+	k.At(0, func() {
+		for s := 0; s < 5; s++ {
+			k.AtArgOn(s, 50*time.Microsecond,
+				func(a any) { record(fmt.Sprintf("x%v", a)) }, s)
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	return trace
+}
+
+// TestShardedMatchesSequential is the kernel-level determinism contract:
+// any shard count with any lookahead produces the byte-identical trace of
+// the sequential kernel, because sharding parallelizes staging only and
+// dispatch follows the global (time, seq) order.
+func TestShardedMatchesSequential(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		want := shardTrace(seed, 0, 0)
+		for _, shards := range []int{2, 4, 7} {
+			for _, la := range []Time{0, time.Microsecond, 100 * time.Microsecond, time.Hour} {
+				got := shardTrace(seed, shards, la)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed=%d shards=%d lookahead=%v diverged from sequential:\n got %d events\nwant %d events",
+						seed, shards, la, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestShardedDeadlockDetected(t *testing.T) {
+	k := New(1)
+	k.SetShards(3)
+	c := NewCond(k)
+	k.Go("stuck", func(p *Proc) { c.Wait(p) })
+	if err := k.Run(); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestShardedStop(t *testing.T) {
+	k := New(1)
+	k.SetShards(2)
+	k.SetLookahead(time.Millisecond)
+	stopErr := errors.New("enough")
+	k.Go("a", func(p *Proc) {
+		for i := 0; ; i++ {
+			p.Advance(time.Second)
+			if i == 4 {
+				k.Stop(stopErr)
+			}
+		}
+	})
+	if err := k.Run(); err != stopErr {
+		t.Fatalf("err = %v, want %v", err, stopErr)
+	}
+	if k.Now() != 5*time.Second {
+		t.Fatalf("stopped at %v, want 5s", k.Now())
+	}
+}
+
+func TestShardedLPPanicPropagates(t *testing.T) {
+	k := New(1)
+	k.SetShards(2)
+	k.Go("bad", func(p *Proc) {
+		p.Advance(time.Millisecond)
+		panic("kaboom")
+	})
+	if err := k.Run(); err == nil {
+		t.Fatal("Run returned nil for panicking LP")
+	}
+}
+
+func TestShardedKillParkedLP(t *testing.T) {
+	k := New(1)
+	k.SetShards(4)
+	boom := errors.New("node crash")
+	victim := k.Go("victim", func(p *Proc) {
+		p.Advance(time.Hour)
+		t.Error("victim survived Advance past kill")
+	})
+	victim.SetShard(3)
+	k.After(time.Second, func() { k.Kill(victim, boom) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Killed() != boom {
+		t.Fatalf("Killed() = %v, want %v", victim.Killed(), boom)
+	}
+}
+
+// TestSetShardsAdoptsPreScheduledEvents covers events scheduled (and some
+// cancelled) before SetShards: the sequential heap hands them to shard 0.
+func TestSetShardsAdoptsPreScheduledEvents(t *testing.T) {
+	k := New(1)
+	var got []int
+	for i := 0; i < 8; i++ {
+		i := i
+		id := k.At(Time(i)*time.Millisecond, func() { got = append(got, i) })
+		if i%3 == 0 {
+			k.Cancel(id)
+		}
+	}
+	k.SetShards(2)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4, 5, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+}
+
+func TestSetShardsValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	k := New(1)
+	k.SetShards(2)
+	mustPanic("SetShards twice", func() { k.SetShards(3) })
+
+	k2 := New(1)
+	if err := k2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mustPanic("SetShards after Run", func() { k2.SetShards(2) })
+
+	k3 := New(1)
+	k3.SetShards(1) // no-op: stays sequential
+	if k3.NumShards() != 1 {
+		t.Fatalf("NumShards after SetShards(1) = %d, want 1", k3.NumShards())
+	}
+}
+
+// pendingTotal counts event-queue entries across every structure, for
+// bounding heap growth in the churn test.  Executor context only.
+func (k *Kernel) pendingTotal() int {
+	n := len(k.heap) + len(k.ov)
+	for _, sh := range k.shards {
+		n += len(sh.heap) + len(sh.inbox) + (len(sh.run) - sh.runHead)
+	}
+	return n
+}
+
+// testCancelChurn schedules/cancels heavy churn over a small slab with the
+// corpses concentrated at the heap head: long-lived anchor events hold the
+// tail while every round schedules a batch of earlier events and cancels
+// them all.  It fails on a stale-EventID double-fire, a cancelled event
+// firing, a lost event, or a heap that never compacts.
+func testCancelChurn(t *testing.T, shards int) {
+	k := New(7)
+	k.SetShards(shards)
+	k.SetLookahead(time.Millisecond)
+	const (
+		rounds = 200
+		batch  = 64
+	)
+	fireCount := map[int]int{}
+	cancelled := map[int]bool{}
+	fire := func(a any) { fireCount[a.(int)]++ }
+	next := 0
+	maxPending := 0
+	k.Go("churn", func(p *Proc) {
+		for i := 0; i < batch; i++ {
+			k.AfterArg(time.Hour+Time(i)*time.Second, fire, next) // anchors
+			next++
+		}
+		ids := make([]EventID, 0, batch)
+		tags := make([]int, 0, batch)
+		for r := 0; r < rounds; r++ {
+			ids, tags = ids[:0], tags[:0]
+			for i := 0; i < batch; i++ {
+				ids = append(ids, k.AfterArg(Time(i+1)*time.Millisecond, fire, next))
+				tags = append(tags, next)
+				next++
+			}
+			// Cancel most of the batch — all earlier than the anchors, so
+			// the dead slots pile up at the heap head.
+			for i := 0; i < batch*9/10; i++ {
+				if k.Cancel(ids[i]) {
+					cancelled[tags[i]] = true
+				}
+			}
+			if n := k.pendingTotal(); n > maxPending {
+				maxPending = n
+			}
+			p.Advance(100 * time.Millisecond)
+		}
+		p.Advance(2 * time.Hour) // anchors fire
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for tag := 0; tag < next; tag++ {
+		switch n := fireCount[tag]; {
+		case cancelled[tag] && n != 0:
+			t.Fatalf("shards=%d: cancelled event %d fired %d times", shards, tag, n)
+		case !cancelled[tag] && n != 1:
+			t.Fatalf("shards=%d: event %d fired %d times, want 1", shards, tag, n)
+		}
+	}
+	// Live population never exceeds ~2*batch (anchors + one round), so a
+	// compacting heap stays O(batch); a never-compacting one would retain
+	// rounds*batch*9/10 ≈ 11k corpses.
+	if maxPending > 16*batch {
+		t.Fatalf("shards=%d: pending events peaked at %d — compaction never ran", shards, maxPending)
+	}
+}
+
+func TestCancelChurnSequential(t *testing.T) { testCancelChurn(t, 1) }
+func TestCancelChurnSharded(t *testing.T)   { testCancelChurn(t, 4) }
+
+// TestGenWraparoundRetiresSlot pins the ABA fix: when a slot's generation
+// counter wraps to zero the slot must be retired, never recycled, so an
+// EventID from 2^32 lives ago cannot cancel (or double-fire through) a
+// future occupant.
+func TestGenWraparoundRetiresSlot(t *testing.T) {
+	k := New(1)
+	fired := false
+	id := k.After(0, func() { fired = true })
+	idx, _ := id.split()
+	k.slab[idx].gen = ^uint32(0) // as if recycled 2^32-1 times
+	stale := makeEventID(idx, ^uint32(0))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if k.slab[idx].gen != 0 {
+		t.Fatalf("gen = %d, want wrapped to 0", k.slab[idx].gen)
+	}
+	for _, f := range k.free {
+		if f == idx {
+			t.Fatal("wrapped slot returned to the free list")
+		}
+	}
+	if k.Cancel(stale) {
+		t.Fatal("stale EventID cancelled through a generation wrap")
+	}
+}

@@ -124,6 +124,7 @@ func (c *Channel) startNext() {
 	f := &Flow{
 		net:       n,
 		seq:       n.flowSeq,
+		dst:       c.dst,
 		remaining: float64(m.size),
 		size:      m.size,
 		last:      n.k.Now(),
@@ -166,7 +167,7 @@ func (c *Channel) startSmall(m message) {
 	k.AtArg(ready, smallNext, c)
 	sm := n.getSmall()
 	sm.c, sm.payload, sm.size = c, m.payload, m.size
-	k.AtArg(ready+lat, smallDeliver, sm)
+	n.deliverAt(c.dst, ready+lat, smallDeliver, sm)
 }
 
 // smallNext fires when a fast-path message clears the transmit horizon:

@@ -171,6 +171,14 @@ type Options struct {
 	VclProcessLimit int
 	// Seed drives the deterministic simulation.
 	Seed int64
+	// Shards partitions the simulation kernel into that many
+	// conservatively synchronized shards, each staging its ranks' events
+	// on its own goroutine (time-window synchronization with the
+	// platform's minimum link latency as lookahead).  0 (the default) or
+	// 1 runs the sequential kernel.  For any fixed Seed the Report,
+	// metrics, traces and attribution are byte-identical at every shard
+	// count — sharding only spreads the event-queue work across cores.
+	Shards int
 	// Failures schedules component kills (KillRank, KillNode,
 	// KillServer); MTTF adds memoryless rank failures, ServerMTTF and
 	// NodeMTTF the same for checkpoint servers and compute nodes (each
