@@ -82,7 +82,7 @@ func Chaos(o Options, sp ChaosSpec) (ChaosReport, error) {
 		return ChaosReport{}, err
 	}
 	rep := ChaosReport{
-		Report:     reportFrom(out.Result),
+		Report:     reportFrom(out.Result, cfg.NP),
 		Degraded:   out.Degraded,
 		Violations: out.Violations,
 	}

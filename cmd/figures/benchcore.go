@@ -23,11 +23,17 @@ import (
 	"time"
 
 	"ftckpt"
+	"ftckpt/internal/failure"
+	"ftckpt/internal/ftpm"
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/nas"
+	"ftckpt/internal/obs"
+	"ftckpt/internal/platform"
 	"ftckpt/internal/sim"
 )
 
 type corePoint struct {
-	Bench  string `json:"bench"`            // "kernel-events" or "run"
+	Bench  string `json:"bench"`            // "kernel-events", "run" or "repair"
 	Proto  string `json:"proto,omitempty"`  // run: protocol
 	NP     int    `json:"np,omitempty"`     // run: process count
 	Shards int    `json:"shards,omitempty"` // run: kernel shards (0 = sequential)
@@ -42,6 +48,13 @@ type corePoint struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	VirtS       float64 `json:"virt_s,omitempty"`
 	Waves       int     `json:"waves,omitempty"`
+	// RepairMS and Recovered belong to the "repair" bench point: the
+	// virtual latency of one ULFM in-job repair, from the failure report
+	// (EvProcFailed) to the world resuming (EvRepairEnd), and the
+	// recovered-work fraction of the run.  Virtual numbers are exactly
+	// reproducible, so drift in either means the repair path changed.
+	RepairMS  float64 `json:"repair_ms,omitempty"`
+	Recovered float64 `json:"recovered,omitempty"`
 	// Speedup is sequential wall / sharded wall for the same proto and NP,
 	// set on shard points when the matching sequential point was measured
 	// in the same document.  Recorded, and gated by -bench-core-check: a
@@ -154,12 +167,90 @@ func measureRun(proto string, np, shards int) (corePoint, error) {
 	}, nil
 }
 
+// measureRepair times the in-job recovery point: a 256-process Jacobi
+// under Pcl loses a whole node mid-run and the dispatcher splices a
+// spare in, ULFM-style, instead of restarting.  The point records the
+// run's allocations (gated like every other point), the virtual
+// detection-to-resume repair latency, and the recovered-work fraction.
+// It uses ftpm directly rather than the facade: the facade's Jacobi is
+// sized for the recovery figure, and the bench wants a fixed short run.
+func measureRepair() (corePoint, error) {
+	const np = 256
+	base := func() ftpm.Config {
+		return ftpm.Config{
+			NP:       np,
+			Protocol: ftpm.ProtoPcl,
+			Interval: 50 * time.Millisecond,
+			Servers:  4,
+			// np compute nodes + 4 servers + service node + 2 spares.
+			Topology: platform.EthernetCluster(np + 7),
+			Profile:  platform.PclSock,
+			NewProgram: func(rank, size int) mpi.Program {
+				return nas.NewJacobi(rank, size, np*4, 400)
+			},
+			FTEvery:    10,
+			Recovery:   ftpm.RecoveryULFM,
+			NodeLoss:   true,
+			SpareNodes: 2,
+			Seed:       1,
+		}
+	}
+	// The failure-free completion anchors the kill mid-run; both runs are
+	// deterministic, so the anchored schedule is too.
+	probe, err := ftpm.Run(base())
+	if err != nil {
+		return corePoint{}, fmt.Errorf("repair probe: %w", err)
+	}
+	cfg := base()
+	cfg.Failures = failure.Plan{{At: probe.Completion / 2, Kind: failure.KindNode, Node: np / 2}}
+	col := obs.NewCollector()
+	cfg.Sink = col
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	res, err := ftpm.Run(cfg)
+	if err != nil {
+		return corePoint{}, fmt.Errorf("repair run: %w", err)
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	if res.Repairs != 1 || res.Restarts != 0 {
+		return corePoint{}, fmt.Errorf("repair run: got %d repairs and %d restarts, want one clean in-job repair",
+			res.Repairs, res.Restarts)
+	}
+	var failedAt, resumedAt sim.Time
+	for _, ev := range col.Events() {
+		switch {
+		case ev.Type == obs.EvProcFailed && failedAt == 0:
+			failedAt = ev.T
+		case ev.Type == obs.EvRepairEnd:
+			resumedAt = ev.T
+		}
+	}
+	return corePoint{
+		Bench:       "repair",
+		Proto:       "pcl",
+		NP:          np,
+		WallMS:      float64(wall.Nanoseconds()) / 1e6,
+		AllocsPerOp: float64(m1.Mallocs - m0.Mallocs),
+		BytesPerOp:  float64(m1.TotalAlloc - m0.TotalAlloc),
+		VirtS:       res.Completion.Seconds(),
+		Waves:       res.WavesCommitted,
+		RepairMS:    float64((resumedAt - failedAt).Nanoseconds()) / 1e6,
+		Recovered:   1 - float64(res.LostWork)/(float64(np)*float64(res.Completion)),
+	}, nil
+}
+
 // coreSpec names one run measurement: protocol, size and shard count
-// (0 = sequential kernel).
+// (0 = sequential kernel); repair selects the ULFM in-job recovery
+// point instead of a plain run.
 type coreSpec struct {
 	proto  string
 	np     int
 	shards int
+	repair bool
 }
 
 func coreMeasure(points []coreSpec) (*coreDoc, error) {
@@ -185,7 +276,13 @@ func coreMeasure(points []coreSpec) (*coreDoc, error) {
 	fmt.Fprintf(os.Stderr, "figures: %-28s %8.1f ns/op  %7.3f allocs/op  %8.1f B/op\n",
 		"kernel-events", ke.NsPerOp, ke.AllocsPerOp, ke.BytesPerOp)
 	for _, pt := range points {
-		p, err := measureRun(pt.proto, pt.np, pt.shards)
+		var p corePoint
+		var err error
+		if pt.repair {
+			p, err = measureRepair()
+		} else {
+			p, err = measureRun(pt.proto, pt.np, pt.shards)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -205,7 +302,7 @@ func coreMeasure(points []coreSpec) (*coreDoc, error) {
 			}
 		}
 		doc.Points = append(doc.Points, p)
-		label := fmt.Sprintf("run proto=%s np=%d", pt.proto, pt.np)
+		label := fmt.Sprintf("%s proto=%s np=%d", p.Bench, pt.proto, pt.np)
 		if pt.shards > 0 {
 			label += fmt.Sprintf(" shards=%d", pt.shards)
 		}
@@ -213,6 +310,9 @@ func coreMeasure(points []coreSpec) (*coreDoc, error) {
 			label, p.WallMS, p.AllocsPerOp, p.VirtS, p.Waves)
 		if p.Speedup > 0 {
 			fmt.Fprintf(os.Stderr, "  %.2fx vs sequential", p.Speedup)
+		}
+		if pt.repair {
+			fmt.Fprintf(os.Stderr, "  repair %.2f virt-ms  recovered %.4f", p.RepairMS, p.Recovered)
 		}
 		fmt.Fprintln(os.Stderr)
 	}
@@ -230,13 +330,19 @@ func benchCore(path string, maxNP int) error {
 	for _, proto := range []string{"pcl", "vcl", "mlog"} {
 		for _, np := range []int{64, 256, 1024} {
 			if np <= maxNP {
-				pts = append(pts, coreSpec{proto, np, 0})
+				pts = append(pts, coreSpec{proto: proto, np: np})
 			}
 		}
 	}
 	// The cheap pcl point backs -bench-core-check's smoke gate; the mlog
 	// points are the recorded scaling trajectory.
-	pts = append(pts, coreSpec{"pcl", 256, 4})
+	pts = append(pts, coreSpec{proto: "pcl", np: 256, shards: 4})
+	// The ULFM repair point: one node loss survived in-job at the paper's
+	// grid scale, gated on allocations like every run point and recorded
+	// with its virtual detection-to-resume latency.
+	if 256 <= maxNP {
+		pts = append(pts, coreSpec{proto: "pcl", np: 256, repair: true})
+	}
 	for _, np := range []int{1024, 4096, 16384} {
 		if np > maxNP {
 			continue
@@ -244,9 +350,9 @@ func benchCore(path string, maxNP int) error {
 		if np > 1024 {
 			// The matrix stops at 1024; larger scaling points need their
 			// own sequential baseline for the speedup ratio.
-			pts = append(pts, coreSpec{"mlog", np, 0})
+			pts = append(pts, coreSpec{proto: "mlog", np: np})
 		}
-		pts = append(pts, coreSpec{"mlog", np, 4})
+		pts = append(pts, coreSpec{proto: "mlog", np: np, shards: 4})
 	}
 	doc, err := coreMeasure(pts)
 	if err != nil {
@@ -300,11 +406,14 @@ func benchCoreCheck(path string) error {
 		return nil
 	}
 	smoke := []coreSpec{
-		{"pcl", 64, 0}, {"vcl", 64, 0}, {"mlog", 64, 0},
-		{"pcl", 256, 0}, {"pcl", 1024, 0},
+		{proto: "pcl", np: 64}, {proto: "vcl", np: 64}, {proto: "mlog", np: 64},
+		{proto: "pcl", np: 256}, {proto: "pcl", np: 1024},
 		// One sharded point: keeps the parallel staging path and its
 		// speedup under the same regression gate as the allocation counts.
-		{"pcl", 256, 4},
+		{proto: "pcl", np: 256, shards: 4},
+		// The in-job repair point: keeps the ULFM recovery path under the
+		// allocation gate too (a leak in revoke/park/splice shows up here).
+		{proto: "pcl", np: 256, repair: true},
 	}
 	doc, err := coreMeasure(smoke)
 	if err != nil {

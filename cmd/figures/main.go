@@ -35,7 +35,7 @@ var out io.Writer = os.Stdout
 func main() {
 	log.SetFlags(0)
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, 10, netpipe, all")
+		fig    = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, 10, netpipe, recovery, all")
 		quick  = flag.Bool("quick", false, "shrink workloads (~10x) — shapes survive, absolute values do not")
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		v      = flag.Bool("v", false, "trace per-run progress")
@@ -75,9 +75,10 @@ func main() {
 		"8":       fig8,
 		"9":       fig9,
 		"10":      fig10,
-		"netpipe": netpipe,
+		"netpipe":  netpipe,
+		"recovery": recovery,
 	}
-	order := []string{"netpipe", "5", "6", "7", "8", "9", "10"}
+	order := []string{"netpipe", "5", "6", "7", "8", "9", "10", "recovery"}
 
 	var names []string
 	if *fig == "all" {
@@ -328,6 +329,22 @@ func fig10(o expt.Options) error {
 	fmt.Fprintln(w, "np\tno-ckpt\twith waves\twaves")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%d\t%s\t%s\t%d\n", r.NP, expt.FmtTime(r.NoCkpt), expt.FmtTime(r.Ckpt60), r.Waves)
+	}
+	return nil
+}
+
+func recovery(o expt.Options) error {
+	rows, err := expt.Recovery(o)
+	if err != nil {
+		return err
+	}
+	w, done := table("== Recovery modes: rollback-restart vs ULFM in-job repair — Jacobi, 16 processes, Pcl ==")
+	defer done()
+	fmt.Fprintln(w, "kills\trestart time\trestarts\tulfm time\trepairs\tulfm restarts\tlost work\trecovered")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%s\t%d\t%s\t%d\t%d\t%v\t%.4f\n",
+			r.Kills, expt.FmtTime(r.RestartTime), r.Restarts, expt.FmtTime(r.UlfmTime),
+			r.Repairs, r.UlfmRestarts, r.LostWork, r.RecoveredWork)
 	}
 	return nil
 }

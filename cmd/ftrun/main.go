@@ -7,6 +7,7 @@
 //	ftrun -bench bt -class B -np 64 -ppn 2 -proto pcl -interval 30s -servers 4
 //	ftrun -bench cg -class C -np 64 -ppn 2 -proto vcl -interval 15s -platform myrinet-tcp
 //	ftrun -bench cg-real -np 8 -proto pcl -interval 5ms -fail-at 20ms -fail-rank 3 -v
+//	ftrun -bench jacobi -np 8 -proto pcl -interval 25ms -recovery ulfm -spares 2 -fail-at 40ms -fail-rank 3
 //
 // With -chaos N the run executes under a seeded random failure schedule
 // (rank, node and checkpoint-server kills) and checks the recovery
@@ -59,6 +60,8 @@ func main() {
 		backoff  = flag.Duration("retry-backoff", 0, "delay before each store/fetch retry")
 		hbPeriod = flag.Duration("heartbeat", 0, "heartbeat ping period; 0 keeps instant failure detection")
 		hbTmo    = flag.Duration("hb-timeout", 0, "silence before a component is declared dead (0 = 4x the period)")
+		recovery = flag.String("recovery", "restart", "failure recovery: restart (rollback the whole job) or ulfm (in-job repair from partner snapshots)")
+		spares   = flag.Int("spares", 0, "spare compute nodes reserved for ulfm node-loss repairs")
 
 		chaosN       = flag.Int("chaos", 0, "run under a seeded random failure schedule of this many kills")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed of the chaos schedule")
@@ -98,6 +101,8 @@ func main() {
 			Timeout: *hbTmo,
 		},
 		Platform:   ftckpt.Platform(*plat),
+		Recovery:   ftckpt.RecoveryMode(*recovery),
+		Spares:     *spares,
 		Seed:       *seed,
 		Shards:     *shards,
 		MTTF:       *mttf,
@@ -200,6 +205,10 @@ func main() {
 	if rep.Restarts > 0 {
 		fmt.Printf("restarts          %d\n", rep.Restarts)
 	}
+	if rep.Repairs > 0 {
+		fmt.Printf("repairs           %d in-job (%v work redone, %.4f of total recovered)\n",
+			rep.Repairs, rep.LostWork, rep.RecoveredWork)
+	}
 	if rep.LoggedMessages > 0 {
 		fmt.Printf("channel state     %d messages, %.2f MB logged\n", rep.LoggedMessages, rep.LoggedMB)
 	}
@@ -264,8 +273,12 @@ func runChaos(o ftckpt.Options, sp ftckpt.ChaosSpec, explain bool, explOut strin
 	if rep.Degraded != nil {
 		fmt.Printf("outcome           degraded stop: %v\n", rep.Degraded)
 	} else {
-		fmt.Printf("outcome           recovered: completion %v, %d restarts, %d failovers\n",
-			rep.Report.Completion, rep.Report.Restarts, rep.Report.Failovers)
+		fmt.Printf("outcome           recovered: completion %v, %d restarts, %d repairs, %d failovers\n",
+			rep.Report.Completion, rep.Report.Restarts, rep.Report.Repairs, rep.Report.Failovers)
+		if rep.Report.Repairs > 0 {
+			fmt.Printf("recovered work    %.4f of total (%v redone in-job)\n",
+				rep.Report.RecoveredWork, rep.Report.LostWork)
+		}
 		fmt.Printf("checksum          %v (reference %v)\n", rep.Checksum, rep.Reference)
 	}
 	if rep.Report.Attribution != nil {

@@ -51,6 +51,14 @@ type Report struct {
 	// Checksum is the workload's verification value — identical across a
 	// failure-free run and any recovered run of the same Options.
 	Checksum float64
+	// Repairs counts in-job (ULFM) repairs: failures survived without a
+	// rollback-restart.  LostWork is the total virtual compute time redone
+	// because of repairs (each survivor rolls back to the agreed partner
+	// snapshot); RecoveredWork is the fraction of the job's total rank-time
+	// NOT redone, 1 for a failure-free or repair-free run.
+	Repairs       int
+	LostWork      time.Duration
+	RecoveredWork float64
 	// ServerFailures counts checkpoint servers lost during the run;
 	// Failovers counts fetches served by a surviving replica after the
 	// preferred one was unavailable.
@@ -87,19 +95,26 @@ func Run(o Options) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	rep := reportFrom(res)
+	rep := reportFrom(res, cfg.NP)
 	if progs := job.Programs(); len(progs) > 0 {
 		rep.Checksum = checksum(progs[0])
 	}
 	return rep, nil
 }
 
-func reportFrom(res ftpm.Result) Report {
+func reportFrom(res ftpm.Result, np int) Report {
+	recovered := 1.0
+	if res.Completion > 0 && np > 0 {
+		recovered = 1 - float64(res.LostWork)/(float64(np)*float64(res.Completion))
+	}
 	return Report{
 		Completion:       res.Completion,
 		Waves:            res.WavesCommitted,
 		LocalCheckpoints: res.LocalCkpts,
 		Restarts:         res.Restarts,
+		Repairs:          res.Repairs,
+		LostWork:         res.LostWork,
+		RecoveredWork:    recovered,
 		Messages:         res.Messages,
 		PayloadMB:        float64(res.PayloadBytes) / (1 << 20),
 		CheckpointMB:     float64(res.CkptBytes) / (1 << 20),
@@ -269,6 +284,25 @@ func buildConfig(o Options) (ftpm.Config, error) {
 	if err != nil {
 		return ftpm.Config{}, err
 	}
+	recovery := ftpm.RecoveryRestart
+	switch o.Recovery {
+	case "", RecoveryRestart:
+	case RecoveryULFM:
+		recovery = ftpm.RecoveryULFM
+	default:
+		return ftpm.Config{}, fmt.Errorf("ftckpt: Options.Recovery: unknown mode %q (want %q or %q)",
+			o.Recovery, RecoveryRestart, RecoveryULFM)
+	}
+	if o.Spares < 0 {
+		return ftpm.Config{}, fmt.Errorf("ftckpt: Options.Spares must be non-negative, got %d", o.Spares)
+	}
+	ftEvery := 0
+	if recovery == ftpm.RecoveryULFM {
+		// Application snapshot cadence for the partner-checkpoint scheme;
+		// every 10 iterations balances repair cost against lost work for
+		// the real kernels.
+		ftEvery = 10
+	}
 	cfg := ftpm.Config{
 		NP:               o.NP,
 		ProcsPerNode:     ppn,
@@ -282,6 +316,9 @@ func buildConfig(o Options) (ftpm.Config, error) {
 		HeartbeatPeriod:  hb.Period,
 		HeartbeatTimeout: hb.Timeout,
 		VclProcessLimit:  o.VclProcessLimit,
+		Recovery:         recovery,
+		SpareNodes:       o.Spares,
+		FTEvery:          ftEvery,
 		NewProgram:       newProgram,
 		Seed:             o.Seed,
 		Shards:           o.Shards,
@@ -311,7 +348,7 @@ func buildConfig(o Options) (ftpm.Config, error) {
 		cfg.Failures = append(cfg.Failures, ev)
 	}
 	computeNodes := (o.NP + ppn - 1) / ppn
-	pad := computeNodes + servers + 1
+	pad := computeNodes + servers + 1 + o.Spares
 	switch o.Platform {
 	case "", PlatformEthernet:
 		cfg.Topology = platform.EthernetCluster(pad)
@@ -323,6 +360,9 @@ func buildConfig(o Options) (ftpm.Config, error) {
 		cfg.Topology = platform.MyrinetTCP(pad)
 		cfg.Profile = platform.PclSock
 	case PlatformGrid:
+		if o.Spares > 0 {
+			return ftpm.Config{}, fmt.Errorf("ftckpt: Options.Spares: the grid platform's fixed layout has no spare slots")
+		}
 		lay, err := platform.Grid5000Layout(o.NP, ppn, 1)
 		if err != nil {
 			return ftpm.Config{}, err

@@ -142,6 +142,21 @@ func TestGoldenShardGrid(t *testing.T) {
 	}, 4)
 }
 
+// TestGoldenShardULFM covers the in-job recovery path on the sharded
+// kernel: revoke-shrink-agree-splice onto a spare rank, through a node
+// loss, must produce the same bytes as the sequential kernel — the
+// repair agreement rounds and the replacement rank's replay are all
+// ordinary simulated traffic, so sharding must not reorder them.
+func TestGoldenShardULFM(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	o := ulfmGolden()
+	o.Attribution = true
+	o.Failures = []Failure{KillNode(40*time.Millisecond, 3)}
+	checkShardEquivalence(t, o, 1, 4)
+}
+
 // TestGoldenShardChaosSweep replicates the heartbeat-chaos sweep of
 // TestGoldenDeterminismChaosSweep with every point on a 4-shard kernel
 // and requires the full artifact set — reports, the deterministically

@@ -186,6 +186,55 @@ func TestGoldenDeterminismChaosSweep(t *testing.T) {
 	}
 }
 
+// ulfmGolden is the spare-rank in-job recovery scenario of the golden
+// suite: Jacobi under ULFM recovery with a spare pool.
+func ulfmGolden() Options {
+	return Options{
+		Workload: WorkloadJacobi,
+		NP:       8,
+		Protocol: Pcl,
+		Interval: 25 * time.Millisecond,
+		Servers:  2,
+		Recovery: RecoveryULFM,
+		Spares:   2,
+		Seed:     5,
+	}
+}
+
+// TestGoldenDeterminismULFM pins the in-job recovery path: a spare-rank
+// repair sweep — rank kill, node kill spliced onto a spare, and the
+// non-blocking protocol — must repair without any rollback-restart and
+// be byte-identical across repeats.
+func TestGoldenDeterminismULFM(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"rank", func(o *Options) { o.Failures = []Failure{KillRank(40*time.Millisecond, 3)} }},
+		{"node", func(o *Options) { o.Failures = []Failure{KillNode(40*time.Millisecond, 3)} }},
+		{"vcl", func(o *Options) {
+			o.Protocol = Vcl
+			o.Failures = []Failure{KillRank(40*time.Millisecond, 3)}
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			o := ulfmGolden()
+			tc.mut(&o)
+			rep, _, _ := goldenArtifacts(t, o)
+			if rep.Repairs != 1 || rep.Restarts != 0 {
+				t.Errorf("Repairs = %d, Restarts = %d, want 1 in-job repair and zero restarts",
+					rep.Repairs, rep.Restarts)
+			}
+			if rep.RecoveredWork <= 0 || rep.RecoveredWork >= 1 {
+				t.Errorf("RecoveredWork = %v, want in (0, 1) after one repair", rep.RecoveredWork)
+			}
+			checkGolden(t, o)
+		})
+	}
+}
+
 // TestGoldenDeterminismGrid covers the multi-cluster topology: WAN flow
 // caps and per-cluster servers stress the fluid-flow rescheduling whose
 // ordering the allocation work reworked.

@@ -25,6 +25,7 @@ var simPackages = map[string]bool{
 	"obs":       true,
 	"sweep":     true,
 	"span":      true,
+	"nas":       true, // application kernels run inside the simulation, FT snapshots included
 }
 
 // isSimPackage reports whether an import path names a simulation package.

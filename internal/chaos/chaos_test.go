@@ -9,6 +9,7 @@ import (
 	"ftckpt/internal/failure"
 	"ftckpt/internal/ftpm"
 	"ftckpt/internal/mpi"
+	"ftckpt/internal/nas"
 	"ftckpt/internal/obs"
 	"ftckpt/internal/sim"
 	"ftckpt/internal/simnet"
@@ -302,6 +303,63 @@ func TestChaosDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosULFMSparesExhausted is the in-job recovery campaign: under
+// node-loss semantics with a single spare, the first random kill must be
+// repaired in place, and a later kill — pool empty — must degrade
+// cleanly into the classic rollback-restart with no hang, no invariant
+// breach, and the failure-free numerics.
+func TestChaosULFMSparesExhausted(t *testing.T) {
+	mkCfg := func() ftpm.Config {
+		cfg := chaosCfg(8, ftpm.ProtoPcl)
+		cfg.NewProgram = func(rank, size int) mpi.Program {
+			return nas.NewJacobi(rank, size, 64, 400)
+		}
+		cfg.Interval = 25 * time.Millisecond
+		cfg.Recovery = ftpm.RecoveryULFM
+		cfg.FTEvery = 10
+		cfg.NodeLoss = true
+		cfg.SpareNodes = 1
+		return cfg
+	}
+	// Two rank kills, both after the first snapshot exchanges, on distinct
+	// victims and far enough apart that the second cannot land inside the
+	// first's (sub-millisecond) repair window.
+	sp := Spec{Kills: 2, From: 30 * time.Millisecond, Until: 65 * time.Millisecond}
+	for seed := int64(1); ; seed++ {
+		if seed > 200 {
+			t.Fatal("no seed in 1..200 produced two spread-out rank kills on distinct victims")
+		}
+		sp.Seed = seed
+		plan, err := Schedule(sp, mkCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan[0].Rank != plan[1].Rank && plan[1].At-plan[0].At >= 5*time.Millisecond {
+			break
+		}
+	}
+	out, err := Run(Config{Job: mkCfg(), Spec: sp,
+		Checksum: func(p mpi.Program) float64 { return p.(*nas.Jacobi).Residual }})
+	if err != nil {
+		t.Fatalf("seed %d: %v", sp.Seed, err)
+	}
+	if out.Degraded != nil {
+		t.Fatalf("seed %d degraded: %v (plan %v)", sp.Seed, out.Degraded, out.Plan)
+	}
+	if !out.OK() {
+		t.Fatalf("seed %d violated invariants:\n%s\nplan %v",
+			sp.Seed, strings.Join(out.Violations, "\n"), out.Plan)
+	}
+	if out.Result.Repairs != 1 {
+		t.Fatalf("seed %d: Repairs = %d, want 1 (first kill repairs onto the spare; plan %v)",
+			sp.Seed, out.Result.Repairs, out.Plan)
+	}
+	if out.Result.Restarts < 1 {
+		t.Fatalf("seed %d: Restarts = %d, want >= 1 (pool exhausted; plan %v)",
+			sp.Seed, out.Result.Restarts, out.Plan)
+	}
+}
+
 // TestInvariantCheckerCatchesBreaches feeds the checker hand-built event
 // streams that violate each invariant — the harness must not be a rubber
 // stamp.
@@ -368,6 +426,63 @@ func TestInvariantCheckerCatchesBreaches(t *testing.T) {
 		evs := []obs.Event{{Type: obs.EvMessageReplayed, Rank: 0, Channel: 1, Seq: 1}}
 		if v := checkInvariants(evs, 1, 1, ftpm.ProtoPcl); len(v) == 0 {
 			t.Fatal("pcl replay not flagged")
+		}
+	})
+	t.Run("clean repair lifecycle passes", func(t *testing.T) {
+		evs := []obs.Event{
+			{Type: obs.EvProcFailed, Rank: 3},
+			{Type: obs.EvRepairBegin, Rank: -1, Channel: 3},
+			{Type: obs.EvRevoked, Rank: -1, Channel: 3},
+			{Type: obs.EvRepairEnd, Rank: -1, Channel: 3},
+		}
+		if v := checkInvariants(evs, 4, 1, ftpm.ProtoPcl); len(v) != 0 {
+			t.Fatalf("clean repair flagged: %v", v)
+		}
+	})
+	t.Run("kill inside repair window", func(t *testing.T) {
+		evs := []obs.Event{
+			{Type: obs.EvProcFailed, Rank: 3},
+			{Type: obs.EvRepairBegin, Rank: -1, Channel: 3},
+			{Type: obs.EvRankKilled, Rank: 1, Wave: 0},
+			{Type: obs.EvRepairEnd, Rank: -1, Channel: 3},
+		}
+		if v := checkInvariants(evs, 4, 1, ftpm.ProtoPcl); len(v) == 0 {
+			t.Fatal("kill inside an open repair window not flagged")
+		}
+	})
+	t.Run("unmatched repair end", func(t *testing.T) {
+		evs := []obs.Event{{Type: obs.EvRepairEnd, Rank: -1, Channel: 3}}
+		if v := checkInvariants(evs, 4, 1, ftpm.ProtoPcl); len(v) == 0 {
+			t.Fatal("repair-end without a begin not flagged")
+		}
+	})
+	t.Run("repair window never closed", func(t *testing.T) {
+		evs := []obs.Event{
+			{Type: obs.EvProcFailed, Rank: 3},
+			{Type: obs.EvRepairBegin, Rank: -1, Channel: 3},
+		}
+		if v := checkInvariants(evs, 4, 1, ftpm.ProtoPcl); len(v) == 0 {
+			t.Fatal("dangling repair window not flagged")
+		}
+	})
+	t.Run("aborted repair resolves into restart", func(t *testing.T) {
+		evs := []obs.Event{
+			{Type: obs.EvProcFailed, Rank: 3},
+			{Type: obs.EvRepairBegin, Rank: -1, Channel: 3},
+			{Type: obs.EvRepairAbort, Rank: -1, Channel: 3},
+			{Type: obs.EvRankKilled, Rank: 3, Wave: 0},
+		}
+		if v := checkInvariants(evs, 4, 1, ftpm.ProtoPcl); len(v) != 0 {
+			t.Fatalf("abort-then-restart flagged: %v", v)
+		}
+		if v := checkInvariants(evs[:3], 4, 1, ftpm.ProtoPcl); len(v) == 0 {
+			t.Fatal("abort without the fallback restart not flagged")
+		}
+	})
+	t.Run("failure report without repair attempt", func(t *testing.T) {
+		evs := []obs.Event{{Type: obs.EvProcFailed, Rank: 3}}
+		if v := checkInvariants(evs, 4, 1, ftpm.ProtoPcl); len(v) == 0 {
+			t.Fatal("orphan process-failure report not flagged")
 		}
 	})
 }

@@ -23,6 +23,13 @@ import (
 //     completed).
 //  4. Pcl replays nothing: any EvMessageReplayed under the blocking
 //     protocol is a protocol error.
+//  5. Repair lifecycle (ULFM recovery): repair windows never nest, every
+//     EvRepairBegin is closed by exactly one EvRepairEnd or EvRepairAbort
+//     naming the same victim (or the job degrades inside the window), no
+//     rank is killed while a window is open (kills must no-op while the
+//     world is parked), every failure report pairs with a repair attempt,
+//     and an aborted repair's victim falls back to the classic
+//     rollback-restart — its next event is the EvRankKilled of that path.
 func checkInvariants(events []obs.Event, np, quorum int, proto ftpm.Proto) []string {
 	type rw struct{ rank, wave int }
 	type chseq struct {
@@ -62,8 +69,55 @@ func checkInvariants(events []obs.Event, np, quorum int, proto ftpm.Proto) []str
 		win.open = false
 	}
 
+	// Repair-lifecycle bookkeeping: rep tracks the open window (victim is
+	// carried in Channel on the dispatcher-scoped repair events), failed
+	// counts EvProcFailed reports awaiting their repair attempt, and
+	// abortedVictim is the rank whose abandoned repair must resolve into a
+	// classic restart.
+	var rep struct {
+		open   bool
+		victim int
+	}
+	failedReports, repairAttempts := 0, 0
+	abortedVictim := -1
+	degraded := false
+
 	coordinated := proto == ftpm.ProtoPcl || proto == ftpm.ProtoVcl
 	for _, ev := range events {
+		switch ev.Type {
+		case obs.EvProcFailed:
+			failedReports++
+
+		case obs.EvRepairBegin:
+			repairAttempts++
+			if rep.open {
+				violations = append(violations, fmt.Sprintf(
+					"repair of rank %d began at %v inside the open repair window of rank %d",
+					ev.Channel, ev.T, rep.victim))
+			}
+			rep.open = true
+			rep.victim = ev.Channel
+
+		case obs.EvRepairEnd:
+			if !rep.open || ev.Channel != rep.victim {
+				violations = append(violations, fmt.Sprintf(
+					"repair of rank %d ended at %v without a matching begin (open window: %v)",
+					ev.Channel, ev.T, rep.open))
+			}
+			rep.open = false
+
+		case obs.EvRepairAbort:
+			if !rep.open || ev.Channel != rep.victim {
+				violations = append(violations, fmt.Sprintf(
+					"repair of rank %d aborted at %v without a matching begin (open window: %v)",
+					ev.Channel, ev.T, rep.open))
+			}
+			rep.open = false
+			abortedVictim = ev.Channel
+
+		case obs.EvDegraded:
+			degraded = true
+		}
 		switch ev.Type {
 		case obs.EvImageStoreEnd:
 			stores[rw{ev.Rank, ev.Wave}]++
@@ -90,6 +144,19 @@ func checkInvariants(events []obs.Event, np, quorum int, proto ftpm.Proto) []str
 			}
 
 		case obs.EvRankKilled:
+			if rep.open {
+				violations = append(violations, fmt.Sprintf(
+					"rank %d killed at %v inside the open repair window of rank %d — kills must no-op while the world is parked",
+					ev.Rank, ev.T, rep.victim))
+			}
+			if abortedVictim >= 0 {
+				if ev.Rank != abortedVictim {
+					violations = append(violations, fmt.Sprintf(
+						"rank %d killed at %v before the aborted repair of rank %d resolved into its rollback-restart",
+						ev.Rank, ev.T, abortedVictim))
+				}
+				abortedVictim = -1
+			}
 			if coordinated {
 				// A completed restart's replays are all in; an aborted
 				// one (no end event yet) is exempt.
@@ -148,5 +215,18 @@ func checkInvariants(events []obs.Event, np, quorum int, proto ftpm.Proto) []str
 		}
 	}
 	settle()
+	if rep.open && !degraded {
+		violations = append(violations, fmt.Sprintf(
+			"repair window of rank %d never closed (no repair-end, repair-abort or degraded stop)", rep.victim))
+	}
+	if abortedVictim >= 0 && !degraded {
+		violations = append(violations, fmt.Sprintf(
+			"aborted repair of rank %d never fell back to a rollback-restart", abortedVictim))
+	}
+	if failedReports != repairAttempts {
+		violations = append(violations, fmt.Sprintf(
+			"%d process-failure reports but %d repair attempts — repair must be exactly-once per reported failure",
+			failedReports, repairAttempts))
+	}
 	return violations
 }

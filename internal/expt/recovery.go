@@ -1,0 +1,111 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"ftckpt/internal/failure"
+	"ftckpt/internal/ftpm"
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/nas"
+	"ftckpt/internal/sim"
+)
+
+// RecoveryRow is one failure count of the recovery-mode comparison:
+// the same scripted rank kills run once under the paper's
+// rollback-restart and once under ULFM-style in-job repair, on the
+// Jacobi kernel with partner snapshots.
+type RecoveryRow struct {
+	Kills int
+	// RestartTime and Restarts are the rollback-restart run's completion
+	// and rollback episodes (one per kill).
+	RestartTime sim.Time
+	Restarts    int
+	// UlfmTime is the in-job recovery run's completion; Repairs counts
+	// failures survived without a restart, UlfmRestarts any fallbacks.
+	UlfmTime     sim.Time
+	Repairs      int
+	UlfmRestarts int
+	// LostWork is the total virtual compute time the repairs redid;
+	// RecoveredWork the fraction of total rank-time not redone.
+	LostWork      sim.Time
+	RecoveredWork float64
+}
+
+// Recovery compares the two recovery modes under identical seeded kill
+// schedules: Jacobi on 16 processes under Pcl, kills spread across the
+// middle of the run.  Expected shape: in-job repair completes faster at
+// every kill count (survivors redo one snapshot interval instead of the
+// whole stretch since the last committed wave, and no relaunch delay is
+// paid), with zero restarts while spares and partner snapshots hold.
+func Recovery(o Options) ([]RecoveryRow, error) {
+	const np = 16
+	iters := 1200
+	if o.Quick {
+		iters = 300
+	}
+	grid := np * 8
+	base := func() ftpm.Config {
+		return ftpm.Config{
+			NP:       np,
+			Protocol: ftpm.ProtoPcl,
+			Interval: o.scaleInterval(100 * time.Millisecond),
+			Servers:  2,
+			Topology: platformEthernet(np + 3),
+			Profile:  pclSockProfile(),
+			NewProgram: func(rank, size int) mpi.Program {
+				return nas.NewJacobi(rank, size, grid, iters)
+			},
+			FTEvery: 10,
+			Seed:    o.Seed,
+		}
+	}
+	// The failure-free completion anchors the kill schedule, so kills land
+	// mid-run at every -quick setting.
+	po := o
+	po.point = "recovery probe"
+	probe, err := po.run(base())
+	if err != nil {
+		return nil, err
+	}
+	total := probe.Completion
+
+	return runSweep(o, []int{1, 2, 3},
+		func(kills int) string { return fmt.Sprintf("recovery kills=%d", kills) },
+		func(o Options, kills int) (RecoveryRow, error) {
+			row := RecoveryRow{Kills: kills}
+			var plan failure.Plan
+			for i := 0; i < kills; i++ {
+				plan = append(plan, failure.Event{
+					At:   total / sim.Time(kills+1) * sim.Time(i+1),
+					Rank: (3*i + 1) % np,
+				})
+			}
+
+			cfg := base()
+			cfg.Failures = plan
+			res, err := o.run(cfg)
+			if err != nil {
+				return row, err
+			}
+			row.RestartTime, row.Restarts = res.Completion, res.Restarts
+
+			cfg = base()
+			cfg.Failures = plan
+			cfg.Recovery = ftpm.RecoveryULFM
+			res, err = o.run(cfg)
+			if err != nil {
+				return row, err
+			}
+			row.UlfmTime, row.Repairs, row.UlfmRestarts = res.Completion, res.Repairs, res.Restarts
+			row.LostWork = res.LostWork
+			if res.Completion > 0 {
+				row.RecoveredWork = 1 - float64(res.LostWork)/(float64(np)*float64(res.Completion))
+			}
+
+			o.tracef("recovery kills=%d restart=%v/%dr ulfm=%v/%drep+%dr recovered=%.4f",
+				kills, row.RestartTime, row.Restarts, row.UlfmTime, row.Repairs,
+				row.UlfmRestarts, row.RecoveredWork)
+			return row, nil
+		})
+}

@@ -45,6 +45,26 @@ const (
 // processes (§5.4).
 const DefaultVclProcessLimit = 300
 
+// Recovery selects how the runtime reacts to a process failure.
+type Recovery string
+
+// Recovery modes.
+const (
+	// RecoveryRestart is the paper's rollback recovery: the whole job is
+	// killed and relaunched from the last committed wave (the default).
+	RecoveryRestart Recovery = "restart"
+	// RecoveryULFM repairs the job in place, ULFM-style: the communicator
+	// is revoked, survivors shrink and agree on the failure set, a
+	// replacement process is spliced in (onto a spare node when the
+	// machine died), and the application restores from in-memory partner
+	// checkpoints — no full restart.  Falls back to RecoveryRestart when
+	// no application snapshot exists yet, spares are exhausted on a node
+	// loss, ranks already finished, or a second failure interrupts a
+	// repair.  Message-logging (mlog) keeps its native single-process
+	// recovery, which is already in-job.
+	RecoveryULFM Recovery = "ulfm"
+)
+
 // Config describes one job.
 type Config struct {
 	// NP is the number of MPI processes.
@@ -116,6 +136,13 @@ type Config struct {
 	NodeLoss bool
 	// SpareNodes reserves that many extra nodes after the service node.
 	SpareNodes int
+	// Recovery selects rollback-restart (default) or ULFM-style in-job
+	// repair; FTEvery is the application snapshot cadence in iterations
+	// for programs that support in-memory partner checkpoints (0 leaves
+	// application-level FT off, which makes every ULFM repair fall back
+	// to a restart).
+	Recovery Recovery
+	FTEvery  int
 	// Deadline aborts the simulation (protocol-deadlock guard in tests);
 	// 0 means none.
 	Deadline sim.Time
@@ -163,6 +190,13 @@ type Result struct {
 	LocalCkpts int
 	// Restarts counts rollback/recovery episodes.
 	Restarts int
+	// Repairs counts in-job (ULFM) repairs: failures survived without a
+	// rollback-restart.  LostWork is the virtual compute time those
+	// repairs discarded (progress past the restored application
+	// snapshot, summed over ranks) — the numerator of the recovered-work
+	// metric.
+	Repairs  int
+	LostWork sim.Time
 	// Messages and PayloadBytes count application traffic; CkptBytes the
 	// data received by checkpoint servers; LoggedMsgs/LoggedBytes the
 	// Vcl channel state.
@@ -276,6 +310,17 @@ func (c *Config) Validate() error {
 	}
 	if c.SpareNodes < 0 {
 		return errors.New("ftpm: SpareNodes must be non-negative")
+	}
+	switch c.Recovery {
+	case "":
+		c.Recovery = RecoveryRestart
+	case RecoveryRestart, RecoveryULFM:
+	default:
+		return fmt.Errorf("ftpm: unknown recovery mode %q (want %q or %q)",
+			c.Recovery, RecoveryRestart, RecoveryULFM)
+	}
+	if c.FTEvery < 0 {
+		return fmt.Errorf("ftpm: FTEvery must be non-negative, got %d", c.FTEvery)
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("ftpm: Shards must be non-negative, got %d", c.Shards)

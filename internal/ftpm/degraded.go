@@ -7,7 +7,7 @@ import "fmt"
 // image gone, or every compute node lost with no spare left — and shut
 // the job down cleanly through sim.Kernel.Stop instead of panicking.
 // Callers get it from Run as the Result-level error and can match it
-// with errors.As; fields that do not apply are -1.
+// with errors.As; fields that do not apply are -1 (or empty).
 type DegradedError struct {
 	// Reason says what was lost.
 	Reason string
@@ -19,6 +19,13 @@ type DegradedError struct {
 	// when not applicable.
 	Server int
 	Node   int
+	// Collective names the operation the surviving processes were blocked
+	// inside when the job degraded ("allreduce", "barrier", …), with
+	// Ranks the participants caught mid-operation — the paper's
+	// mid-collective failure scenario made diagnosable.  Empty when no
+	// process was inside a collective.
+	Collective string
+	Ranks      []int
 	// Err is the underlying cause (e.g. a ckpt.ErrNoImage chain).
 	Err error
 }
@@ -34,6 +41,9 @@ func (e *DegradedError) Error() string {
 		msg += ")"
 	} else if e.Node >= 0 {
 		msg += fmt.Sprintf(" (node %d)", e.Node)
+	}
+	if e.Collective != "" {
+		msg += fmt.Sprintf("; ranks %v blocked in %s", e.Ranks, e.Collective)
 	}
 	if e.Err != nil {
 		msg += ": " + e.Err.Error()

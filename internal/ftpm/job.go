@@ -52,6 +52,18 @@ type Job struct {
 	loggedMsgs int
 	loggedByte int64
 
+	// In-job (ULFM) repair window state; see repair.go.
+	repairing     bool
+	repGen        int      // invalidates in-flight agreement rounds
+	repairVictim  int      // rank being repaired
+	repairParkedN int      // survivors parked in AwaitRepair
+	repairLevel   int      // agreed application snapshot level
+	repairT0      sim.Time // window open time (lost-work baseline)
+	repairSpan    uint64   // EvRepairBegin span, closed by End/Abort
+	repairSkip    bool     // an aborted repair's fallback must not re-enter
+	repairs       int
+	lostWork      sim.Time
+
 	expFail     *failure.Exponential
 	expSrvFail  *failure.Exponential
 	expNodeFail *failure.Exponential
@@ -297,6 +309,30 @@ func (job *Job) degrade(err *DegradedError) {
 		return // the first unrecoverable loss already stopped the job
 	}
 	job.degraded = true
+	if err.Collective == "" {
+		// Name the collective the survivors are blocked inside (the
+		// paper's mid-collective failure scenario): the first in-flight
+		// operation kind found, with every rank caught in that kind.
+		var kind mpi.CollKind
+		for _, pr := range job.procs {
+			if pr == nil || pr.down || pr.eng == nil {
+				continue
+			}
+			k := pr.eng.InFlightColl()
+			if k == mpi.CollNone {
+				continue
+			}
+			if kind == mpi.CollNone {
+				kind = k
+			}
+			if k == kind {
+				err.Ranks = append(err.Ranks, pr.rank)
+			}
+		}
+		if kind != mpi.CollNone {
+			err.Collective = kind.String()
+		}
+	}
 	job.emit(obs.Event{Type: obs.EvDegraded, Rank: err.Rank, Wave: err.Wave,
 		Channel: -1, Node: err.Node, Server: err.Server}, "%v", err)
 	job.running = false
@@ -679,6 +715,9 @@ func (job *Job) detectedRank(rank int) {
 		}
 		return
 	}
+	if job.tryRepair(rank, node, nodeDown) {
+		return
+	}
 	if nodeDown || job.cfg.NodeLoss {
 		if _, ok := job.loseNode(node); !ok {
 			return
@@ -851,6 +890,13 @@ func (job *Job) procFinished(pr *procRun) {
 	job.finishedRank[pr.rank] = true
 	job.finished++
 	job.emit(obs.Event{Type: obs.EvRankDone, Rank: pr.rank, Wave: job.lastWave, Channel: -1, Node: -1, Server: -1}, "")
+	if job.repairing {
+		// A rank finished while the world was parked for a repair: the
+		// barrier can never fill, so the repair falls back to a restart.
+		// Deferred one event so the finishing LP is not killed mid-body.
+		job.k.After(0, func() { job.abortRepair("a rank finished during the repair window") })
+		return
+	}
 	if job.finished < job.cfg.NP {
 		return
 	}
@@ -882,6 +928,8 @@ func (job *Job) procFinished(pr *procRun) {
 		LoggedMsgs:     job.loggedMsgs,
 		LoggedBytes:    job.loggedByte,
 		ServerFailures: job.serverFails,
+		Repairs:        job.repairs,
+		LostWork:       job.lostWork,
 		Metrics:        job.met,
 	}
 	if job.group != nil {
@@ -913,6 +961,7 @@ type procRun struct {
 	proto  core.Protocol
 	img    *ckpt.Image
 	replay []*mpi.Packet
+	ftBlob []byte // partner-held app snapshot seeding a repaired rank
 	done   bool
 	down   bool // torn down (idempotence guard; heartbeat ground truth)
 	flows  []canceler
@@ -921,10 +970,20 @@ type procRun struct {
 	harvested bool
 }
 
+// ftTunable is implemented by programs with an application-level
+// snapshot cadence (in-memory partner checkpointing).  The cadence is
+// soft state outside the protocol images, so it is re-set on every
+// incarnation, fresh or restored.
+type ftTunable interface{ SetFTEvery(int) }
+
 func (pr *procRun) body(p *sim.Proc) {
 	pr.lp = p
 	pr.eng = mpi.NewEngine(pr.rank, pr.job.cfg.NP, p, pr.job.cfg.Profile, pr.job.fab)
 	pr.eng.SetMetrics(pr.job.met)
+	pr.eng.SetObs(pr.job.hub)
+	if pr.job.ulfm() {
+		pr.eng.EnableFT()
+	}
 	pr.proto = pr.job.newProtocol(pr)
 	pr.eng.SetFilter(pr.proto)
 	var dev []byte
@@ -941,17 +1000,57 @@ func (pr *procRun) body(p *sim.Proc) {
 	} else {
 		pr.prog = pr.job.cfg.NewProgram(pr.rank, pr.job.cfg.NP)
 	}
+	if pr.job.cfg.FTEvery > 0 {
+		if ft, ok := pr.prog.(ftTunable); ok {
+			ft.SetFTEvery(pr.job.cfg.FTEvery)
+		}
+	}
 	if restore {
 		pr.proto.Restore(dev, pr.replay, pr.job.lastWave)
+	}
+	if pr.ftBlob != nil {
+		// Replacement for a repaired rank: install the partner-held
+		// application snapshot; the protocol resumes past the still-
+		// committed wave like any survivor.
+		fp, ok := pr.prog.(mpi.FTProgram)
+		if !ok || !fp.FTInstall(pr.ftBlob) {
+			panic(fmt.Sprintf("ftpm: rank %d cannot install the partner-held snapshot", pr.rank))
+		}
+		pr.proto.Restore(nil, nil, pr.job.lastWave)
+		pr.eng.EmitFT(obs.Event{Type: obs.EvAppRestore, Rank: pr.rank, Wave: pr.job.repairLevel,
+			Channel: -1, Node: -1, Server: -1,
+			Detail: "installed the partner-held snapshot into the repaired rank"})
+		pr.ftBlob = nil
 	}
 	pr.img, pr.replay = nil, nil
 	p.Yield() // every engine binds before any body communicates
 	pr.proto.Start()
 	for !pr.done {
-		pr.done = pr.prog.Step(pr.eng)
+		if pr.eng.Revoked() {
+			pr.ftRepairWait()
+			continue
+		}
+		pr.stepOnce()
 	}
 	pr.eng.Finalize()
 	pr.job.procFinished(pr)
+}
+
+// stepOnce advances the program one phase, converting an FT unwind
+// (revocation or peer failure mid-operation) back into control flow: the
+// in-flight collective state returns to its pool and the step loop
+// re-enters through the repair wait.  Non-FT panics (including the
+// kernel's kill unwind) propagate.
+func (pr *procRun) stepOnce() {
+	defer func() {
+		if r := recover(); r != nil {
+			if mpi.AsFTError(r) == nil {
+				panic(r)
+			}
+			pr.eng.AbortColl()
+		}
+	}()
+	pr.done = pr.prog.Step(pr.eng)
 }
 
 // teardown kills an incarnation after a failure.  Idempotent: silent

@@ -81,9 +81,19 @@ type Engine struct {
 	closed   bool
 	steal    float64 // background checkpoint work stealing compute speed
 
+	// ULFM error-reporting mode (see ulfm.go): failed marks peers known
+	// dead, revoked aborts every blocking operation, epoch counts
+	// communicator incarnations so stale in-pipeline packets are dropped.
+	ft      bool
+	revoked bool
+	failed  []bool
+	epoch   int
+
 	// met, when set, receives blocked-receive time observations
 	// ("mpi.recv_blocked"); nil-safe.
 	met *obs.Metrics
+	// hub, when set, receives application-layer events (EmitFT); nil-safe.
+	hub *obs.Hub
 
 	// Stat counters, exported for experiment harnesses.
 	Stats Stats
@@ -125,6 +135,21 @@ func (e *Engine) Profile() Profile { return e.prof }
 // SetMetrics attaches the observability registry the engine reports
 // blocked-receive durations to (nil disables).
 func (e *Engine) SetMetrics(m *obs.Metrics) { e.met = m }
+
+// SetObs attaches the observability hub application-layer events are
+// published through (nil disables).
+func (e *Engine) SetObs(h *obs.Hub) { e.hub = h }
+
+// EmitFT publishes an application-layer event (e.g. an in-memory partner
+// checkpoint) through the runtime's hub, stamping the current virtual
+// time.  No-op when no hub is attached.
+func (e *Engine) EmitFT(ev obs.Event) {
+	if e.hub == nil {
+		return
+	}
+	ev.T = e.lp.Now()
+	e.hub.Emit(ev)
+}
 
 // SetFilter installs the fault-tolerance protocol filter.
 func (e *Engine) SetFilter(f Filter) {
@@ -177,7 +202,7 @@ func (e *Engine) HandleWire(p *Packet) {
 		ready += svc
 		e.daemonBusy = ready
 		r := e.getAdmit()
-		r.e, r.p = e, p
+		r.e, r.p, r.epoch = e, p, e.epoch
 		k.AtArg(ready, admitEvent, r)
 		return
 	}
@@ -196,6 +221,11 @@ func (e *Engine) HandleWire(p *Packet) {
 type admitRec struct {
 	e *Engine
 	p *Packet
+	// epoch is the communicator incarnation the packet arrived in; if the
+	// engine was repaired while the packet sat in the daemon-service
+	// delay, admitEvent drops it (a revoked incarnation's message must
+	// never reach the repaired one) — after recycling the record.
+	epoch int
 }
 
 func (e *Engine) getAdmit() *admitRec {
@@ -209,9 +239,12 @@ func (e *Engine) getAdmit() *admitRec {
 
 func admitEvent(x any) {
 	r := x.(*admitRec)
-	e, p := r.e, r.p
+	e, p, epoch := r.e, r.p, r.epoch
 	r.e, r.p = nil, nil
 	e.admitPool = append(e.admitPool, r)
+	if e.ft && epoch != e.epoch {
+		return // sent to a since-revoked incarnation: drop, record recycled
+	}
 	e.admit(p)
 }
 
@@ -339,6 +372,9 @@ func (e *Engine) Recv(src, tag int) *Packet {
 
 func (e *Engine) recvMatch(src, tag int) *Packet {
 	for {
+		// In FT mode a revocation or known peer failure aborts the receive
+		// (both on entry and on every wake) instead of blocking forever.
+		e.ftCheck(src)
 		if i := e.findMatch(src, tag); i >= 0 {
 			if c := e.prof.recvCost(e.unexpected[i].PayloadSize()); c > 0 {
 				e.advanceInOp(c)

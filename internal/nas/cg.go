@@ -19,6 +19,8 @@ import (
 // The kernel is used at reduced problem sizes to verify numerically exact
 // recovery; the large-scale experiments use CGModel.
 type CG struct {
+	ftState // in-memory partner checkpoints (unexported: not in images)
+
 	Rank, Size int
 	N          int   // global matrix order (divisible by Size)
 	Seed       int64 // matrix generator seed
@@ -122,6 +124,7 @@ const (
 	cgDotRR
 	cgFinish
 	cgDone
+	cgFTExch // partner-snapshot ring exchange (in-job recovery)
 )
 
 // Step advances the solver by one phase.
@@ -177,11 +180,20 @@ func (c *CG) Step(e *mpi.Engine) bool {
 			c.P[i] = c.R[i] + beta*c.P[i]
 		}
 		c.It++
-		if c.It >= c.MaxIter || c.RR < 1e-18 {
+		switch {
+		case c.It >= c.MaxIter || c.RR < 1e-18:
 			c.Phase = cgFinish
-		} else {
+		case c.ftEvery() > 0 && c.It%c.ftEvery() == 0:
+			c.Phase = cgFTExch
+		default:
 			c.Phase = cgGatherP
 		}
+	case cgFTExch:
+		// The phase flips only after the exchange completes, so a protocol
+		// checkpoint taken while blocked in it restores into the same
+		// Sendrecv (ftEncode is a pure function of the solver state).
+		c.ftExchange(e, c.Rank, c.Size, c.It, c.ftEncode())
+		c.Phase = cgGatherP
 	case cgFinish:
 		rr := e.AllreduceF64(mpi.OpSum, []float64{dot(c.R, c.R)})
 		c.Residual = math.Sqrt(rr[0])
@@ -189,6 +201,53 @@ func (c *CG) Step(e *mpi.Engine) bool {
 		return true
 	}
 	return false
+}
+
+// ftEncode captures the solver state at the exchange point (after the
+// r·r allreduce, about to gather the next search direction).
+func (c *CG) ftEncode() []byte {
+	var w ftEncoder
+	w.putInt(int64(c.It))
+	w.putF64(c.RR)
+	w.putVec(c.X)
+	w.putVec(c.R)
+	w.putVec(c.P)
+	return w.buf
+}
+
+func (c *CG) ftDecode(blob []byte) bool {
+	r := ftDecoder{buf: blob}
+	it, ok := r.int()
+	if !ok {
+		return false
+	}
+	rr, ok := r.f64()
+	if !ok || !r.vec(c.X) || !r.vec(c.R) || !r.vec(c.P) {
+		return false
+	}
+	c.It = int(it)
+	c.RR = rr
+	c.Phase = cgGatherP
+	return true
+}
+
+// FTRollback restores the solver to its own snapshot at level.
+func (c *CG) FTRollback(level int) bool {
+	s, ok := c.ownSnap(level)
+	if !ok || !c.ftDecode(s.blob) {
+		return false
+	}
+	c.ftTruncate(level)
+	return true
+}
+
+// FTInstall loads a peer-held snapshot into a fresh replacement process.
+func (c *CG) FTInstall(blob []byte) bool {
+	if !c.ftDecode(blob) {
+		return false
+	}
+	c.ftInstall(c.It, 0, blob)
+	return true
 }
 
 func (c *CG) matvecTime() sim.Time {

@@ -16,6 +16,8 @@ import (
 // preserves real numerics — here under the halo-exchange pattern that
 // dominates structured-grid MPI codes.
 type Jacobi struct {
+	ftState // in-memory partner checkpoints (unexported: not in images)
+
 	Rank, Size int
 	N          int // global grid side (rows divided evenly across ranks)
 	MaxIter    int
@@ -58,6 +60,7 @@ const (
 	jacCompute
 	jacResidual
 	jacDone
+	jacFTExch // partner-snapshot ring exchange (in-job recovery)
 )
 
 const (
@@ -125,9 +128,65 @@ func (j *Jacobi) Step(e *mpi.Engine) bool {
 			j.Phase = jacDone
 			return true
 		}
+		if j.ftEvery() > 0 && j.It%j.ftEvery() == 0 {
+			j.Phase = jacFTExch
+		} else {
+			j.Phase = jacExchUp
+		}
+	case jacFTExch:
+		// The phase flips only after the exchange completes, so a protocol
+		// checkpoint taken while blocked in it restores into the same
+		// Sendrecv (ftEncode is a pure function of the solver state).
+		j.ftExchange(e, j.Rank, j.Size, j.It, j.ftEncode())
 		j.Phase = jacExchUp
 	}
 	return false
+}
+
+// ftEncode captures the solver state at the exchange point (after the
+// residual allreduce, about to start the next iteration).
+func (j *Jacobi) ftEncode() []byte {
+	var w ftEncoder
+	w.putInt(int64(j.It))
+	w.putF64(j.Residual)
+	w.putVec(j.Cur)
+	w.putVec(j.New)
+	return w.buf
+}
+
+func (j *Jacobi) ftDecode(blob []byte) bool {
+	r := ftDecoder{buf: blob}
+	it, ok := r.int()
+	if !ok {
+		return false
+	}
+	res, ok := r.f64()
+	if !ok || !r.vec(j.Cur) || !r.vec(j.New) {
+		return false
+	}
+	j.It = int(it)
+	j.Residual = res
+	j.Phase = jacExchUp
+	return true
+}
+
+// FTRollback restores the solver to its own snapshot at level.
+func (j *Jacobi) FTRollback(level int) bool {
+	s, ok := j.ownSnap(level)
+	if !ok || !j.ftDecode(s.blob) {
+		return false
+	}
+	j.ftTruncate(level)
+	return true
+}
+
+// FTInstall loads a peer-held snapshot into a fresh replacement process.
+func (j *Jacobi) FTInstall(blob []byte) bool {
+	if !j.ftDecode(blob) {
+		return false
+	}
+	j.ftInstall(j.It, 0, blob)
+	return true
 }
 
 // Footprint is the two slabs.

@@ -185,6 +185,30 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		case EvComponentDead:
 			pid, tid := trackOf(ev.Rank)
 			instant(fmt.Sprintf("rank %d dead (silent)", ev.Rank), pid, tid, ev, nil)
+		case EvProcFailed:
+			instant(fmt.Sprintf("rank %d failed", ev.Rank), pidRuntime, 0, ev,
+				map[string]any{"wave": ev.Wave})
+		case EvRevoked:
+			instant("revoked", pidRuntime, 0, ev, map[string]any{"victim": ev.Channel})
+		case EvRepairBegin:
+			open("rep", openSpan{
+				name: fmt.Sprintf("repair (rank %d)", ev.Channel),
+				pid:  pidRuntime, tid: 0, ts: usec(int64(ev.T)),
+				args: map[string]any{"victim": ev.Channel, "wave": ev.Wave},
+			})
+		case EvRepairEnd:
+			closeSpan("rep", usec(int64(ev.T)))
+		case EvRepairAbort:
+			if s, ok := spans["rep"]; ok {
+				s.name += " (aborted)"
+				spans["rep"] = s
+			}
+			closeSpan("rep", usec(int64(ev.T)))
+		case EvAppCkpt:
+			instant(fmt.Sprintf("app snapshot (iter %d)", ev.Wave), pidRanks, ev.Rank, ev,
+				map[string]any{"partner": ev.Channel, "bytes": ev.Bytes})
+		case EvAppRestore:
+			instant(fmt.Sprintf("app restore (iter %d)", ev.Wave), pidRanks, ev.Rank, ev, nil)
 		case EvRankDone:
 			pid, tid := trackOf(ev.Rank)
 			instant(fmt.Sprintf("rank %d done", ev.Rank), pid, tid, ev, nil)

@@ -43,6 +43,13 @@ const (
 	MQuorumLost      = "ckpt.quorum_lost"
 	MReplayedMsgs    = "log.replayed"
 	MDegradedStops   = "degraded.stops"
+	// In-job (ULFM-style) recovery: process failures the job survived in
+	// place, completed repairs, and the detection→resume repair latency.
+	MProcFailures  = "failures.survived"
+	MRepairs       = "repairs"
+	MRepairLatency = "repair.latency" // hist: proc-failed → repaired world resumed
+	MAppCkpts      = "app.ckpts"
+	MAppRestores   = "app.restores"
 )
 
 // MetricsSink folds the event stream into a Metrics registry: counters
@@ -54,6 +61,7 @@ type MetricsSink struct {
 	blockedSince map[int]sim.Time    // rank → EvChannelBlocked time
 	storeSince   map[[3]int]sim.Time // (rank, wave, server) → EvImageStoreBegin time
 	restartSince map[int]sim.Time    // rank (-1 global) → EvRestartBegin time
+	repairSince  map[int]sim.Time    // failed rank → EvProcFailed time
 }
 
 // NewMetricsSink builds a sink folding into m, pre-registering the
@@ -66,12 +74,14 @@ func NewMetricsSink(m *Metrics) *MetricsSink {
 		MWavesCommitted, MFailures,
 		MServerFailures, MDetectTimeouts, MFalseSuspicions,
 		MFailovers, MStoreRetries, MQuorumLost, MReplayedMsgs, MDegradedStops,
+		MProcFailures, MRepairs, MAppCkpts, MAppRestores,
 	} {
 		m.Touch(c)
 	}
 	for _, h := range []string{
 		MBlockedTime, MImageStoreTime, MRestartTime,
 		MWaveSpread, MWaveTransfer, MWaveCycle, MDetectLatency,
+		MRepairLatency,
 	} {
 		m.TouchHist(h)
 	}
@@ -80,6 +90,7 @@ func NewMetricsSink(m *Metrics) *MetricsSink {
 		blockedSince: make(map[int]sim.Time),
 		storeSince:   make(map[[3]int]sim.Time),
 		restartSince: make(map[int]sim.Time),
+		repairSince:  make(map[int]sim.Time),
 	}
 }
 
@@ -152,5 +163,18 @@ func (s *MetricsSink) Emit(ev Event) {
 			delete(s.restartSince, ev.Rank)
 			s.m.Observe(MRestartTime, ev.T-t0)
 		}
+	case EvProcFailed:
+		s.m.Inc(MProcFailures)
+		s.repairSince[ev.Rank] = ev.T
+	case EvRepairEnd:
+		s.m.Inc(MRepairs)
+		if t0, ok := s.repairSince[ev.Channel]; ok {
+			delete(s.repairSince, ev.Channel)
+			s.m.Observe(MRepairLatency, ev.T-t0)
+		}
+	case EvAppCkpt:
+		s.m.Inc(MAppCkpts)
+	case EvAppRestore:
+		s.m.Inc(MAppRestores)
 	}
 }

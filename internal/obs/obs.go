@@ -108,6 +108,36 @@ const (
 	// name, Bytes its current value.  Rendered as a counter track in the
 	// Chrome trace exporters.
 	EvCounterSample
+	// EvProcFailed: a process failure the job survives in place (ULFM
+	// in-job recovery): Rank died but the world is repaired rather than
+	// rolled back.  Opens the repair pipeline the matching EvRepairEnd
+	// closes.
+	EvProcFailed
+	// EvRevoked: the communicator was revoked — every survivor's pending
+	// and future operations against the failed incarnation abort with
+	// ErrRevoked.  Rank is the revoking runtime (-1).
+	EvRevoked
+	// EvRepairBegin: the shrink/spare-splice/rebind repair of the world
+	// began (Rank is -1: all survivors participate; Wave is the committed
+	// wave the fresh protocol instances continue from).
+	EvRepairBegin
+	// EvRepairEnd: the repaired world resumed execution; the span opened
+	// by EvRepairBegin closes (detection → revoke → repair → resume).
+	EvRepairEnd
+	// EvRepairAbort: an open repair window was abandoned (no common
+	// snapshot level, or a rank finished while the world was parked) and
+	// the failure falls back to a classic rollback-restart; the span
+	// opened by EvRepairBegin closes here and the matching EvRankKilled
+	// documents the fallback.
+	EvRepairAbort
+	// EvAppCkpt: Rank captured an application-level in-memory checkpoint
+	// and exchanged it with its partner rank (Channel); Bytes is the
+	// snapshot size.
+	EvAppCkpt
+	// EvAppRestore: Rank restored application state after a repair —
+	// Detail says from which source (own snapshot, partner copy, or a
+	// fresh start when no snapshot existed yet).
+	EvAppRestore
 
 	numEventTypes
 )
@@ -122,6 +152,8 @@ var eventNames = [numEventTypes]string{
 	"server-killed", "heartbeat-timeout", "replica-failover", "store-retry",
 	"quorum-lost", "message-replayed", "degraded",
 	"component-dead", "rank-done", "counter-sample",
+	"proc-failed", "revoked", "repair-begin", "repair-end", "repair-abort",
+	"app-ckpt", "app-restore",
 }
 
 // String returns the event type's kebab-case name.

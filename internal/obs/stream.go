@@ -200,6 +200,25 @@ func (s *ChromeStreamSink) Emit(ev Event) {
 	case EvComponentDead:
 		pid, tid := trackOf(ev.Rank)
 		s.instant(fmt.Sprintf("rank %d dead (silent)", ev.Rank), pid, tid, ev, nil)
+	case EvProcFailed:
+		s.instant(fmt.Sprintf("rank %d failed", ev.Rank), pidRuntime, 0, ev,
+			map[string]any{"wave": ev.Wave})
+	case EvRevoked:
+		s.instant("revoked", pidRuntime, 0, ev, map[string]any{"victim": ev.Channel})
+	case EvRepairBegin:
+		s.async("b", fmt.Sprintf("repair (rank %d)", ev.Channel), "rep",
+			pidRuntime, 0, ev, map[string]any{"victim": ev.Channel, "wave": ev.Wave})
+	case EvRepairEnd:
+		s.async("e", fmt.Sprintf("repair (rank %d)", ev.Channel), "rep",
+			pidRuntime, 0, ev, nil)
+	case EvRepairAbort:
+		s.async("e", fmt.Sprintf("repair (rank %d) (aborted)", ev.Channel), "rep",
+			pidRuntime, 0, ev, nil)
+	case EvAppCkpt:
+		s.instant(fmt.Sprintf("app snapshot (iter %d)", ev.Wave), pidRanks, ev.Rank, ev,
+			map[string]any{"partner": ev.Channel, "bytes": ev.Bytes})
+	case EvAppRestore:
+		s.instant(fmt.Sprintf("app restore (iter %d)", ev.Wave), pidRanks, ev.Rank, ev, nil)
 	case EvRankDone:
 		pid, tid := trackOf(ev.Rank)
 		s.instant(fmt.Sprintf("rank %d done", ev.Rank), pid, tid, ev, nil)

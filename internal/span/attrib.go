@@ -8,7 +8,7 @@ import (
 	"ftckpt/internal/sim"
 )
 
-// Breakdown splits a stretch of virtual time into the nine phases of the
+// Breakdown splits a stretch of virtual time into the ten phases of the
 // paper's cost decomposition.  All values are integer virtual nanoseconds;
 // a rank's breakdown sums exactly to the run's completion time.
 type Breakdown struct {
@@ -36,6 +36,10 @@ type Breakdown struct {
 	// Rollback is recovery up to the image fetch: kill to restart, minus
 	// the replay share below.
 	Rollback sim.Time `json:"rollback_ns"`
+	// Repair is the in-job (ULFM) recovery window: communicator revoked,
+	// world shrunk, spare spliced in, endpoints rebound, execution resumed
+	// — the survivable alternative to Rollback.
+	Repair sim.Time `json:"repair_ns"`
 	// Replay is the log-replay share of the restart window, in proportion
 	// to replayed-log bytes vs. fetched image bytes.
 	Replay sim.Time `json:"replay_ns"`
@@ -60,6 +64,8 @@ func (b *Breakdown) addPhase(phase int, d sim.Time) {
 		b.Detection += d
 	case phaseRollback:
 		b.Rollback += d
+	case phaseRepair:
+		b.Repair += d
 	case phaseReplay:
 		b.Replay += d
 	}
@@ -75,13 +81,15 @@ func (b *Breakdown) accum(o Breakdown) {
 	b.QuorumWait += o.QuorumWait
 	b.Detection += o.Detection
 	b.Rollback += o.Rollback
+	b.Repair += o.Repair
 	b.Replay += o.Replay
 }
 
 // Total sums every phase.
 func (b Breakdown) Total() sim.Time {
 	return b.Compute + b.Coordination + b.Freeze + b.Logging +
-		b.ImageTransfer + b.QuorumWait + b.Detection + b.Rollback + b.Replay
+		b.ImageTransfer + b.QuorumWait + b.Detection + b.Rollback +
+		b.Repair + b.Replay
 }
 
 // Overhead sums every phase except compute.
@@ -104,6 +112,7 @@ func (b Breakdown) phaseList() []struct {
 		{"quorum-wait", b.QuorumWait},
 		{"detection", b.Detection},
 		{"rollback", b.Rollback},
+		{"repair", b.Repair},
 		{"replay", b.Replay},
 	}
 }

@@ -12,10 +12,10 @@
 // The conservation invariant is structural, not statistical: every rank's
 // timeline [0, completion] is partitioned exactly once, with overlapping
 // phase windows resolved by a fixed precedence (detection > rollback >
-// replay > freeze > coordination > quorum wait > image transfer > logging)
-// and compute defined as the remainder, so the per-rank breakdown sums to
-// the completion time by construction, in integer nanoseconds.  Check
-// re-verifies the invariant on a finished Attribution.
+// repair > replay > freeze > coordination > quorum wait > image transfer >
+// logging) and compute defined as the remainder, so the per-rank breakdown
+// sums to the completion time by construction, in integer nanoseconds.
+// Check re-verifies the invariant on a finished Attribution.
 //
 // Everything here is deterministic: the builder's output is a pure
 // function of the event stream, and the stream itself is a pure function
@@ -36,6 +36,7 @@ import (
 const (
 	phaseDetection = iota
 	phaseRollback
+	phaseRepair // in-job (ULFM) repair window: revoke → shrink → resume
 	phaseReplay
 	phaseFreeze
 	phaseCoordination
@@ -167,6 +168,7 @@ type rankState struct {
 	quorum    ivals
 	detection ivals
 	rollback  ivals
+	repair    ivals
 	replay    ivals
 	coord     []coordIval
 
@@ -210,6 +212,7 @@ type Builder struct {
 	pendingKill map[int]sim.Time // rank (-1 global) → earliest kill time
 	lastEp      map[int]*episode // rank (-1 global) → episode replays attach to
 	open        map[int]*episode // rank (-1 global) → restart begun, not ended
+	repOpen     map[int]sim.Time // rank (-1 global) → EvRepairBegin time
 }
 
 // NewBuilder returns a builder for an np-rank run of the named protocol.
@@ -227,6 +230,7 @@ func NewBuilder(np int, proto string) *Builder {
 		pendingKill: make(map[int]sim.Time),
 		lastEp:      make(map[int]*episode),
 		open:        make(map[int]*episode),
+		repOpen:     make(map[int]sim.Time),
 	}
 }
 
@@ -342,10 +346,35 @@ func (b *Builder) Emit(ev obs.Event) {
 		} else if ep, ok := b.lastEp[-1]; ok {
 			ep.replayBytes[ev.Rank] += ev.Bytes
 		}
+	case obs.EvRepairBegin:
+		b.repOpen[ev.Rank] = ev.T
+	case obs.EvRepairEnd, obs.EvRepairAbort:
+		// An aborted repair closes its window the same way — the fallback
+		// rollback-restart episode takes over from the abort time.
+		if t0, ok := b.repOpen[ev.Rank]; ok {
+			delete(b.repOpen, ev.Rank)
+			b.addRepair(ev.Rank, t0, ev.T)
+		}
 	case obs.EvRankDone:
 		if rs := b.rank(ev.Rank); rs != nil {
 			rs.doneT, rs.doneSeen = ev.T, true
 		}
+	}
+}
+
+// addRepair records one in-job repair window on the affected timelines:
+// every rank for a global (scope < 0) repair — all survivors park in
+// AwaitRepair while the world is revoked — else the one rank being
+// respawned locally.
+func (b *Builder) addRepair(scope int, s, e sim.Time) {
+	if scope < 0 {
+		for r := range b.ranks {
+			b.ranks[r].repair.add(s, e)
+		}
+		return
+	}
+	if rs := b.rank(scope); rs != nil {
+		rs.repair.add(s, e)
 	}
 }
 
@@ -360,6 +389,16 @@ func (b *Builder) Finalize(completion sim.Time) *Attribution {
 			rs.freezeOpen = false
 			rs.freeze.add(rs.freezeStart, completion)
 		}
+	}
+	// A repair still open at the horizon (the job degraded mid-repair)
+	// likewise closes there.  Sorted sweep for canonical order.
+	rkeys := make([]int, 0, len(b.repOpen))
+	for k := range b.repOpen {
+		rkeys = append(rkeys, k)
+	}
+	sort.Ints(rkeys)
+	for _, scope := range rkeys {
+		b.addRepair(scope, b.repOpen[scope], completion)
 	}
 
 	// Quorum-wait windows: with replication, [first replica stored, last
@@ -498,6 +537,7 @@ func partition(rs *rankState, total sim.Time) []segment {
 	sets := []src{
 		{rs.detection, phaseDetection},
 		{rs.rollback, phaseRollback},
+		{rs.repair, phaseRepair},
 		{rs.replay, phaseReplay},
 		{rs.freeze, phaseFreeze},
 		{rs.quorum, phaseQuorum},

@@ -63,6 +63,13 @@ const (
 	EvComponentDead    = obs.EvComponentDead
 	EvRankDone         = obs.EvRankDone
 	EvCounterSample    = obs.EvCounterSample
+	EvProcFailed       = obs.EvProcFailed
+	EvRevoked          = obs.EvRevoked
+	EvRepairBegin      = obs.EvRepairBegin
+	EvRepairEnd        = obs.EvRepairEnd
+	EvRepairAbort      = obs.EvRepairAbort
+	EvAppCkpt          = obs.EvAppCkpt
+	EvAppRestore       = obs.EvAppRestore
 )
 
 // Attribution is a conservation-checked per-phase breakdown of a run's

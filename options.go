@@ -72,6 +72,27 @@ const (
 	ClassC Class = "C"
 )
 
+// RecoveryMode selects how a run reacts to process failures.
+type RecoveryMode string
+
+// Recovery modes.
+const (
+	// RecoveryRestart is the paper's rollback-restart: a failure kills the
+	// whole job, which relaunches from the last committed wave.  The zero
+	// value "" means the same.
+	RecoveryRestart RecoveryMode = "restart"
+	// RecoveryULFM repairs the world in place, ULFM-style: the failed
+	// rank's communicator is revoked, the survivors agree on the failure
+	// and the newest common application snapshot, a replacement is spliced
+	// in (onto a spare node if the machine died) and the job resumes —
+	// without moving the committed recovery line.  Requires a workload
+	// that keeps in-memory partner snapshots (WorkloadJacobi,
+	// WorkloadCGReal); any irreparable failure falls back to
+	// RecoveryRestart.  Mlog runs keep their native single-process
+	// recovery.
+	RecoveryULFM RecoveryMode = "ulfm"
+)
+
 // Failure schedules the kill of one component at a virtual time.  Build
 // values with KillRank, KillNode or KillServer; the raw struct-literal
 // form (Kind plus the matching index field) is deprecated but still
@@ -169,6 +190,13 @@ type Options struct {
 	// (paper §5.4, ~300 processes); -1 removes it for what-if studies at
 	// larger scales, 0 keeps the default.
 	VclProcessLimit int
+	// Recovery selects the failure-recovery mode: RecoveryRestart (the
+	// default) or RecoveryULFM (in-job repair from partner snapshots).
+	Recovery RecoveryMode
+	// Spares reserves that many spare compute nodes for ULFM node-loss
+	// repairs: when a machine dies with its rank, the replacement is
+	// spliced onto a spare instead of overbooking a survivor.
+	Spares int
 	// Seed drives the deterministic simulation.
 	Seed int64
 	// Shards partitions the simulation kernel into that many
