@@ -22,10 +22,14 @@ type ChaosSpec struct {
 	// Kills is the number of kill events.
 	Kills int
 	// ServerFrac and NodeFrac are the expected fractions of kills aimed
-	// at checkpoint servers and whole compute nodes; the remainder kill
-	// single ranks.
+	// at checkpoint servers and whole compute nodes; BufferFrac and
+	// PFSFrac aim kills at node-local staging buffers and PFS targets
+	// (jobs with the matching Options.Storage levels only); the
+	// remainder kill single ranks.
 	ServerFrac float64
 	NodeFrac   float64
+	BufferFrac float64
+	PFSFrac    float64
 	// Kills land uniformly in [From, Until).
 	From  time.Duration
 	Until time.Duration
@@ -59,8 +63,9 @@ type ChaosReport struct {
 func (r *ChaosReport) OK() bool { return len(r.Violations) == 0 }
 
 // Chaos runs the described job under a seeded random failure schedule —
-// rank, node and checkpoint-server kills, landing mid-wave and
-// mid-restart — and checks the recovery invariants: the result matches
+// rank, node, checkpoint-server, staging-buffer and PFS-target kills,
+// landing mid-wave and mid-restart — and checks the recovery
+// invariants: the result matches
 // the failure-free reference, no wave commits without its images stored
 // on a write quorum of replicas, and logged messages are replayed
 // exactly once.  A degraded stop is a reported outcome, not an error.
@@ -74,6 +79,7 @@ func Chaos(o Options, sp ChaosSpec) (ChaosReport, error) {
 		Spec: chaos.Spec{
 			Seed: sp.Seed, Kills: sp.Kills,
 			ServerFrac: sp.ServerFrac, NodeFrac: sp.NodeFrac,
+			BufferFrac: sp.BufferFrac, PFSFrac: sp.PFSFrac,
 			From: sp.From, Until: sp.Until,
 		},
 		Checksum: checksum,
@@ -92,6 +98,10 @@ func Chaos(o Options, sp ChaosSpec) (ChaosReport, error) {
 		case failure.KindNode:
 			f.Node = ev.Node
 		case failure.KindServer:
+			f.Server = ev.Server
+		case failure.KindBuffer:
+			f.Node = ev.Node
+		case failure.KindPFS:
 			f.Server = ev.Server
 		default:
 			f.Rank = ev.Rank

@@ -243,14 +243,61 @@ func measureRepair() (corePoint, error) {
 	}, nil
 }
 
+// measureStorage times the hierarchy store path at the paper's grid
+// scale: the same BT.A job as the NP=256 matrix point, but checkpointing
+// through a two-level buffer + replicated-servers hierarchy, with either
+// full or incremental+compressed images.  The pair records what the
+// image planner costs (and saves) on the hot path; both points sit under
+// the allocation gate, so a leak in staging, drains or the delta chains
+// shows up in CI.
+func measureStorage(incremental bool) (corePoint, error) {
+	const np = 256
+	o := coreRunOpts("pcl", np, 0)
+	o.Servers = 0
+	o.Storage = &ftckpt.StorageSpec{
+		Levels: []ftckpt.LevelSpec{
+			{Kind: ftckpt.LevelBuffer},
+			{Kind: ftckpt.LevelServers, Servers: 4, Replicas: 2, WriteQuorum: 1},
+		},
+	}
+	bench := "storage-full"
+	if incremental {
+		o.Storage.Incremental = true
+		o.Storage.Compress = true
+		bench = "storage-incremental"
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	rep, err := ftckpt.Run(o)
+	if err != nil {
+		return corePoint{}, fmt.Errorf("%s np=%d: %w", bench, np, err)
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return corePoint{
+		Bench:       bench,
+		Proto:       "pcl",
+		NP:          np,
+		WallMS:      float64(wall.Nanoseconds()) / 1e6,
+		AllocsPerOp: float64(m1.Mallocs - m0.Mallocs),
+		BytesPerOp:  float64(m1.TotalAlloc - m0.TotalAlloc),
+		VirtS:       rep.Completion.Seconds(),
+		Waves:       rep.Waves,
+	}, nil
+}
+
 // coreSpec names one run measurement: protocol, size and shard count
 // (0 = sequential kernel); repair selects the ULFM in-job recovery
-// point instead of a plain run.
+// point and storage ("full" or "incremental") the hierarchy store-path
+// points instead of a plain run.
 type coreSpec struct {
-	proto  string
-	np     int
-	shards int
-	repair bool
+	proto   string
+	np      int
+	shards  int
+	repair  bool
+	storage string
 }
 
 func coreMeasure(points []coreSpec) (*coreDoc, error) {
@@ -278,9 +325,12 @@ func coreMeasure(points []coreSpec) (*coreDoc, error) {
 	for _, pt := range points {
 		var p corePoint
 		var err error
-		if pt.repair {
+		switch {
+		case pt.repair:
 			p, err = measureRepair()
-		} else {
+		case pt.storage != "":
+			p, err = measureStorage(pt.storage == "incremental")
+		default:
 			p, err = measureRun(pt.proto, pt.np, pt.shards)
 		}
 		if err != nil {
@@ -342,6 +392,12 @@ func benchCore(path string, maxNP int) error {
 	// with its virtual detection-to-resume latency.
 	if 256 <= maxNP {
 		pts = append(pts, coreSpec{proto: "pcl", np: 256, repair: true})
+		// The storage-hierarchy store-path pair: full vs incremental +
+		// compressed images through the two-level (buffer + servers)
+		// hierarchy at the same scale.
+		pts = append(pts,
+			coreSpec{proto: "pcl", np: 256, storage: "full"},
+			coreSpec{proto: "pcl", np: 256, storage: "incremental"})
 	}
 	for _, np := range []int{1024, 4096, 16384} {
 		if np > maxNP {
@@ -414,6 +470,10 @@ func benchCoreCheck(path string) error {
 		// The in-job repair point: keeps the ULFM recovery path under the
 		// allocation gate too (a leak in revoke/park/splice shows up here).
 		{proto: "pcl", np: 256, repair: true},
+		// The hierarchy store-path pair: staging, drains and the image
+		// planner (full vs incremental+compressed) under the same gate.
+		{proto: "pcl", np: 256, storage: "full"},
+		{proto: "pcl", np: 256, storage: "incremental"},
 	}
 	doc, err := coreMeasure(smoke)
 	if err != nil {

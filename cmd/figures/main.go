@@ -35,7 +35,7 @@ var out io.Writer = os.Stdout
 func main() {
 	log.SetFlags(0)
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, 10, netpipe, recovery, all")
+		fig    = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, 10, netpipe, recovery, storage, all")
 		quick  = flag.Bool("quick", false, "shrink workloads (~10x) — shapes survive, absolute values do not")
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		v      = flag.Bool("v", false, "trace per-run progress")
@@ -77,8 +77,9 @@ func main() {
 		"10":      fig10,
 		"netpipe":  netpipe,
 		"recovery": recovery,
+		"storage":  storage,
 	}
-	order := []string{"netpipe", "5", "6", "7", "8", "9", "10", "recovery"}
+	order := []string{"netpipe", "5", "6", "7", "8", "9", "10", "recovery", "storage"}
 
 	var names []string
 	if *fig == "all" {
@@ -345,6 +346,28 @@ func recovery(o expt.Options) error {
 		fmt.Fprintf(w, "%d\t%s\t%d\t%s\t%d\t%d\t%v\t%.4f\n",
 			r.Kills, expt.FmtTime(r.RestartTime), r.Restarts, expt.FmtTime(r.UlfmTime),
 			r.Repairs, r.UlfmRestarts, r.LostWork, r.RecoveredWork)
+	}
+	return nil
+}
+
+func storage(o expt.Options) error {
+	study, err := expt.Storage(o)
+	if err != nil {
+		return err
+	}
+	w, done := table("== Storage hierarchy: optimal checkpoint interval per level — CG, 16 processes, Pcl ==")
+	fmt.Fprintln(w, "config\tcost C\tsystem MTBF\tyoung\tdaly\tsim best\tbest time")
+	for _, r := range study.Opt {
+		fmt.Fprintf(w, "%s\t%v\t%v\t%v\t%v\t%v\t%s\n",
+			r.Config, r.Cost, r.MTTF, r.Young, r.Daly, r.Best, expt.FmtTime(r.BestTime))
+	}
+	done()
+	w, done = table("== Storage hierarchy: level saturation at the simulated-optimal interval ==")
+	defer done()
+	fmt.Fprintln(w, "config\tlevel\tMB\tcapacity MB/s\tutil\tevictions")
+	for _, r := range study.Sat {
+		fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\t%.4f\t%d\n",
+			r.Config, r.Level, r.MB, r.Capacity, r.Util, r.Evictions)
 	}
 	return nil
 }

@@ -10,12 +10,21 @@
 //	ftrun -bench jacobi -np 8 -proto pcl -interval 25ms -recovery ulfm -spares 2 -fail-at 40ms -fail-rank 3
 //
 // With -chaos N the run executes under a seeded random failure schedule
-// (rank, node and checkpoint-server kills) and checks the recovery
-// invariants; replication across servers is controlled by -replicas and
-// -quorum, and -heartbeat enables the ping/timeout failure detector:
+// (rank, node, checkpoint-server, staging-buffer and PFS-target kills)
+// and checks the recovery invariants; replication across servers is
+// controlled by -replicas and -quorum, and -heartbeat enables the
+// ping/timeout failure detector:
 //
 //	ftrun -bench cg-real -np 8 -proto pcl -interval 5ms -servers 2 -replicas 2 -quorum 1 \
 //	      -chaos 3 -chaos-seed 7 -chaos-server-frac 0.3 -chaos-until 60ms
+//
+// -storage-levels selects the multi-level checkpoint storage hierarchy
+// instead of the flat server model (levels fastest-first; the level
+// carries the server/replica counts, so -servers/-replicas/-quorum must
+// stay unset); -incremental and -compress tune the image planner:
+//
+//	ftrun -bench cg-real -np 8 -proto pcl -interval 5ms \
+//	      -storage-levels buffer,servers:2x2,pfs:4x2 -incremental -compress
 //
 // -cpuprofile and -memprofile write runtime/pprof profiles of the run and
 // -allocs prints its allocation statistics — the knobs behind the numbers
@@ -30,6 +39,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -58,6 +68,9 @@ func main() {
 		quorum   = flag.Int("quorum", 0, "replicas that must acknowledge a store (0 = all replicas)")
 		retries  = flag.Int("retries", 0, "store/fetch retry attempts after a replica dies")
 		backoff  = flag.Duration("retry-backoff", 0, "delay before each store/fetch retry")
+		storage  = flag.String("storage-levels", "", "multi-level storage hierarchy, fastest first: e.g. buffer,servers:2x2,pfs:4x2 (servers:NxR = N servers R replicas, pfs:TxS = T targets S stripes); conflicts with -servers/-replicas/-quorum/-retries/-retry-backoff")
+		incr     = flag.Bool("incremental", false, "dirty-region incremental checkpoint images (requires -storage-levels)")
+		compress = flag.Bool("compress", false, "compress checkpoint images (requires -storage-levels)")
 		hbPeriod = flag.Duration("heartbeat", 0, "heartbeat ping period; 0 keeps instant failure detection")
 		hbTmo    = flag.Duration("hb-timeout", 0, "silence before a component is declared dead (0 = 4x the period)")
 		recovery = flag.String("recovery", "restart", "failure recovery: restart (rollback the whole job) or ulfm (in-job repair from partner snapshots)")
@@ -67,6 +80,8 @@ func main() {
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed of the chaos schedule")
 		chaosSrvFrac = flag.Float64("chaos-server-frac", 0.25, "fraction of chaos kills aimed at checkpoint servers")
 		chaosNdFrac  = flag.Float64("chaos-node-frac", 0.25, "fraction of chaos kills aimed at whole compute nodes")
+		chaosBufFrac = flag.Float64("chaos-buffer-frac", 0, "fraction of chaos kills aimed at node-local staging buffers (requires a buffer level)")
+		chaosPFSFrac = flag.Float64("chaos-pfs-frac", 0, "fraction of chaos kills aimed at PFS targets (requires a pfs level)")
 		chaosFrom    = flag.Duration("chaos-from", 10*time.Millisecond, "start of the chaos kill window")
 		chaosUntil   = flag.Duration("chaos-until", 100*time.Millisecond, "end of the chaos kill window")
 		verbose      = flag.Bool("v", false, "trace runtime events")
@@ -81,6 +96,7 @@ func main() {
 		memProf = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 		allocs  = flag.Bool("allocs", false, "print the run's allocation statistics (mallocs, bytes, GC cycles) to stderr")
 	)
+	flag.Usage = usage
 	flag.Parse()
 
 	o := ftckpt.Options{
@@ -89,13 +105,6 @@ func main() {
 		NP:           *np,
 		ProcsPerNode: *ppn,
 		Protocol:     ftckpt.Protocol(*proto),
-		Servers:      *servers,
-		Replication: &ftckpt.ReplicationSpec{
-			Replicas:     *replicas,
-			WriteQuorum:  *quorum,
-			StoreRetries: *retries,
-			RetryBackoff: *backoff,
-		},
 		Heartbeat: &ftckpt.HeartbeatSpec{
 			Period:  *hbPeriod,
 			Timeout: *hbTmo,
@@ -108,6 +117,40 @@ func main() {
 		MTTF:       *mttf,
 		ServerMTTF: *srvMTTF,
 		NodeMTTF:   *nodeMTTF,
+	}
+	if *storage != "" {
+		// The hierarchy's levels carry the server and replication knobs;
+		// the flat flags would silently disagree with them.
+		for _, name := range []string{"servers", "replicas", "quorum", "retries", "retry-backoff"} {
+			if flagSet(name) {
+				fmt.Fprintf(os.Stderr, "ftrun: -%s conflicts with -storage-levels (set it on the hierarchy's servers level)\n", name)
+				os.Exit(2)
+			}
+		}
+		spec, err := parseStorageLevels(*storage)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ftrun: -storage-levels:", err)
+			os.Exit(2)
+		}
+		spec.Incremental = *incr
+		spec.Compress = *compress
+		o.Storage = spec
+	} else {
+		if *incr {
+			fmt.Fprintln(os.Stderr, "ftrun: -incremental requires -storage-levels")
+			os.Exit(2)
+		}
+		if *compress {
+			fmt.Fprintln(os.Stderr, "ftrun: -compress requires -storage-levels")
+			os.Exit(2)
+		}
+		o.Servers = *servers
+		o.Replication = &ftckpt.ReplicationSpec{
+			Replicas:     *replicas,
+			WriteQuorum:  *quorum,
+			StoreRetries: *retries,
+			RetryBackoff: *backoff,
+		}
 	}
 	if *proto != "none" {
 		o.Interval = *interval
@@ -155,6 +198,8 @@ func main() {
 			Kills:      *chaosN,
 			ServerFrac: *chaosSrvFrac,
 			NodeFrac:   *chaosNdFrac,
+			BufferFrac: *chaosBufFrac,
+			PFSFrac:    *chaosPFSFrac,
 			From:       *chaosFrom,
 			Until:      *chaosUntil,
 		}, *explain, *explOut)
@@ -192,7 +237,11 @@ func main() {
 	fmt.Printf("workload          %s (class %s), np=%d ppn=%d on %s\n", *bench, *class, *np, *ppn, *plat)
 	fmt.Printf("protocol          %s", *proto)
 	if *proto != "none" {
-		fmt.Printf(", wave every %v, %d server(s)", *interval, *servers)
+		if *storage != "" {
+			fmt.Printf(", wave every %v, storage %s", *interval, *storage)
+		} else {
+			fmt.Printf(", wave every %v, %d server(s)", *interval, *servers)
+		}
 	}
 	fmt.Println()
 	fmt.Printf("completion        %v\n", rep.Completion)
@@ -263,9 +312,10 @@ func runChaos(o ftckpt.Options, sp ftckpt.ChaosSpec, explain bool, explOut strin
 	fmt.Printf("chaos schedule    seed %d, %d kills in [%v, %v)\n", sp.Seed, sp.Kills, sp.From, sp.Until)
 	for _, f := range rep.Plan {
 		victim := f.Rank
-		if f.Kind == "node" {
+		switch f.Kind {
+		case "node", "buffer":
 			victim = f.Node
-		} else if f.Kind == "server" {
+		case "server", "pfs":
 			victim = f.Server
 		}
 		fmt.Printf("  kill %-6s %-3d @ %v\n", f.Kind, victim, f.At)
@@ -345,6 +395,114 @@ func startProfiling(cpuPath, memPath string, allocStats bool) func() {
 			fmt.Fprintf(os.Stderr, "memprofile        %s\n", memPath)
 		}
 	}
+}
+
+// usage prints the flags in task groups (workload, protocol, storage and
+// replication, failures, chaos, output, profiling) instead of the flag
+// package's flat alphabetical dump — the storage flags sit next to the
+// replication flags they interact with.
+func usage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintln(w, "Usage of ftrun:")
+	groups := []struct {
+		title string
+		names []string
+	}{
+		{"Workload and platform", []string{"bench", "class", "np", "ppn", "platform", "seed", "shards"}},
+		{"Protocol", []string{"proto", "interval"}},
+		{"Storage and replication", []string{"servers", "replicas", "quorum", "retries", "retry-backoff",
+			"storage-levels", "incremental", "compress"}},
+		{"Failure injection, detection and recovery", []string{"fail-at", "fail-rank", "mttf", "server-mttf",
+			"node-mttf", "heartbeat", "hb-timeout", "recovery", "spares"}},
+		{"Chaos harness", []string{"chaos", "chaos-seed", "chaos-server-frac", "chaos-node-frac",
+			"chaos-buffer-frac", "chaos-pfs-frac", "chaos-from", "chaos-until"}},
+		{"Output", []string{"v", "trace-out", "stream-trace", "metrics-out", "metrics-snapshot",
+			"explain", "explain-out"}},
+		{"Profiling", []string{"cpuprofile", "memprofile", "allocs"}},
+	}
+	for _, g := range groups {
+		fmt.Fprintf(w, "\n%s:\n", g.title)
+		for _, name := range g.names {
+			f := flag.Lookup(name)
+			if f == nil {
+				continue
+			}
+			arg, use := flag.UnquoteUsage(f)
+			head := "-" + f.Name
+			if arg != "" {
+				head += " " + arg
+			}
+			if f.DefValue != "" && f.DefValue != "false" && f.DefValue != "0" && f.DefValue != "0s" {
+				use += fmt.Sprintf(" (default %v)", f.DefValue)
+			}
+			fmt.Fprintf(w, "  %s\n    \t%s\n", head, use)
+		}
+	}
+}
+
+// flagSet reports whether the named flag was set on the command line.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// parseStorageLevels parses the -storage-levels syntax: comma-separated
+// levels fastest-first, "buffer", "servers:NxR" (N servers, R replicas;
+// ":N" alone keeps single copies) and "pfs:TxS" (T targets, S stripes).
+func parseStorageLevels(s string) (*ftckpt.StorageSpec, error) {
+	spec := &ftckpt.StorageSpec{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		kind, arg, hasArg := strings.Cut(part, ":")
+		two := func() (int, int, error) {
+			a, b, hasB := strings.Cut(arg, "x")
+			n1, err := strconv.Atoi(a)
+			if err != nil {
+				return 0, 0, fmt.Errorf("level %q: bad count %q", part, a)
+			}
+			n2 := 0
+			if hasB {
+				if n2, err = strconv.Atoi(b); err != nil {
+					return 0, 0, fmt.Errorf("level %q: bad count %q", part, b)
+				}
+			}
+			return n1, n2, nil
+		}
+		switch kind {
+		case "buffer":
+			if hasArg {
+				return nil, fmt.Errorf("level %q: buffer takes no arguments", part)
+			}
+			spec.Levels = append(spec.Levels, ftckpt.LevelSpec{Kind: ftckpt.LevelBuffer})
+		case "servers":
+			if !hasArg {
+				return nil, fmt.Errorf("level %q: want servers:NxR (N servers, R replicas)", part)
+			}
+			n, r, err := two()
+			if err != nil {
+				return nil, err
+			}
+			spec.Levels = append(spec.Levels, ftckpt.LevelSpec{Kind: ftckpt.LevelServers, Servers: n, Replicas: r})
+		case "pfs":
+			l := ftckpt.LevelSpec{Kind: ftckpt.LevelPFS}
+			if hasArg {
+				t, st, err := two()
+				if err != nil {
+					return nil, err
+				}
+				l.Targets, l.Stripes = t, st
+			}
+			spec.Levels = append(spec.Levels, l)
+		default:
+			return nil, fmt.Errorf("unknown level %q (want buffer, servers:NxR or pfs:TxS)", part)
+		}
+	}
+	return spec, nil
 }
 
 // writeFile writes one export, treating any failure as fatal: a run whose

@@ -3,9 +3,8 @@ package ftckpt
 // Table tests for buildConfig: the typed facade must accept every
 // supported enum value (and the legacy string literals, which still
 // compile through the string-backed types), reject unknown values with an
-// error naming the Options field, honour the deprecated flat
-// replication/heartbeat shims, and reject flat-vs-spec conflicts with an
-// error naming both sides.
+// error naming the Options field, forward the Replication/Heartbeat
+// specs, and reject Storage conflicts with an error naming both sides.
 
 import (
 	"strings"
@@ -14,6 +13,7 @@ import (
 
 	"ftckpt/internal/failure"
 	"ftckpt/internal/ftpm"
+	"ftckpt/internal/sim"
 )
 
 func TestBuildConfigMatrix(t *testing.T) {
@@ -83,18 +83,16 @@ func TestBuildConfigErrors(t *testing.T) {
 		{"workload", Options{NP: 4, Workload: "ft"}, "Options.Workload"},
 		{"class", Options{NP: 4, Workload: WorkloadBT, Class: "Z"}, "Options.Class"},
 		{"failure kind", Options{NP: 4, Failures: []Failure{{At: time.Second, Kind: "rack"}}}, "Options.Failures"},
-		{"replicas conflict", Options{NP: 4, Replicas: 2,
-			Replication: &ReplicationSpec{Replicas: 3}}, "Options.Replicas (2) conflicts"},
-		{"quorum conflict", Options{NP: 4, WriteQuorum: 1,
-			Replication: &ReplicationSpec{Replicas: 3, WriteQuorum: 2}}, "Options.WriteQuorum (1) conflicts"},
-		{"retries conflict", Options{NP: 4, StoreRetries: 1,
-			Replication: &ReplicationSpec{StoreRetries: 4}}, "Options.StoreRetries (1) conflicts"},
-		{"backoff conflict", Options{NP: 4, RetryBackoff: time.Second,
-			Replication: &ReplicationSpec{RetryBackoff: time.Minute}}, "Options.RetryBackoff (1s) conflicts"},
-		{"heartbeat period conflict", Options{NP: 4, HeartbeatPeriod: time.Second,
-			Heartbeat: &HeartbeatSpec{Period: time.Minute}}, "Options.HeartbeatPeriod (1s) conflicts"},
-		{"heartbeat timeout conflict", Options{NP: 4, HeartbeatTimeout: time.Second,
-			Heartbeat: &HeartbeatSpec{Period: time.Second, Timeout: time.Minute}}, "Options.HeartbeatTimeout (1s) conflicts"},
+		{"servers vs storage", Options{NP: 4, Protocol: Pcl, Interval: time.Second, Servers: 2,
+			Storage: &StorageSpec{Levels: []LevelSpec{{Kind: LevelServers, Servers: 2}}}},
+			"Options.Servers conflicts with Options.Storage"},
+		{"replication vs storage", Options{NP: 4, Protocol: Pcl, Interval: time.Second,
+			Replication: &ReplicationSpec{Replicas: 2},
+			Storage:     &StorageSpec{Levels: []LevelSpec{{Kind: LevelServers, Servers: 2}}}},
+			"Options.Replication conflicts with Options.Storage"},
+		{"storage on grid", Options{NP: 4, Protocol: Pcl, Interval: time.Second, Platform: PlatformGrid,
+			Storage: &StorageSpec{Levels: []LevelSpec{{Kind: LevelServers, Servers: 2}}}},
+			"Options.Storage"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -109,24 +107,19 @@ func TestBuildConfigErrors(t *testing.T) {
 	}
 }
 
-func TestBuildConfigReplicationShims(t *testing.T) {
-	// Deprecated flat fields alone still configure replication.
+// TestBuildConfigSpecConversion pins the conversion contract left behind
+// by the deleted flat fields: a Replication/Heartbeat spec sets exactly
+// the ftpm fields the flat form used to, and a one-level Storage spec is
+// the same job again with the knobs on the servers level.
+func TestBuildConfigSpecConversion(t *testing.T) {
+	want := func(name string, cfg ftpm.Config) {
+		t.Helper()
+		if cfg.Replicas != 2 || cfg.WriteQuorum != 1 || cfg.StoreRetries != 5 ||
+			cfg.RetryBackoff != time.Millisecond {
+			t.Errorf("%s: replication knobs not forwarded: %+v", name, cfg)
+		}
+	}
 	cfg, err := buildConfig(Options{
-		NP: 4, Protocol: Pcl, Interval: time.Second, Servers: 3,
-		Replicas: 2, WriteQuorum: 1, StoreRetries: 5, RetryBackoff: time.Millisecond,
-		HeartbeatPeriod: 10 * time.Millisecond, HeartbeatTimeout: 50 * time.Millisecond,
-	})
-	if err != nil {
-		t.Fatalf("flat shims: %v", err)
-	}
-	if cfg.Replicas != 2 || cfg.WriteQuorum != 1 || cfg.StoreRetries != 5 ||
-		cfg.RetryBackoff != time.Millisecond ||
-		cfg.HeartbeatPeriod != 10*time.Millisecond || cfg.HeartbeatTimeout != 50*time.Millisecond {
-		t.Errorf("flat shims not forwarded: %+v", cfg)
-	}
-
-	// The grouped specs forward the same way.
-	cfg, err = buildConfig(Options{
 		NP: 4, Protocol: Pcl, Interval: time.Second, Servers: 3,
 		Replication: &ReplicationSpec{Replicas: 2, WriteQuorum: 1, StoreRetries: 5, RetryBackoff: time.Millisecond},
 		Heartbeat:   &HeartbeatSpec{Period: 10 * time.Millisecond, Timeout: 50 * time.Millisecond},
@@ -134,17 +127,75 @@ func TestBuildConfigReplicationShims(t *testing.T) {
 	if err != nil {
 		t.Fatalf("specs: %v", err)
 	}
-	if cfg.Replicas != 2 || cfg.WriteQuorum != 1 || cfg.StoreRetries != 5 ||
-		cfg.RetryBackoff != time.Millisecond ||
-		cfg.HeartbeatPeriod != 10*time.Millisecond || cfg.HeartbeatTimeout != 50*time.Millisecond {
-		t.Errorf("specs not forwarded: %+v", cfg)
+	if cfg.Servers != 3 {
+		t.Errorf("Servers = %d, want 3", cfg.Servers)
+	}
+	want("flat specs", cfg)
+	if cfg.HeartbeatPeriod != 10*time.Millisecond || cfg.HeartbeatTimeout != 50*time.Millisecond {
+		t.Errorf("heartbeat spec not forwarded: %+v", cfg)
 	}
 
-	// Agreeing flat + spec values are not a conflict.
-	if _, err := buildConfig(Options{
-		NP: 4, Replicas: 2, Replication: &ReplicationSpec{Replicas: 2},
-	}); err != nil {
-		t.Errorf("agreeing values rejected: %v", err)
+	// The same replication expressed as a one-level storage hierarchy
+	// folds onto the identical flat runtime fields after validation.
+	cfg, err = buildConfig(Options{
+		NP: 4, Protocol: Pcl, Interval: time.Second,
+		Storage: &StorageSpec{Levels: []LevelSpec{{
+			Kind: LevelServers, Servers: 3,
+			Replicas: 2, WriteQuorum: 1, StoreRetries: 5, RetryBackoff: time.Millisecond,
+		}}},
+	})
+	if err != nil {
+		t.Fatalf("storage spec: %v", err)
+	}
+	if cfg.Storage == nil || len(cfg.Storage.Levels) != 1 {
+		t.Fatalf("Storage not converted: %+v", cfg.Storage)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("storage spec validation: %v", err)
+	}
+	if cfg.Servers != 3 {
+		t.Errorf("Servers folded = %d, want 3", cfg.Servers)
+	}
+	want("storage spec", cfg)
+}
+
+// TestBuildConfigStorageHierarchy checks the multi-level conversion:
+// facade durations become sim times, the PFS targets widen the topology,
+// and the planner knobs ride along.
+func TestBuildConfigStorageHierarchy(t *testing.T) {
+	cfg, err := buildConfig(Options{
+		NP: 8, ProcsPerNode: 2, Protocol: Pcl, Interval: time.Second,
+		Storage: &StorageSpec{
+			Levels: []LevelSpec{
+				{Kind: LevelBuffer, Bandwidth: 3e9, Latency: 100 * time.Microsecond, Capacity: 1 << 30, Retention: 2},
+				{Kind: LevelServers, Servers: 2, Replicas: 2},
+				{Kind: LevelPFS, Targets: 3, Stripes: 2, Bandwidth: 5e8},
+			},
+			Incremental: true, FullEvery: 3,
+			Compress: true, CompressRatio: 0.5,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sp := cfg.Storage
+	if sp == nil || len(sp.Levels) != 3 {
+		t.Fatalf("Storage = %+v", sp)
+	}
+	if !sp.Incremental || sp.FullEvery != 3 || !sp.Compress || sp.CompressRatio != 0.5 {
+		t.Errorf("planner knobs lost: %+v", sp)
+	}
+	if got := sp.Levels[0].Latency; got != sim.Time(100*time.Microsecond) {
+		t.Errorf("buffer latency = %v", got)
+	}
+	// Topology must fit compute + servers + service + PFS target nodes.
+	computeNodes := 4
+	need := computeNodes + 2 + 1 + 3
+	if cfg.Topology.TotalNodes() < need {
+		t.Errorf("topology has %d nodes, need %d with the PFS targets", cfg.Topology.TotalNodes(), need)
 	}
 }
 
@@ -155,13 +206,15 @@ func TestBuildConfigFailureConstructors(t *testing.T) {
 			KillRank(time.Second, 3),
 			KillNode(2*time.Second, 1),
 			KillServer(3*time.Second, 0),
+			KillBuffer(4*time.Second, 2),
+			KillPFS(5*time.Second, 1),
 		},
 	})
 	if err != nil {
 		t.Fatalf("constructors: %v", err)
 	}
-	if len(cfg.Failures) != 3 {
-		t.Fatalf("got %d failure events, want 3", len(cfg.Failures))
+	if len(cfg.Failures) != 5 {
+		t.Fatalf("got %d failure events, want 5", len(cfg.Failures))
 	}
 	if ev := cfg.Failures[0]; ev.Kind != failure.KindRank || ev.Rank != 3 || ev.At != time.Second {
 		t.Errorf("KillRank event = %+v", ev)
@@ -171,6 +224,12 @@ func TestBuildConfigFailureConstructors(t *testing.T) {
 	}
 	if ev := cfg.Failures[2]; ev.Kind != failure.KindServer || ev.Server != 0 {
 		t.Errorf("KillServer event = %+v", ev)
+	}
+	if ev := cfg.Failures[3]; ev.Kind != failure.KindBuffer || ev.Node != 2 {
+		t.Errorf("KillBuffer event = %+v", ev)
+	}
+	if ev := cfg.Failures[4]; ev.Kind != failure.KindPFS || ev.Server != 1 {
+		t.Errorf("KillPFS event = %+v", ev)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"ftckpt/internal/ckpt"
 	"ftckpt/internal/failure"
 	"ftckpt/internal/ftpm"
 	"ftckpt/internal/mpi"
@@ -206,49 +207,33 @@ func checksum(p mpi.Program) float64 {
 	}
 }
 
-// reconcileReplication resolves the deprecated flat replication fields
-// against Options.Replication.  A non-zero flat field that disagrees with
-// the sub-struct is a conflict, named after the field.
-func reconcileReplication(o Options) (ReplicationSpec, error) {
-	flat := ReplicationSpec{
-		Replicas:     o.Replicas,
-		WriteQuorum:  o.WriteQuorum,
-		StoreRetries: o.StoreRetries,
-		RetryBackoff: o.RetryBackoff,
+// storageSpec converts the facade storage description into the internal
+// spec; ftpm.Config.Validate checks and normalizes it.
+func storageSpec(s *StorageSpec) *ckpt.Spec {
+	sp := &ckpt.Spec{
+		Incremental:   s.Incremental,
+		FullEvery:     s.FullEvery,
+		DirtyFraction: s.DirtyFraction,
+		Compress:      s.Compress,
+		CompressRatio: s.CompressRatio,
 	}
-	if o.Replication == nil {
-		return flat, nil
+	for _, l := range s.Levels {
+		sp.Levels = append(sp.Levels, ckpt.LevelSpec{
+			Kind:         ckpt.LevelKind(l.Kind),
+			Servers:      l.Servers,
+			Replicas:     l.Replicas,
+			WriteQuorum:  l.WriteQuorum,
+			StoreRetries: l.StoreRetries,
+			RetryBackoff: sim.Time(l.RetryBackoff),
+			Bandwidth:    l.Bandwidth,
+			Latency:      sim.Time(l.Latency),
+			Capacity:     l.Capacity,
+			Retention:    l.Retention,
+			Targets:      l.Targets,
+			Stripes:      l.Stripes,
+		})
 	}
-	spec := *o.Replication
-	if flat.Replicas != 0 && flat.Replicas != spec.Replicas {
-		return spec, fmt.Errorf("ftckpt: Options.Replicas (%d) conflicts with Options.Replication.Replicas (%d)", flat.Replicas, spec.Replicas)
-	}
-	if flat.WriteQuorum != 0 && flat.WriteQuorum != spec.WriteQuorum {
-		return spec, fmt.Errorf("ftckpt: Options.WriteQuorum (%d) conflicts with Options.Replication.WriteQuorum (%d)", flat.WriteQuorum, spec.WriteQuorum)
-	}
-	if flat.StoreRetries != 0 && flat.StoreRetries != spec.StoreRetries {
-		return spec, fmt.Errorf("ftckpt: Options.StoreRetries (%d) conflicts with Options.Replication.StoreRetries (%d)", flat.StoreRetries, spec.StoreRetries)
-	}
-	if flat.RetryBackoff != 0 && flat.RetryBackoff != spec.RetryBackoff {
-		return spec, fmt.Errorf("ftckpt: Options.RetryBackoff (%v) conflicts with Options.Replication.RetryBackoff (%v)", flat.RetryBackoff, spec.RetryBackoff)
-	}
-	return spec, nil
-}
-
-// reconcileHeartbeat does the same for the failure-detector fields.
-func reconcileHeartbeat(o Options) (HeartbeatSpec, error) {
-	flat := HeartbeatSpec{Period: o.HeartbeatPeriod, Timeout: o.HeartbeatTimeout}
-	if o.Heartbeat == nil {
-		return flat, nil
-	}
-	spec := *o.Heartbeat
-	if flat.Period != 0 && flat.Period != spec.Period {
-		return spec, fmt.Errorf("ftckpt: Options.HeartbeatPeriod (%v) conflicts with Options.Heartbeat.Period (%v)", flat.Period, spec.Period)
-	}
-	if flat.Timeout != 0 && flat.Timeout != spec.Timeout {
-		return spec, fmt.Errorf("ftckpt: Options.HeartbeatTimeout (%v) conflicts with Options.Heartbeat.Timeout (%v)", flat.Timeout, spec.Timeout)
-	}
-	return spec, nil
+	return sp
 }
 
 func buildConfig(o Options) (ftpm.Config, error) {
@@ -272,13 +257,29 @@ func buildConfig(o Options) (ftpm.Config, error) {
 	if servers <= 0 && proto != ftpm.ProtoNone {
 		servers = 1
 	}
-	repl, err := reconcileReplication(o)
-	if err != nil {
-		return ftpm.Config{}, err
+	var storage *ckpt.Spec
+	if o.Storage != nil {
+		if o.Servers != 0 {
+			return ftpm.Config{}, fmt.Errorf("ftckpt: Options.Servers conflicts with Options.Storage (set the servers level's Servers instead)")
+		}
+		if o.Replication != nil {
+			return ftpm.Config{}, fmt.Errorf("ftckpt: Options.Replication conflicts with Options.Storage (set the replication knobs on the servers level instead)")
+		}
+		storage = storageSpec(o.Storage)
+		// The spec's servers level is the server count now; keeping the
+		// flat field equal makes the fold in Config.Validate a no-op.
+		servers = 0
+		if sl := storage.ServersLevel(); sl != nil {
+			servers = sl.Servers
+		}
 	}
-	hb, err := reconcileHeartbeat(o)
-	if err != nil {
-		return ftpm.Config{}, err
+	var repl ReplicationSpec
+	if o.Replication != nil {
+		repl = *o.Replication
+	}
+	var hb HeartbeatSpec
+	if o.Heartbeat != nil {
+		hb = *o.Heartbeat
 	}
 	newProgram, err := workloadFactory(o)
 	if err != nil {
@@ -309,6 +310,7 @@ func buildConfig(o Options) (ftpm.Config, error) {
 		Protocol:         proto,
 		Interval:         o.Interval,
 		Servers:          servers,
+		Storage:          storage,
 		Replicas:         repl.Replicas,
 		WriteQuorum:      repl.WriteQuorum,
 		StoreRetries:     repl.StoreRetries,
@@ -342,13 +344,30 @@ func buildConfig(o Options) (ftpm.Config, error) {
 		case "server":
 			ev.Kind = failure.KindServer
 			ev.Server = f.Server
+		case "buffer":
+			ev.Kind = failure.KindBuffer
+			ev.Node = f.Node
+		case "pfs":
+			ev.Kind = failure.KindPFS
+			ev.Server = f.Server
 		default:
-			return ftpm.Config{}, fmt.Errorf("ftckpt: Options.Failures: unknown failure kind %q (use KillRank, KillNode or KillServer)", f.Kind)
+			return ftpm.Config{}, fmt.Errorf("ftckpt: Options.Failures: unknown failure kind %q (use KillRank, KillNode, KillServer, KillBuffer or KillPFS)", f.Kind)
 		}
 		cfg.Failures = append(cfg.Failures, ev)
 	}
 	computeNodes := (o.NP + ppn - 1) / ppn
 	pad := computeNodes + servers + 1 + o.Spares
+	if storage != nil {
+		if i := storage.Level(ckpt.LevelPFS); i >= 0 {
+			// Size the topology for the PFS target nodes too; 4 targets is
+			// the model default Normalize applies when the spec left it 0.
+			if t := storage.Levels[i].Targets; t > 0 {
+				pad += t
+			} else {
+				pad += 4
+			}
+		}
+	}
 	switch o.Platform {
 	case "", PlatformEthernet:
 		cfg.Topology = platform.EthernetCluster(pad)
@@ -362,6 +381,9 @@ func buildConfig(o Options) (ftpm.Config, error) {
 	case PlatformGrid:
 		if o.Spares > 0 {
 			return ftpm.Config{}, fmt.Errorf("ftckpt: Options.Spares: the grid platform's fixed layout has no spare slots")
+		}
+		if storage != nil {
+			return ftpm.Config{}, fmt.Errorf("ftckpt: Options.Storage: the grid platform's per-cluster server placement keeps the flat server model")
 		}
 		lay, err := platform.Grid5000Layout(o.NP, ppn, 1)
 		if err != nil {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"ftckpt/internal/ckpt"
 	"ftckpt/internal/failure"
 	"ftckpt/internal/ftpm"
 	"ftckpt/internal/mpi"
@@ -31,10 +32,14 @@ type Spec struct {
 	// Kills is the number of kill events to schedule.
 	Kills int
 	// ServerFrac and NodeFrac are the expected fractions of kills
-	// aimed at checkpoint servers and at whole compute nodes; the rest
-	// kill single ranks.  Both default to 0.
+	// aimed at checkpoint servers and at whole compute nodes; BufferFrac
+	// and PFSFrac aim kills at node-local staging buffers and PFS
+	// targets (storage-hierarchy jobs only); the rest kill single ranks.
+	// All default to 0.
 	ServerFrac float64
 	NodeFrac   float64
+	BufferFrac float64
+	PFSFrac    float64
 	// Kills are drawn uniformly in [From, Until).  Spreading the window
 	// across several checkpoint intervals lands kills mid-wave and — once
 	// a recovery is in progress — mid-restart.
@@ -48,11 +53,19 @@ func (sp Spec) validate(cfg *ftpm.Config) error {
 	if sp.Until <= sp.From || sp.From < 0 {
 		return fmt.Errorf("chaos: kill window [%v, %v) is empty", sp.From, sp.Until)
 	}
-	if sp.ServerFrac < 0 || sp.NodeFrac < 0 || sp.ServerFrac+sp.NodeFrac > 1 {
-		return fmt.Errorf("chaos: kill fractions server=%v node=%v outside [0,1]", sp.ServerFrac, sp.NodeFrac)
+	if sp.ServerFrac < 0 || sp.NodeFrac < 0 || sp.BufferFrac < 0 || sp.PFSFrac < 0 ||
+		sp.ServerFrac+sp.NodeFrac+sp.BufferFrac+sp.PFSFrac > 1 {
+		return fmt.Errorf("chaos: kill fractions server=%v node=%v buffer=%v pfs=%v outside [0,1]",
+			sp.ServerFrac, sp.NodeFrac, sp.BufferFrac, sp.PFSFrac)
 	}
 	if sp.ServerFrac > 0 && cfg.Servers == 0 {
 		return errors.New("chaos: ServerFrac > 0 but the job has no checkpoint servers")
+	}
+	if sp.BufferFrac > 0 && (cfg.Storage == nil || cfg.Storage.Level(ckpt.LevelBuffer) < 0) {
+		return errors.New("chaos: BufferFrac > 0 but the job's storage hierarchy has no buffer level")
+	}
+	if sp.PFSFrac > 0 && (cfg.Storage == nil || cfg.Storage.Level(ckpt.LevelPFS) < 0) {
+		return errors.New("chaos: PFSFrac > 0 but the job's storage hierarchy has no PFS level")
 	}
 	return nil
 }
@@ -81,12 +94,30 @@ func Schedule(sp Spec, cfg ftpm.Config) (failure.Plan, error) {
 		case x < sp.ServerFrac+sp.NodeFrac:
 			ev.Kind = failure.KindNode
 			ev.Node = rng.Intn(computeNodes)
+		case x < sp.ServerFrac+sp.NodeFrac+sp.BufferFrac:
+			ev.Kind = failure.KindBuffer
+			ev.Node = rng.Intn(computeNodes)
+		case x < sp.ServerFrac+sp.NodeFrac+sp.BufferFrac+sp.PFSFrac:
+			ev.Kind = failure.KindPFS
+			ev.Server = rng.Intn(pfsTargets(&cfg))
 		default:
 			ev.Rank = rng.Intn(cfg.NP)
 		}
 		plan = append(plan, ev)
 	}
 	return plan.Sorted(), nil
+}
+
+// pfsTargets returns the PFS target count of a validated config's
+// storage spec (validate guarantees it is > 0 when PFSFrac > 0).
+func pfsTargets(cfg *ftpm.Config) int {
+	if cfg.Storage == nil {
+		return 0
+	}
+	if i := cfg.Storage.Level(ckpt.LevelPFS); i >= 0 {
+		return cfg.Storage.Levels[i].Targets
+	}
+	return 0
 }
 
 // Config describes one chaos experiment.
@@ -174,7 +205,14 @@ func Run(c Config) (Outcome, error) {
 		out.Degraded = deg
 	}
 
-	out.Violations = checkInvariants(col.Events(), cfg.NP, cfg.WriteQuorum, cfg.Protocol)
+	// With a staging buffer the commit gate is the node-local write (one
+	// store-end event), not the server write quorum; mlog strips the
+	// staging levels and keeps the quorum gate.
+	quorum := cfg.WriteQuorum
+	if cfg.Storage != nil && cfg.Storage.Level(ckpt.LevelBuffer) >= 0 && cfg.Protocol != ftpm.ProtoMlog {
+		quorum = 1
+	}
+	out.Violations = checkInvariants(col.Events(), cfg.NP, quorum, cfg.Protocol)
 	// When the job carried a span tracer (Config.Job.Attrib), its overhead
 	// attribution must conserve virtual time even under this chaos
 	// schedule — a broken partition is an invariant breach like any other.

@@ -1,0 +1,868 @@
+// Multi-level checkpoint storage hierarchy.
+//
+// Real large-scale checkpointing systems (FTI, SCR) stage images through
+// a hierarchy of storage levels: a node-local buffer (RAM disk / SSD)
+// absorbs the checkpoint at memory speed so the job resumes computing,
+// then an asynchronous drain pushes copies down to replicated checkpoint
+// servers and finally to the parallel file system.  Each level trades
+// bandwidth for reliability: the buffer is fastest but dies with its
+// medium, the PFS is slowest but survives everything short of losing a
+// stripe target.
+//
+// Hierarchy wraps the replicated Group with that staging model.  A spec
+// with only the servers level degenerates to pure delegation, so runs
+// configured through the flat replication fields are byte-identical to
+// the pre-hierarchy code.  Recovery searches top-down: the node-local
+// buffer (free restore), then the server group, then the PFS stripes —
+// falling through dead levels and counting each fall-through as a
+// failover.
+package ckpt
+
+import (
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/obs"
+	"ftckpt/internal/sim"
+	"ftckpt/internal/simnet"
+)
+
+// LevelKind names a storage-hierarchy level class.
+type LevelKind string
+
+const (
+	// LevelBuffer is a node-local staging buffer (RAM disk / SSD): one
+	// per compute node, written at local-device speed, lost with the
+	// device.  Must be the first level when present.
+	LevelBuffer LevelKind = "buffer"
+	// LevelServers is the replicated checkpoint-server group — the
+	// paper's checkpoint servers.  Exactly one servers level is
+	// mandatory; a spec with only this level reproduces the flat model.
+	LevelServers LevelKind = "servers"
+	// LevelPFS is a striped parallel file system over dedicated target
+	// nodes: cheapest per byte, most reliable, slowest.  Must be the
+	// last level when present.
+	LevelPFS LevelKind = "pfs"
+)
+
+// LevelSpec configures one level of the hierarchy.  Which fields apply
+// depends on Kind; Spec.Normalize fills model defaults for the rest.
+type LevelSpec struct {
+	Kind LevelKind
+
+	// Servers-level fields (mirror the flat ftpm config).
+	Servers      int
+	Replicas     int
+	WriteQuorum  int
+	StoreRetries int
+	RetryBackoff sim.Time
+
+	// Bandwidth is the level's per-target bandwidth in bytes/second:
+	// local-device write/read speed for the buffer, the per-stripe flow
+	// cap for the PFS.  Unused for the servers level (the network model
+	// owns it).
+	Bandwidth float64
+	// Latency is the fixed per-operation setup cost (buffer only; the
+	// network model carries latency for the other levels).
+	Latency sim.Time
+
+	// Capacity bounds a node buffer in bytes; 0 = unbounded.  When an
+	// insert would overflow, the oldest staged images are evicted first.
+	Capacity int64
+	// Retention bounds how many waves per rank a buffer keeps; 0 = all
+	// until GC.
+	Retention int
+
+	// Targets is the PFS target-node count; Stripes is how many targets
+	// one image is striped across.
+	Targets int
+	Stripes int
+}
+
+// Spec is the full storage-hierarchy configuration: the ordered levels
+// (top first) plus the image-planning knobs shared by all levels.
+type Spec struct {
+	// Levels, top (fastest, least reliable) to bottom.  Exactly one
+	// LevelServers entry is required; LevelBuffer must be first and
+	// LevelPFS last when present.
+	Levels []LevelSpec
+
+	// Incremental captures dirty-region deltas between full images.
+	Incremental bool
+	// FullEvery forces a full image every n-th checkpoint per rank when
+	// Incremental (bounding delta-chain length); default 4.
+	FullEvery int
+	// DirtyFraction is the fraction of the full image dirtied per
+	// checkpoint interval; a delta d intervals past its base stores
+	// min(1, d·DirtyFraction) of the full size.  Default 0.35.
+	DirtyFraction float64
+
+	// Compress models checkpoint compression: stored and restored bytes
+	// shrink by CompressRatio (default 0.6).
+	Compress      bool
+	CompressRatio float64
+}
+
+// Normalize fills model defaults in place and returns the spec.
+func (sp *Spec) Normalize() *Spec {
+	if sp.FullEvery <= 0 {
+		sp.FullEvery = 4
+	}
+	if sp.DirtyFraction <= 0 {
+		sp.DirtyFraction = 0.35
+	}
+	if sp.CompressRatio <= 0 {
+		sp.CompressRatio = 0.6
+	}
+	for i := range sp.Levels {
+		l := &sp.Levels[i]
+		switch l.Kind {
+		case LevelBuffer:
+			if l.Bandwidth <= 0 {
+				l.Bandwidth = 2e9 // local SSD/RAM-disk class
+			}
+			if l.Latency <= 0 {
+				l.Latency = 200 * sim.Time(1000) // 200µs setup
+			}
+		case LevelPFS:
+			if l.Targets <= 0 {
+				l.Targets = 4
+			}
+			if l.Stripes <= 0 {
+				l.Stripes = 2
+			}
+			if l.Stripes > l.Targets {
+				l.Stripes = l.Targets
+			}
+			if l.Bandwidth <= 0 {
+				l.Bandwidth = 1e9 // per-stripe PFS target
+			}
+		}
+	}
+	return sp
+}
+
+// Level returns the index of the first level of the given kind, -1 if
+// absent.
+func (sp *Spec) Level(kind LevelKind) int {
+	for i := range sp.Levels {
+		if sp.Levels[i].Kind == kind {
+			return i
+		}
+	}
+	return -1
+}
+
+// ServersLevel returns the servers level, which validation guarantees
+// exists; nil on a malformed spec.
+func (sp *Spec) ServersLevel() *LevelSpec {
+	if i := sp.Level(LevelServers); i >= 0 {
+		return &sp.Levels[i]
+	}
+	return nil
+}
+
+// WithoutStaging returns a copy of the spec keeping only the servers
+// level.  Message-logging recovery fetches per-rank image+log unions
+// from the server group as soon as a failure is detected, which is
+// incompatible with asynchronously draining staged copies — so mlog
+// jobs run the degenerate hierarchy (the planner knobs still apply).
+func (sp *Spec) WithoutStaging() *Spec {
+	out := *sp
+	out.Levels = nil
+	for _, l := range sp.Levels {
+		if l.Kind == LevelServers {
+			out.Levels = append(out.Levels, l)
+		}
+	}
+	return &out
+}
+
+// nodeBuffer is one node's staging buffer.  Insertion order doubles as
+// the deterministic eviction order.
+type nodeBuffer struct {
+	node   int
+	dead   bool
+	used   int64
+	order  []imgKey
+	images map[imgKey]*Image
+	drains []*StoreOp
+}
+
+func (b *nodeBuffer) evictAt(i int) *Image {
+	k := b.order[i]
+	img := b.images[k]
+	b.order = append(b.order[:i], b.order[i+1:]...)
+	delete(b.images, k)
+	if img != nil {
+		b.used -= img.StoredBytes()
+	}
+	return img
+}
+
+// pfsStore is the striped logical store over the PFS target nodes.  An
+// image is readable only while every target holding one of its stripes
+// is still alive.
+type pfsStore struct {
+	spec    LevelSpec
+	nodes   []int // target index → machine
+	dead    []bool
+	images  map[imgKey]*pfsImage
+	staging map[imgKey]bool
+}
+
+type pfsImage struct {
+	img     *Image
+	targets []int
+}
+
+func (p *pfsStore) readable(k imgKey) *Image {
+	ent := p.images[k]
+	if ent == nil {
+		return nil
+	}
+	for _, t := range ent.targets {
+		if p.dead[t] {
+			return nil
+		}
+	}
+	return ent.img
+}
+
+// liveTargets returns up to want live target indices starting the scan
+// at rank%Targets, so stripes spread across targets deterministically.
+func (p *pfsStore) liveTargets(rank, want int) []int {
+	n := len(p.nodes)
+	var out []int
+	for i := 0; i < n && len(out) < want; i++ {
+		t := (rank + i) % n
+		if !p.dead[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// chainState tracks one rank's incremental-image chain.
+type chainState struct {
+	haveFull     bool
+	fullWave     int
+	sinceFull    int
+	chainRestore int64 // uncompressed base + delta payloads so far
+}
+
+// Hierarchy is the multi-level store the protocol engine writes
+// checkpoints through.  All methods must be called from the simulation
+// kernel (no locking).
+type Hierarchy struct {
+	k     *sim.Kernel
+	net   *simnet.Network
+	spec  Spec
+	group *Group
+
+	bufIdx, srvIdx, pfsIdx int
+
+	buffers  map[int]*nodeBuffer
+	bufNodes []int // creation order, for deterministic GC sweeps
+	pfs      *pfsStore
+
+	chains map[int]*chainState
+
+	// failovers counts recovery fall-throughs between hierarchy levels
+	// (buffer→servers, servers→PFS); the group counts its own.
+	failovers int
+
+	hub *obs.Hub
+}
+
+// Op is the cancellation handle shared by every store/fetch the
+// hierarchy starts; Cancel aborts whatever leg is in flight.
+type Op interface{ Cancel() }
+
+// NewHierarchy builds the hierarchy over an existing server group.  The
+// spec must already be validated (exactly one servers level, buffer
+// first, pfs last) and normalized.  pfsNodes maps PFS target index to
+// machine; required iff the spec has a PFS level.
+func NewHierarchy(net *simnet.Network, spec Spec, group *Group, pfsNodes []int) *Hierarchy {
+	h := &Hierarchy{
+		k:      net.Kernel(),
+		net:    net,
+		spec:   spec,
+		group:  group,
+		bufIdx: spec.Level(LevelBuffer),
+		srvIdx: spec.Level(LevelServers),
+		pfsIdx: spec.Level(LevelPFS),
+		chains: make(map[int]*chainState),
+	}
+	if h.bufIdx >= 0 {
+		h.buffers = make(map[int]*nodeBuffer)
+	}
+	if h.pfsIdx >= 0 {
+		l := spec.Levels[h.pfsIdx]
+		h.pfs = &pfsStore{
+			spec:    l,
+			nodes:   pfsNodes,
+			dead:    make([]bool, len(pfsNodes)),
+			images:  make(map[imgKey]*pfsImage),
+			staging: make(map[imgKey]bool),
+		}
+	}
+	return h
+}
+
+// SetObs attaches the hub hierarchy events go to.
+func (h *Hierarchy) SetObs(hub *obs.Hub) { h.hub = hub; h.group.SetObs(hub) }
+
+// Group exposes the wrapped server group (log shipping and per-rank
+// mlog fetches talk to it directly).
+func (h *Hierarchy) Group() *Group { return h.group }
+
+// Staged reports whether the hierarchy has a level above the servers.
+func (h *Hierarchy) Staged() bool { return h.bufIdx >= 0 }
+
+// Failovers returns recovery fall-throughs at every level.
+func (h *Hierarchy) Failovers() int { return h.failovers + h.group.Failovers }
+
+func (h *Hierarchy) emit(ev obs.Event) {
+	ev.T = h.k.Now()
+	h.hub.Emit(ev)
+}
+
+// bwTime is the modelled transfer time of n bytes at bw bytes/second.
+func bwTime(n int64, bw float64) sim.Time {
+	return sim.Time(float64(n) / bw * 1e9)
+}
+
+func (h *Hierarchy) buffer(node int) *nodeBuffer {
+	b := h.buffers[node]
+	if b == nil {
+		b = &nodeBuffer{node: node, images: make(map[imgKey]*Image)}
+		h.buffers[node] = b
+		h.bufNodes = append(h.bufNodes, node)
+	}
+	return b
+}
+
+// PlanImage annotates the image with its modelled stored/restore costs
+// under the spec's incremental and compression knobs, advancing the
+// rank's delta chain.  Call exactly once per taken checkpoint, in rank
+// order within a wave (the chain is per-rank, so order across ranks
+// does not matter — but determinism is free this way).
+func (h *Hierarchy) PlanImage(img *Image) {
+	if !h.spec.Incremental && !h.spec.Compress {
+		return
+	}
+	full := img.Bytes()
+	stored, restore := full, full
+	if h.spec.Incremental {
+		ch := h.chains[img.Rank]
+		if ch == nil {
+			ch = &chainState{}
+			h.chains[img.Rank] = ch
+		}
+		if ch.haveFull && ch.sinceFull < h.spec.FullEvery-1 {
+			ch.sinceFull++
+			frac := h.spec.DirtyFraction * float64(ch.sinceFull)
+			if frac > 1 {
+				frac = 1
+			}
+			payload := int64(float64(full) * frac)
+			if payload < 1 {
+				payload = 1
+			}
+			img.Delta = true
+			img.Base = ch.fullWave
+			stored = payload
+			ch.chainRestore += payload
+			restore = ch.chainRestore
+		} else {
+			ch.haveFull = true
+			ch.fullWave = img.Wave
+			ch.sinceFull = 0
+			ch.chainRestore = full
+		}
+	}
+	if h.spec.Compress {
+		stored = int64(float64(stored) * h.spec.CompressRatio)
+		restore = int64(float64(restore) * h.spec.CompressRatio)
+		if stored < 1 {
+			stored = 1
+		}
+		if restore < 1 {
+			restore = 1
+		}
+	}
+	img.Stored, img.Restore = stored, restore
+}
+
+// ResetChains forces the next image of every rank to be full.  Called
+// after a rollback: the restarted address space diverges from the old
+// base, so chaining a delta off it would be meaningless.
+func (h *Hierarchy) ResetChains() {
+	h.chains = make(map[int]*chainState)
+}
+
+// ResetChain forces the next image of one rank to be full (per-rank
+// mlog restarts).
+func (h *Hierarchy) ResetChain(rank int) {
+	delete(h.chains, rank)
+}
+
+// hierStoreOp is a store staged through the node buffer.
+type hierStoreOp struct {
+	h         *Hierarchy
+	timer     sim.EventID
+	inner     *StoreOp
+	cancelled bool
+}
+
+func (op *hierStoreOp) Cancel() {
+	if op.cancelled {
+		return
+	}
+	op.cancelled = true
+	if op.timer != 0 {
+		op.h.k.Cancel(op.timer)
+		op.timer = 0
+	}
+	if op.inner != nil {
+		op.inner.Cancel()
+		op.inner = nil
+	}
+}
+
+// Store writes img through the hierarchy.  With a buffer level the
+// commit gate (onQuorum) fires when the node-local write completes —
+// that is the point the image is recoverable if the process dies — and
+// an asynchronous drain then pushes copies to the server group and the
+// PFS.  Without a buffer the group's quorum is the gate, as before.
+// Cancel aborts the leg the dying process still owns; drains belong to
+// the buffer and survive rank death.
+func (h *Hierarchy) Store(img *Image, srcNode int, cap simnet.Rate, onQuorum, onFailed func()) Op {
+	if h.bufIdx < 0 {
+		return h.group.Store(img, srcNode, cap, func() {
+			if onQuorum != nil {
+				onQuorum()
+			}
+			h.drainToPFS(img, cap)
+		}, onFailed)
+	}
+	buf := h.buffer(srcNode)
+	if buf.dead {
+		// The node's staging device is gone; fall through to the
+		// servers so the job keeps checkpointing, just slower.
+		return h.group.Store(img, srcNode, cap, func() {
+			if onQuorum != nil {
+				onQuorum()
+			}
+			h.drainToPFS(img, cap)
+		}, onFailed)
+	}
+	op := &hierStoreOp{h: h}
+	lvl := &h.spec.Levels[h.bufIdx]
+	stored := img.StoredBytes()
+	span := h.hub.NextSpan()
+	h.emit(obs.Event{Type: obs.EvImageStoreBegin, Rank: img.Rank, Wave: img.Wave,
+		Channel: -1, Node: srcNode, Server: -1, Level: h.bufIdx, Bytes: stored, Span: span})
+	op.timer = h.k.After(lvl.Latency+bwTime(stored, lvl.Bandwidth), func() {
+		op.timer = 0
+		if buf.dead {
+			// Device died mid-write: the local copy is lost, retry
+			// against the servers.
+			op.inner = h.group.Store(img, srcNode, cap, func() {
+				if onQuorum != nil {
+					onQuorum()
+				}
+				h.drainToPFS(img, cap)
+			}, onFailed)
+			return
+		}
+		keep := img.Clone()
+		h.insert(buf, lvl, keep)
+		h.emit(obs.Event{Type: obs.EvImageStoreEnd, Rank: img.Rank, Wave: img.Wave,
+			Channel: -1, Node: srcNode, Server: -1, Level: h.bufIdx, Bytes: stored, Span: span})
+		if onQuorum != nil {
+			onQuorum()
+		}
+		h.drainFromBuffer(buf, keep, cap)
+	})
+	return op
+}
+
+// insert stages an image in the buffer, evicting oldest-first to honor
+// capacity and per-rank retention.
+func (h *Hierarchy) insert(buf *nodeBuffer, lvl *LevelSpec, img *Image) {
+	k := imgKey{img.Rank, img.Wave}
+	if old := buf.images[k]; old != nil {
+		buf.used -= old.StoredBytes()
+	} else {
+		buf.order = append(buf.order, k)
+	}
+	buf.images[k] = img
+	buf.used += img.StoredBytes()
+	for lvl.Capacity > 0 && buf.used > lvl.Capacity {
+		i := 0
+		for i < len(buf.order) && buf.order[i] == k {
+			i++
+		}
+		if i >= len(buf.order) {
+			break // only the just-written image left; never evict it
+		}
+		h.evict(buf, i)
+	}
+	if lvl.Retention > 0 {
+		kept := 0
+		for i := len(buf.order) - 1; i >= 0; i-- {
+			if buf.order[i].rank != img.Rank || buf.order[i] == k {
+				continue
+			}
+			kept++
+			if kept >= lvl.Retention {
+				h.evict(buf, i)
+			}
+		}
+	}
+}
+
+func (h *Hierarchy) evict(buf *nodeBuffer, i int) {
+	victim := buf.evictAt(i)
+	if victim != nil {
+		h.emit(obs.Event{Type: obs.EvLevelEvict, Rank: victim.Rank, Wave: victim.Wave,
+			Channel: -1, Node: buf.node, Server: -1, Level: h.bufIdx,
+			Bytes: victim.StoredBytes()})
+	}
+}
+
+// drainFromBuffer asynchronously pushes a staged image down to the
+// server group (and onward to the PFS).  The drain is owned by the
+// buffer, not the writing process: rank death leaves it running, buffer
+// death cancels it.
+func (h *Hierarchy) drainFromBuffer(buf *nodeBuffer, img *Image, cap simnet.Rate) {
+	span := h.hub.NextSpan()
+	h.emit(obs.Event{Type: obs.EvDrainBegin, Rank: img.Rank, Wave: img.Wave,
+		Channel: -1, Node: buf.node, Server: -1, Level: h.srvIdx,
+		Bytes: img.StoredBytes(), Span: span})
+	var op *StoreOp
+	op = h.group.Store(img, buf.node, cap, func() {
+		buf.dropDrain(op)
+		h.emit(obs.Event{Type: obs.EvDrainEnd, Rank: img.Rank, Wave: img.Wave,
+			Channel: -1, Node: buf.node, Server: -1, Level: h.srvIdx,
+			Bytes: img.StoredBytes(), Span: span})
+		h.drainToPFS(img, cap)
+	}, func() {
+		// Quorum unreachable at the server level (EvQuorumLost already
+		// emitted by the group): the image stays buffer-only.
+		buf.dropDrain(op)
+	})
+	buf.drains = append(buf.drains, op)
+}
+
+func (b *nodeBuffer) dropDrain(op *StoreOp) {
+	for i, d := range b.drains {
+		if d == op {
+			b.drains = append(b.drains[:i], b.drains[i+1:]...)
+			return
+		}
+	}
+}
+
+// drainToPFS stripes an image from its primary surviving replica server
+// onto the PFS targets.  Fully asynchronous; a failed or impossible
+// drain is silent (the upper levels still protect the wave).
+func (h *Hierarchy) drainToPFS(img *Image, cap simnet.Rate) {
+	if h.pfs == nil {
+		return
+	}
+	k := imgKey{img.Rank, img.Wave}
+	if h.pfs.images[k] != nil || h.pfs.staging[k] {
+		return
+	}
+	var src *Server
+	for _, srv := range h.group.ReplicaSet(img.Rank) {
+		if srv.Alive() && srv.Has(img.Rank, img.Wave) {
+			src = srv
+			break
+		}
+	}
+	if src == nil {
+		return
+	}
+	targets := h.pfs.liveTargets(img.Rank, h.pfs.spec.Stripes)
+	if len(targets) == 0 {
+		return
+	}
+	h.pfs.staging[k] = true
+	span := h.hub.NextSpan()
+	h.emit(obs.Event{Type: obs.EvDrainBegin, Rank: img.Rank, Wave: img.Wave,
+		Channel: -1, Node: src.Node, Server: -1, Level: h.pfsIdx,
+		Bytes: img.StoredBytes(), Span: span})
+	stored := img.StoredBytes()
+	stripe := stored / int64(len(targets))
+	if stripe < 1 {
+		stripe = 1
+	}
+	remaining := len(targets)
+	done := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		delete(h.pfs.staging, k)
+		h.pfs.images[k] = &pfsImage{img: img, targets: targets}
+		h.emit(obs.Event{Type: obs.EvDrainEnd, Rank: img.Rank, Wave: img.Wave,
+			Channel: -1, Node: src.Node, Server: -1, Level: h.pfsIdx,
+			Bytes: stored, Span: span})
+	}
+	for i, t := range targets {
+		sz := stripe
+		if i == len(targets)-1 {
+			sz = stored - stripe*int64(len(targets)-1)
+			if sz < 1 {
+				sz = 1
+			}
+		}
+		h.net.StartFlowCapped(src.Node, h.pfs.nodes[t], sz, simnet.Rate(h.pfs.spec.Bandwidth), done)
+	}
+}
+
+// hierFetchOp is a restore fetch walking down the hierarchy.
+type hierFetchOp struct {
+	h         *Hierarchy
+	timer     sim.EventID
+	inner     Op
+	flows     []*simnet.Flow
+	cancelled bool
+}
+
+func (op *hierFetchOp) Cancel() {
+	if op.cancelled {
+		return
+	}
+	op.cancelled = true
+	if op.timer != 0 {
+		op.h.k.Cancel(op.timer)
+		op.timer = 0
+	}
+	if op.inner != nil {
+		op.inner.Cancel()
+		op.inner = nil
+	}
+	for _, f := range op.flows {
+		f.Cancel()
+	}
+	op.flows = nil
+}
+
+// Fetch restores (rank, wave) for a process restarting on dstNode,
+// searching top-down: the node's own buffer (local-device read), then
+// the server group, then the PFS stripes.  needLogs adds the wave's
+// message logs, which only the server group holds — a buffer or PFS hit
+// still fetches logs from the group.
+func (h *Hierarchy) Fetch(rank, wave, dstNode int, needLogs bool, onDone func(*Image, []*mpi.Packet), onFail func(error)) Op {
+	op := &hierFetchOp{h: h}
+	if h.bufIdx >= 0 {
+		if buf := h.buffers[dstNode]; buf != nil && !buf.dead {
+			if img := buf.images[imgKey{rank, wave}]; img != nil {
+				lvl := &h.spec.Levels[h.bufIdx]
+				op.timer = h.k.After(lvl.Latency+bwTime(img.RestoreBytes(), lvl.Bandwidth), func() {
+					op.timer = 0
+					if buf.dead {
+						// Device died during the read; fall down a level.
+						h.failovers++
+						h.emit(obs.Event{Type: obs.EvReplicaFailover, Rank: rank, Wave: wave,
+							Channel: -1, Node: dstNode, Server: -1, Level: h.srvIdx})
+						h.fetchLower(op, rank, wave, dstNode, needLogs, onDone, onFail)
+						return
+					}
+					if !needLogs {
+						onDone(img.Clone(), nil)
+						return
+					}
+					op.inner = h.group.FetchLogsOnly(rank, wave, dstNode, func(logs []*mpi.Packet) {
+						onDone(img.Clone(), logs)
+					}, onFail)
+				})
+				return op
+			}
+		}
+	}
+	h.fetchLower(op, rank, wave, dstNode, needLogs, onDone, onFail)
+	return op
+}
+
+func (h *Hierarchy) fetchLower(op *hierFetchOp, rank, wave, dstNode int, needLogs bool, onDone func(*Image, []*mpi.Packet), onFail func(error)) {
+	op.inner = h.group.Fetch(rank, wave, dstNode, needLogs, onDone, func(err error) {
+		if h.fetchFromPFS(op, rank, wave, dstNode, needLogs, onDone, onFail) {
+			return
+		}
+		onFail(err)
+	})
+}
+
+// fetchFromPFS reads the image back from its stripes when every target
+// holding one is alive.  Returns false (without side effects) when the
+// PFS cannot serve the wave.
+func (h *Hierarchy) fetchFromPFS(op *hierFetchOp, rank, wave, dstNode int, needLogs bool, onDone func(*Image, []*mpi.Packet), onFail func(error)) bool {
+	if h.pfs == nil {
+		return false
+	}
+	img := h.pfs.readable(imgKey{rank, wave})
+	if img == nil {
+		return false
+	}
+	if op.cancelled {
+		return true
+	}
+	ent := h.pfs.images[imgKey{rank, wave}]
+	h.failovers++
+	h.emit(obs.Event{Type: obs.EvReplicaFailover, Rank: rank, Wave: wave,
+		Channel: -1, Node: dstNode, Server: -1, Level: h.pfsIdx})
+	restore := img.RestoreBytes()
+	stripe := restore / int64(len(ent.targets))
+	if stripe < 1 {
+		stripe = 1
+	}
+	remaining := len(ent.targets)
+	arrived := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		op.flows = nil
+		if !needLogs {
+			onDone(img.Clone(), nil)
+			return
+		}
+		op.inner = h.group.FetchLogsOnly(rank, wave, dstNode, func(logs []*mpi.Packet) {
+			onDone(img.Clone(), logs)
+		}, func(err error) {
+			// Image recovered but the wave's logs are gone: the caller
+			// cannot replay, same as a plain miss.
+			onFail(err)
+		})
+	}
+	for i, t := range ent.targets {
+		sz := stripe
+		if i == len(ent.targets)-1 {
+			sz = restore - stripe*int64(len(ent.targets)-1)
+			if sz < 1 {
+				sz = 1
+			}
+		}
+		op.flows = append(op.flows,
+			h.net.StartFlowCapped(h.pfs.nodes[t], dstNode, sz, simnet.Rate(h.pfs.spec.Bandwidth), arrived))
+	}
+	return true
+}
+
+// HasCommitted reports whether any hierarchy level can restore the wave
+// for the rank right now (used by restore-planning and tests).
+func (h *Hierarchy) HasCommitted(rank, wave, node int) bool {
+	if h.bufIdx >= 0 {
+		if buf := h.buffers[node]; buf != nil && !buf.dead && buf.images[imgKey{rank, wave}] != nil {
+			return true
+		}
+	}
+	if h.group.Has(rank, wave) {
+		return true
+	}
+	if h.pfs != nil && h.pfs.readable(imgKey{rank, wave}) != nil {
+		return true
+	}
+	return false
+}
+
+// KillBuffer destroys one node's staging buffer: staged images are
+// lost, in-flight drains sourced from it are cancelled.  The node's
+// ranks keep running.  Returns false if the node had no live buffer
+// (no level configured, never written, or already dead).
+func (h *Hierarchy) KillBuffer(node int) bool {
+	if h.bufIdx < 0 {
+		return false
+	}
+	buf := h.buffers[node]
+	if buf == nil || buf.dead {
+		return false
+	}
+	buf.dead = true
+	buf.images = make(map[imgKey]*Image)
+	buf.order = nil
+	buf.used = 0
+	for _, d := range buf.drains {
+		d.Cancel()
+	}
+	buf.drains = nil
+	h.emit(obs.Event{Type: obs.EvBufferKilled, Rank: -1, Wave: -1,
+		Channel: -1, Node: node, Server: -1, Level: h.bufIdx})
+	return true
+}
+
+// KillPFSTarget destroys one PFS target: every image with a stripe on
+// it becomes unreadable.  Returns false without a PFS level or when the
+// target is out of range or already dead.
+func (h *Hierarchy) KillPFSTarget(target int) bool {
+	if h.pfs == nil || target < 0 || target >= len(h.pfs.dead) || h.pfs.dead[target] {
+		return false
+	}
+	h.pfs.dead[target] = true
+	h.emit(obs.Event{Type: obs.EvPFSKilled, Rank: -1, Wave: -1,
+		Channel: -1, Node: h.pfs.nodes[target], Server: target, Level: h.pfsIdx})
+	return true
+}
+
+// StoreLogs ships a wave's message logs to the server group (logs are
+// never staged: replay correctness needs them with the replicas).
+func (h *Hierarchy) StoreLogs(rank, wave int, pkts []*mpi.Packet, srcNode int, onQuorum, onFailed func()) *StoreOp {
+	return h.group.StoreLogs(rank, wave, pkts, srcNode, onQuorum, onFailed)
+}
+
+// FetchSince delegates to the group: mlog per-rank recovery reads the
+// newest server-side image plus all later logs.
+func (h *Hierarchy) FetchSince(rank, wave, dstNode int, onDone func(*Image, []*mpi.Packet), onFail func(error)) *FetchOp {
+	return h.group.FetchSince(rank, wave, dstNode, onDone, onFail)
+}
+
+// LogsSinceUnion delegates to the group.
+func (h *Hierarchy) LogsSinceUnion(rank, wave int) []*mpi.Packet {
+	return h.group.LogsSinceUnion(rank, wave)
+}
+
+// GC reclaims waves older than wave at every level.
+func (h *Hierarchy) GC(wave int) {
+	h.group.GC(wave)
+	for _, node := range h.bufNodes {
+		h.gcBuffer(h.buffers[node], func(k imgKey) bool { return k.wave < wave })
+	}
+	h.gcPFS(func(k imgKey) bool { return k.wave < wave })
+}
+
+// GCRank reclaims one rank's data older than wave at every level.
+func (h *Hierarchy) GCRank(rank, wave int) {
+	h.group.GCRank(rank, wave)
+	for _, node := range h.bufNodes {
+		h.gcBuffer(h.buffers[node], func(k imgKey) bool { return k.rank == rank && k.wave < wave })
+	}
+	h.gcPFS(func(k imgKey) bool { return k.rank == rank && k.wave < wave })
+}
+
+func (h *Hierarchy) gcBuffer(buf *nodeBuffer, drop func(imgKey) bool) {
+	if buf == nil || buf.dead {
+		return
+	}
+	for i := 0; i < len(buf.order); {
+		if drop(buf.order[i]) {
+			buf.evictAt(i)
+			continue
+		}
+		i++
+	}
+}
+
+func (h *Hierarchy) gcPFS(drop func(imgKey) bool) {
+	if h.pfs == nil {
+		return
+	}
+	for k := range h.pfs.images {
+		if drop(k) {
+			delete(h.pfs.images, k)
+		}
+	}
+}

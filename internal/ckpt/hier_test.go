@@ -1,0 +1,160 @@
+package ckpt
+
+import (
+	"testing"
+	"time"
+
+	"ftckpt/internal/mpi"
+	"ftckpt/internal/sim"
+	"ftckpt/internal/simnet"
+)
+
+// hierSetup builds a three-level hierarchy on a five-node network:
+// node 0 computes, nodes 1-2 host the replicated servers, nodes 3-4 the
+// PFS targets.
+func hierSetup(k *sim.Kernel) (*Hierarchy, []*Server) {
+	net := simnet.New(k, simnet.Topology{Clusters: []simnet.ClusterSpec{{
+		Name: "c", Nodes: 5, NICBW: 100e6, Latency: 50 * time.Microsecond,
+	}}})
+	pool := []*Server{NewServer(net, 0, 1), NewServer(net, 1, 2)}
+	g := NewGroup(net, pool, 2, 2, nil)
+	spec := (&Spec{Levels: []LevelSpec{
+		{Kind: LevelBuffer},
+		{Kind: LevelServers, Servers: 2, Replicas: 2, WriteQuorum: 2},
+		{Kind: LevelPFS, Targets: 2, Stripes: 2},
+	}}).Normalize()
+	return NewHierarchy(net, *spec, g, []int{3, 4}), pool
+}
+
+// TestHierarchyCommitAtBufferSpeed pins the staging contract: with a
+// buffer level the commit gate fires at local-device speed, orders of
+// magnitude before a network store could finish, and the drains then
+// populate the lower levels on their own.
+func TestHierarchyCommitAtBufferSpeed(t *testing.T) {
+	k := sim.New(1)
+	h, pool := hierSetup(k)
+	var committedAt sim.Time
+	k.Go("rank", func(p *sim.Proc) {
+		h.Store(testImage(0, 1), 0, 0, func() { committedAt = k.Now() },
+			func() { t.Error("store failed with every level alive") })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1MB at the default 2GB/s buffer plus 200µs setup ≈ 0.7ms; the same
+	// image over the 100MB/s NIC would take ≥10ms.
+	if committedAt == 0 || committedAt > 2*time.Millisecond {
+		t.Fatalf("commit gate fired at %v, want local-buffer speed", committedAt)
+	}
+	// By quiescence the drains have copied the wave everywhere.
+	if !pool[0].Has(0, 1) || !pool[1].Has(0, 1) {
+		t.Fatal("drain did not reach the server replicas")
+	}
+	if h.pfs.readable(imgKey{0, 1}) == nil {
+		t.Fatal("drain did not reach the PFS")
+	}
+}
+
+// TestHierarchyRestoreFallsThroughToPFS kills the staging buffer and
+// every server replica after the drains finish: the restore must fall
+// through both dead levels and come back from the PFS stripes, counted
+// as failovers.
+func TestHierarchyRestoreFallsThroughToPFS(t *testing.T) {
+	k := sim.New(1)
+	h, pool := hierSetup(k)
+	k.Go("rank", func(p *sim.Proc) {
+		h.Store(testImage(0, 1), 0, 0, nil, func() { t.Error("store failed") })
+	})
+	var fetched *Image
+	k.After(500*time.Millisecond, func() {
+		if !h.KillBuffer(0) {
+			t.Error("buffer kill refused")
+		}
+		pool[0].Kill()
+		pool[1].Kill()
+		if !h.HasCommitted(0, 1, 0) {
+			t.Error("PFS copy should still serve the wave")
+		}
+		h.Fetch(0, 1, 0, false, func(img *Image, logs []*mpi.Packet) { fetched = img },
+			func(err error) { t.Errorf("fetch failed with a live PFS copy: %v", err) })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fetched == nil || fetched.Rank != 0 || fetched.Wave != 1 {
+		t.Fatalf("fetched %+v", fetched)
+	}
+	if h.Failovers() == 0 {
+		t.Error("fall-through to the PFS not counted as a failover")
+	}
+}
+
+// TestHierarchyPFSStripeLoss kills one stripe target on top of the upper
+// levels: the wave becomes unrecoverable and the fetch must fail.
+func TestHierarchyPFSStripeLoss(t *testing.T) {
+	k := sim.New(1)
+	h, pool := hierSetup(k)
+	k.Go("rank", func(p *sim.Proc) {
+		h.Store(testImage(0, 1), 0, 0, nil, func() { t.Error("store failed") })
+	})
+	var failErr error
+	k.After(500*time.Millisecond, func() {
+		h.KillBuffer(0)
+		pool[0].Kill()
+		pool[1].Kill()
+		if !h.KillPFSTarget(0) {
+			t.Error("PFS target kill refused")
+		}
+		if h.HasCommitted(0, 1, 0) {
+			t.Error("wave readable with a stripe target dead")
+		}
+		h.Fetch(0, 1, 0, false,
+			func(img *Image, logs []*mpi.Packet) { t.Error("fetch succeeded with a stripe lost") },
+			func(err error) { failErr = err })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if failErr == nil {
+		t.Fatal("fetch did not fail")
+	}
+}
+
+// TestHierarchyBufferEviction pins the deterministic oldest-first
+// eviction: a capacity that holds two images drops the oldest wave when
+// the third arrives, and the just-written image is never the victim.
+func TestHierarchyBufferEviction(t *testing.T) {
+	k := sim.New(1)
+	net := simnet.New(k, simnet.Topology{Clusters: []simnet.ClusterSpec{{
+		Name: "c", Nodes: 3, NICBW: 100e6, Latency: 50 * time.Microsecond,
+	}}})
+	pool := []*Server{NewServer(net, 0, 1)}
+	g := NewGroup(net, pool, 1, 1, nil)
+	img := testImage(0, 1)
+	spec := (&Spec{Levels: []LevelSpec{
+		{Kind: LevelBuffer, Capacity: 2 * img.Bytes()},
+		{Kind: LevelServers, Servers: 1},
+	}}).Normalize()
+	h := NewHierarchy(net, *spec, g, nil)
+	k.Go("rank", func(p *sim.Proc) {
+		for wave := 1; wave <= 3; wave++ {
+			wave := wave
+			k.After(sim.Time(wave)*sim.Time(10*time.Millisecond), func() {
+				h.Store(testImage(0, wave), 0, 0, nil, nil)
+			})
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	buf := h.buffers[0]
+	if buf == nil {
+		t.Fatal("no buffer created")
+	}
+	if buf.images[imgKey{0, 1}] != nil {
+		t.Error("oldest wave not evicted at capacity")
+	}
+	if buf.images[imgKey{0, 2}] == nil || buf.images[imgKey{0, 3}] == nil {
+		t.Error("capacity eviction dropped the wrong waves")
+	}
+}

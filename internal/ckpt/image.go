@@ -37,6 +37,21 @@ type Image struct {
 	// Done records that the program had already completed when the image
 	// was taken (the restarted process only finalizes).
 	Done bool
+	// Delta marks an incremental image: only the regions dirtied since the
+	// full image of wave Base were captured.  The image still carries the
+	// complete restorable state (App/Engine/Device are always full); Delta,
+	// Stored and Restore only reshape the modelled byte costs.
+	Delta bool
+	// Base is the wave of the full image this delta chains off (Delta only).
+	Base int
+	// Stored overrides the modelled bytes shipped and kept per copy when
+	// > 0: the dirty-region payload of a delta, and/or the compressed
+	// size.  0 means Bytes() (the legacy full-image cost).
+	Stored int64
+	// Restore overrides the modelled bytes read back at recovery when > 0:
+	// a delta restore reads its full base plus the delta chain.  0 means
+	// Bytes().
+	Restore int64
 }
 
 // Bytes returns the modelled size of the image on the wire and on the
@@ -47,6 +62,25 @@ func (im *Image) Bytes() int64 {
 		n += im.Engine.StateBytes()
 	}
 	return n
+}
+
+// StoredBytes returns the modelled bytes shipped to and kept on each copy
+// of the image: the incremental/compressed payload when the hierarchy's
+// image planner set one, the full Bytes() otherwise.
+func (im *Image) StoredBytes() int64 {
+	if im.Stored > 0 {
+		return im.Stored
+	}
+	return im.Bytes()
+}
+
+// RestoreBytes returns the modelled bytes a recovery fetch reads back: a
+// delta chain's base-plus-deltas cost when set, the full Bytes() otherwise.
+func (im *Image) RestoreBytes() int64 {
+	if im.Restore > 0 {
+		return im.Restore
+	}
+	return im.Bytes()
 }
 
 // EncodeProgram serializes a Program for an image.  The concrete type must

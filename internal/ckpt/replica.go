@@ -472,6 +472,28 @@ func (op *FetchOp) Cancel() {
 	op.flows = nil
 }
 
+// FetchLogsOnly recovers just (rank, wave)'s committed channel-state logs
+// onto dstNode, with the same per-replica failover as Fetch.  The storage
+// hierarchy uses it when the image itself came from a different level (the
+// node-local buffer or the PFS): logs are only ever kept on the server
+// level, so a restore sourcing its image elsewhere still fetches the wave's
+// logs here.
+func (g *Group) FetchLogsOnly(rank, wave, dstNode int, onDone func([]*mpi.Packet), onFail func(error)) *FetchOp {
+	op := &FetchOp{
+		g: g, rank: rank, wave: wave, dstNode: dstNode,
+		onDone: func(_ *Image, logs []*mpi.Packet) {
+			if onDone != nil {
+				onDone(logs)
+			}
+		},
+		onFail:    onFail,
+		replicas:  g.ReplicaSet(rank),
+		remaining: 1,
+	}
+	op.fetchLogs(0, false)
+	return op
+}
+
 // LogsSinceUnion returns the deduplicated union of LogsSince across the
 // rank's live replicas, ordered by (Src, PSeq) — the synchronous
 // (no-transfer) variant used when recovery already runs next to the data.

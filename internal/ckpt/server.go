@@ -143,15 +143,15 @@ func (s *Server) ReceiveCappedAbort(img *Image, srcNode int, cap simnet.Rate, on
 	// One span per replica transfer, closed by the matching end event (or
 	// left open if the server dies mid-flight).
 	sp := s.obs.NextSpan()
-	s.emit(obs.EvImageStoreBegin, stored.Rank, stored.Wave, stored.Bytes(), sp)
+	s.emit(obs.EvImageStoreBegin, stored.Rank, stored.Wave, stored.StoredBytes(), sp)
 	tr := &transfer{onAbort: onAbort}
 	done := s.track(tr)
-	tr.flow = s.net.StartFlowCapped(srcNode, s.Node, img.Bytes(), cap, func() {
+	tr.flow = s.net.StartFlowCapped(srcNode, s.Node, img.StoredBytes(), cap, func() {
 		done()
 		s.images[imgKey{stored.Rank, stored.Wave}] = stored
-		s.BytesReceived += stored.Bytes()
+		s.BytesReceived += stored.StoredBytes()
 		s.ImagesStored++
-		s.emit(obs.EvImageStoreEnd, stored.Rank, stored.Wave, stored.Bytes(), sp)
+		s.emit(obs.EvImageStoreEnd, stored.Rank, stored.Wave, stored.StoredBytes(), sp)
 		if onStored != nil {
 			onStored()
 		}
@@ -315,7 +315,7 @@ func (s *Server) fetch(rank, wave, dstNode int, allSince bool, onDone func(*Imag
 	} else {
 		logs = s.Logs(rank, wave)
 	}
-	size := img.Bytes()
+	size := img.RestoreBytes()
 	for _, p := range logs {
 		size += p.WireSize()
 	}
@@ -338,7 +338,7 @@ func (s *Server) FetchImage(rank, wave, dstNode int, onDone func(*Image), onAbor
 	}
 	tr := &transfer{onAbort: onAbort}
 	done := s.track(tr)
-	tr.flow = s.net.StartFlow(s.Node, dstNode, img.Bytes(), func() {
+	tr.flow = s.net.StartFlow(s.Node, dstNode, img.RestoreBytes(), func() {
 		done()
 		onDone(img.Clone())
 	})

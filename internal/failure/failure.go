@@ -27,6 +27,15 @@ const (
 	// KindServer kills one checkpoint server; the images and logs it
 	// stored are lost with it.
 	KindServer
+	// KindBuffer kills the node-local checkpoint buffer on one machine
+	// (the top storage-hierarchy level): images staged there and not yet
+	// drained are lost, but the node's ranks keep running — the failure
+	// mode of a dying RAM disk or SSD, not of the host.
+	KindBuffer
+	// KindPFS kills one parallel-file-system target (the bottom
+	// storage-hierarchy level): every image with a stripe on it becomes
+	// unreadable.
+	KindPFS
 )
 
 // String returns the kind's name.
@@ -38,29 +47,36 @@ func (k Kind) String() string {
 		return "node"
 	case KindServer:
 		return "server"
+	case KindBuffer:
+		return "buffer"
+	case KindPFS:
+		return "pfs"
 	default:
 		return "unknown"
 	}
 }
 
 // Event kills one component at a virtual time.  Kind selects the victim
-// space: Rank for KindRank, Node for KindNode, Server for KindServer.
+// space: Rank for KindRank, Node for KindNode (also the victim machine
+// for KindBuffer), Server for KindServer (also the victim target for
+// KindPFS).
 type Event struct {
 	At   sim.Time
 	Rank int
 	Kind Kind
-	// Node is the victim machine for KindNode events.
+	// Node is the victim machine for KindNode and KindBuffer events.
 	Node int
-	// Server is the victim checkpoint server for KindServer events.
+	// Server is the victim checkpoint server for KindServer events and
+	// the victim PFS target for KindPFS events.
 	Server int
 }
 
 // Victim returns the victim index in the event's own space.
 func (e Event) Victim() int {
 	switch e.Kind {
-	case KindNode:
+	case KindNode, KindBuffer:
 		return e.Node
-	case KindServer:
+	case KindServer, KindPFS:
 		return e.Server
 	default:
 		return e.Rank
@@ -95,6 +111,17 @@ func KillNodeAt(at sim.Time, node int) Plan {
 // KillServerAt builds a single-checkpoint-server-failure plan.
 func KillServerAt(at sim.Time, server int) Plan {
 	return Plan{{At: at, Kind: KindServer, Server: server}}
+}
+
+// KillBufferAt builds a plan losing the node-local checkpoint buffer on
+// one machine.
+func KillBufferAt(at sim.Time, node int) Plan {
+	return Plan{{At: at, Kind: KindBuffer, Node: node}}
+}
+
+// KillPFSAt builds a plan losing one parallel-file-system target.
+func KillPFSAt(at sim.Time, target int) Plan {
+	return Plan{{At: at, Kind: KindPFS, Server: target}}
 }
 
 // Exponential draws failure inter-arrival times with the given MTTF,

@@ -11,9 +11,9 @@
 package ftpm
 
 import (
-	"errors"
 	"fmt"
 
+	"ftckpt/internal/ckpt"
 	"ftckpt/internal/failure"
 	"ftckpt/internal/mpi"
 	"ftckpt/internal/obs"
@@ -95,6 +95,14 @@ type Config struct {
 	// in flight to surviving replicas).
 	StoreRetries int
 	RetryBackoff sim.Time
+	// Storage configures the multi-level checkpoint storage hierarchy
+	// (node-local staging buffer, replicated servers, striped PFS, plus
+	// incremental/compressed images).  When set, the flat Servers/
+	// Replicas/WriteQuorum/StoreRetries/RetryBackoff fields above must be
+	// zero: Validate copies the servers-level values into them, so
+	// exactly one of the two forms describes the server tier.  Nil keeps
+	// the flat single-level model.
+	Storage *ckpt.Spec
 	// HeartbeatPeriod > 0 replaces the paper's instant failure detection
 	// (the dying task's TCP connection breaks immediately) with a
 	// heartbeat detector: the dispatcher pings every rank and checkpoint
@@ -227,10 +235,30 @@ func (r Result) String() string {
 		r.Completion, r.WavesCommitted, r.Restarts, float64(r.CkptBytes)/float64(1<<20))
 }
 
-// Validate checks a configuration, applying defaults in place.
+// ConfigError is the single rejection shape Validate reports: the
+// Config field at fault plus the reason, so callers (and flag parsers
+// layered on top) can name the offending knob mechanically.
+type ConfigError struct {
+	// Field is the Config field (dotted for storage levels, e.g.
+	// "Storage.Levels[0].Kind") that made the configuration invalid.
+	Field string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("ftpm: %s: %s", e.Field, e.Reason)
+}
+
+func cfgErr(field, format string, args ...any) error {
+	return &ConfigError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks a configuration, applying defaults in place.  Every
+// rejection is a *ConfigError naming the offending field.
 func (c *Config) Validate() error {
 	if c.NP <= 0 {
-		return errors.New("ftpm: NP must be positive")
+		return cfgErr("NP", "must be positive, got %d", c.NP)
 	}
 	if c.ProcsPerNode <= 0 {
 		c.ProcsPerNode = 1
@@ -241,58 +269,70 @@ func (c *Config) Validate() error {
 	switch c.Protocol {
 	case ProtoNone, ProtoPcl, ProtoVcl, ProtoMlog:
 	default:
-		return fmt.Errorf("ftpm: unknown protocol %q", c.Protocol)
+		return cfgErr("Protocol", "unknown protocol %q", c.Protocol)
+	}
+	if err := c.validateStorage(); err != nil {
+		return err
 	}
 	if c.Protocol != ProtoNone {
 		if c.Servers <= 0 {
-			return errors.New("ftpm: checkpointing requires at least one server")
+			return cfgErr("Servers", "checkpointing requires at least one server")
 		}
 	}
 	if c.NewProgram == nil {
-		return errors.New("ftpm: NewProgram is required")
+		return cfgErr("NewProgram", "is required")
 	}
 	if c.RestartDelay < 0 {
-		return fmt.Errorf("ftpm: RestartDelay must be non-negative, got %v", c.RestartDelay)
+		return cfgErr("RestartDelay", "must be non-negative, got %v", c.RestartDelay)
 	}
-	if c.MTTF < 0 || c.ServerMTTF < 0 || c.NodeMTTF < 0 {
-		return errors.New("ftpm: MTTF, ServerMTTF and NodeMTTF must be non-negative")
+	if c.MTTF < 0 {
+		return cfgErr("MTTF", "must be non-negative, got %v", c.MTTF)
+	}
+	if c.ServerMTTF < 0 {
+		return cfgErr("ServerMTTF", "must be non-negative, got %v", c.ServerMTTF)
+	}
+	if c.NodeMTTF < 0 {
+		return cfgErr("NodeMTTF", "must be non-negative, got %v", c.NodeMTTF)
 	}
 	if c.Replicas < 0 {
-		return fmt.Errorf("ftpm: Replicas must be non-negative, got %d", c.Replicas)
+		return cfgErr("Replicas", "must be non-negative, got %d", c.Replicas)
 	}
 	if c.Replicas == 0 {
 		c.Replicas = 1
 	}
 	if c.Replicas > c.Servers && c.Protocol != ProtoNone {
-		return fmt.Errorf("ftpm: Replicas (%d) exceeds the number of servers (%d)", c.Replicas, c.Servers)
+		return cfgErr("Replicas", "%d replicas exceed the number of servers (%d)", c.Replicas, c.Servers)
 	}
 	if c.WriteQuorum < 0 {
-		return fmt.Errorf("ftpm: WriteQuorum must be non-negative, got %d", c.WriteQuorum)
+		return cfgErr("WriteQuorum", "must be non-negative, got %d", c.WriteQuorum)
 	}
 	if c.WriteQuorum == 0 {
 		c.WriteQuorum = c.Replicas
 	}
 	if c.WriteQuorum > c.Replicas {
-		return fmt.Errorf("ftpm: WriteQuorum (%d) exceeds Replicas (%d)", c.WriteQuorum, c.Replicas)
+		return cfgErr("WriteQuorum", "quorum %d exceeds Replicas (%d)", c.WriteQuorum, c.Replicas)
 	}
 	if c.StoreRetries < 0 {
-		return fmt.Errorf("ftpm: StoreRetries must be non-negative, got %d", c.StoreRetries)
+		return cfgErr("StoreRetries", "must be non-negative, got %d", c.StoreRetries)
 	}
 	if c.RetryBackoff < 0 {
-		return fmt.Errorf("ftpm: RetryBackoff must be non-negative, got %v", c.RetryBackoff)
+		return cfgErr("RetryBackoff", "must be non-negative, got %v", c.RetryBackoff)
 	}
-	if c.HeartbeatPeriod < 0 || c.HeartbeatTimeout < 0 {
-		return errors.New("ftpm: HeartbeatPeriod and HeartbeatTimeout must be non-negative")
+	if c.HeartbeatPeriod < 0 {
+		return cfgErr("HeartbeatPeriod", "must be non-negative, got %v", c.HeartbeatPeriod)
+	}
+	if c.HeartbeatTimeout < 0 {
+		return cfgErr("HeartbeatTimeout", "must be non-negative, got %v", c.HeartbeatTimeout)
 	}
 	if c.HeartbeatTimeout > 0 && c.HeartbeatPeriod == 0 {
-		return errors.New("ftpm: HeartbeatTimeout is set but HeartbeatPeriod is zero (no detector to time out)")
+		return cfgErr("HeartbeatTimeout", "is set but HeartbeatPeriod is zero (no detector to time out)")
 	}
 	if c.HeartbeatPeriod > 0 {
 		if c.HeartbeatTimeout == 0 {
 			c.HeartbeatTimeout = 4 * c.HeartbeatPeriod
 		}
 		if c.HeartbeatPeriod >= c.HeartbeatTimeout {
-			return fmt.Errorf("ftpm: HeartbeatPeriod (%v) must be shorter than HeartbeatTimeout (%v), or every component is suspected between pings",
+			return cfgErr("HeartbeatPeriod", "%v must be shorter than HeartbeatTimeout (%v), or every component is suspected between pings",
 				c.HeartbeatPeriod, c.HeartbeatTimeout)
 		}
 	}
@@ -302,28 +342,28 @@ func (c *Config) Validate() error {
 			limit = DefaultVclProcessLimit
 		}
 		if limit > 0 && c.NP > limit {
-			return fmt.Errorf("ftpm: Vcl dispatcher multiplexes with select(): %d processes exceed the ~%d socket limit (paper §5.4); set VclProcessLimit=-1 to override", c.NP, limit)
+			return cfgErr("NP", "Vcl dispatcher multiplexes with select(): %d processes exceed the ~%d socket limit (paper §5.4); set VclProcessLimit=-1 to override", c.NP, limit)
 		}
 	}
 	if c.ServerNodes != nil && len(c.ServerNodes) != c.Servers {
-		return fmt.Errorf("ftpm: ServerNodes has %d entries for %d servers", len(c.ServerNodes), c.Servers)
+		return cfgErr("ServerNodes", "has %d entries for %d servers", len(c.ServerNodes), c.Servers)
 	}
 	if c.SpareNodes < 0 {
-		return errors.New("ftpm: SpareNodes must be non-negative")
+		return cfgErr("SpareNodes", "must be non-negative, got %d", c.SpareNodes)
 	}
 	switch c.Recovery {
 	case "":
 		c.Recovery = RecoveryRestart
 	case RecoveryRestart, RecoveryULFM:
 	default:
-		return fmt.Errorf("ftpm: unknown recovery mode %q (want %q or %q)",
+		return cfgErr("Recovery", "unknown recovery mode %q (want %q or %q)",
 			c.Recovery, RecoveryRestart, RecoveryULFM)
 	}
 	if c.FTEvery < 0 {
-		return fmt.Errorf("ftpm: FTEvery must be non-negative, got %d", c.FTEvery)
+		return cfgErr("FTEvery", "must be non-negative, got %d", c.FTEvery)
 	}
 	if c.Shards < 0 {
-		return fmt.Errorf("ftpm: Shards must be non-negative, got %d", c.Shards)
+		return cfgErr("Shards", "must be non-negative, got %d", c.Shards)
 	}
 	if c.Placement == nil {
 		computeNodes := (c.NP + c.ProcsPerNode - 1) / c.ProcsPerNode
@@ -331,10 +371,150 @@ func (c *Config) Validate() error {
 		if c.ServerNodes != nil {
 			need = computeNodes + c.SpareNodes
 		}
+		need += c.pfsTargets()
 		if c.Topology.TotalNodes() < need {
-			return fmt.Errorf("ftpm: topology has %d nodes, need %d (%d compute + %d servers + 1 service)",
-				c.Topology.TotalNodes(), need, computeNodes, c.Servers)
+			return cfgErr("Topology", "has %d nodes, need %d (%d compute + %d servers + 1 service + %d spares + %d pfs targets)",
+				c.Topology.TotalNodes(), need, computeNodes, c.Servers, c.SpareNodes, c.pfsTargets())
 		}
 	}
+	return nil
+}
+
+// pfsTargets returns the PFS target-node count of the storage spec, 0
+// without one.  Valid only after validateStorage normalized the spec.
+func (c *Config) pfsTargets() int {
+	if c.Storage == nil {
+		return 0
+	}
+	if i := c.Storage.Level(ckpt.LevelPFS); i >= 0 {
+		return c.Storage.Levels[i].Targets
+	}
+	return 0
+}
+
+// validateStorage checks the typed storage hierarchy and, when present,
+// folds its servers-level values into the flat fields the runtime
+// reads, rejecting configs that set both forms.
+func (c *Config) validateStorage() error {
+	if c.Storage == nil {
+		return nil
+	}
+	sp := c.Storage
+	if len(sp.Levels) == 0 {
+		return cfgErr("Storage.Levels", "a storage spec needs at least the servers level")
+	}
+	// The flat server fields must be unset — or exactly the values a
+	// previous Validate folded out of this same spec, so validation is
+	// idempotent (harnesses validate before handing the config to Run).
+	srvLevel := sp.ServersLevel()
+	folded := func(flat int, spec func(*ckpt.LevelSpec) int) bool {
+		return flat == 0 || (srvLevel != nil && flat == spec(srvLevel))
+	}
+	if !folded(c.Servers, func(l *ckpt.LevelSpec) int { return l.Servers }) {
+		return cfgErr("Servers", "conflicts with Storage (set the servers level's Servers instead)")
+	}
+	if !folded(c.Replicas, func(l *ckpt.LevelSpec) int { return l.Replicas }) {
+		return cfgErr("Replicas", "conflicts with Storage (set the servers level's Replicas instead)")
+	}
+	if !folded(c.WriteQuorum, func(l *ckpt.LevelSpec) int { return l.WriteQuorum }) {
+		return cfgErr("WriteQuorum", "conflicts with Storage (set the servers level's WriteQuorum instead)")
+	}
+	if !folded(c.StoreRetries, func(l *ckpt.LevelSpec) int { return l.StoreRetries }) {
+		return cfgErr("StoreRetries", "conflicts with Storage (set the servers level's StoreRetries instead)")
+	}
+	if !folded(int(c.RetryBackoff), func(l *ckpt.LevelSpec) int { return int(l.RetryBackoff) }) {
+		return cfgErr("RetryBackoff", "conflicts with Storage (set the servers level's RetryBackoff instead)")
+	}
+	if c.ServerNodes != nil {
+		return cfgErr("ServerNodes", "explicit server placement (grid platforms) keeps the flat server model; Storage is not supported there")
+	}
+	srvSeen := -1
+	for i := range sp.Levels {
+		l := &sp.Levels[i]
+		field := func(name string) string { return fmt.Sprintf("Storage.Levels[%d].%s", i, name) }
+		switch l.Kind {
+		case ckpt.LevelBuffer:
+			if i != 0 {
+				return cfgErr(field("Kind"), "the buffer is the staging level and must come first")
+			}
+			if l.Bandwidth < 0 {
+				return cfgErr(field("Bandwidth"), "must be non-negative, got %g", l.Bandwidth)
+			}
+			if l.Latency < 0 {
+				return cfgErr(field("Latency"), "must be non-negative, got %v", l.Latency)
+			}
+			if l.Capacity < 0 {
+				return cfgErr(field("Capacity"), "must be non-negative, got %d", l.Capacity)
+			}
+			if l.Retention < 0 {
+				return cfgErr(field("Retention"), "must be non-negative, got %d", l.Retention)
+			}
+		case ckpt.LevelServers:
+			if srvSeen >= 0 {
+				return cfgErr(field("Kind"), "exactly one servers level is allowed (already at index %d)", srvSeen)
+			}
+			srvSeen = i
+			if l.Servers <= 0 {
+				return cfgErr(field("Servers"), "the servers level needs at least one server, got %d", l.Servers)
+			}
+			if l.Replicas < 0 {
+				return cfgErr(field("Replicas"), "must be non-negative, got %d", l.Replicas)
+			}
+			if l.WriteQuorum < 0 {
+				return cfgErr(field("WriteQuorum"), "must be non-negative, got %d", l.WriteQuorum)
+			}
+			if l.StoreRetries < 0 {
+				return cfgErr(field("StoreRetries"), "must be non-negative, got %d", l.StoreRetries)
+			}
+			if l.RetryBackoff < 0 {
+				return cfgErr(field("RetryBackoff"), "must be non-negative, got %v", l.RetryBackoff)
+			}
+		case ckpt.LevelPFS:
+			if i != len(sp.Levels)-1 {
+				return cfgErr(field("Kind"), "the PFS is the bottom level and must come last")
+			}
+			if l.Targets < 0 {
+				return cfgErr(field("Targets"), "must be non-negative, got %d", l.Targets)
+			}
+			if l.Stripes < 0 {
+				return cfgErr(field("Stripes"), "must be non-negative, got %d", l.Stripes)
+			}
+			if l.Bandwidth < 0 {
+				return cfgErr(field("Bandwidth"), "must be non-negative, got %g", l.Bandwidth)
+			}
+		default:
+			return cfgErr(field("Kind"), "unknown level kind %q (want %q, %q or %q)",
+				l.Kind, ckpt.LevelBuffer, ckpt.LevelServers, ckpt.LevelPFS)
+		}
+	}
+	if srvSeen < 0 {
+		return cfgErr("Storage.Levels", "a servers level is mandatory (it is the paper's checkpoint-server tier)")
+	}
+	if sp.FullEvery < 0 {
+		return cfgErr("Storage.FullEvery", "must be non-negative, got %d", sp.FullEvery)
+	}
+	if sp.DirtyFraction < 0 || sp.DirtyFraction > 1 {
+		return cfgErr("Storage.DirtyFraction", "must be in [0, 1], got %g", sp.DirtyFraction)
+	}
+	if sp.CompressRatio < 0 || sp.CompressRatio > 1 {
+		return cfgErr("Storage.CompressRatio", "must be in [0, 1], got %g", sp.CompressRatio)
+	}
+	sp.Normalize()
+	// Fold the servers level into the flat fields: the launch and retry
+	// paths read those, so one source of truth feeds both forms.  The
+	// flat defaults are applied inside the spec first, keeping the two
+	// forms equal so a re-validation stays a no-op.
+	srv := &sp.Levels[srvSeen]
+	if srv.Replicas == 0 {
+		srv.Replicas = 1
+	}
+	if srv.WriteQuorum == 0 {
+		srv.WriteQuorum = srv.Replicas
+	}
+	c.Servers = srv.Servers
+	c.Replicas = srv.Replicas
+	c.WriteQuorum = srv.WriteQuorum
+	c.StoreRetries = srv.StoreRetries
+	c.RetryBackoff = srv.RetryBackoff
 	return nil
 }

@@ -30,6 +30,7 @@ type Job struct {
 	serviceNode  int
 	servers      []*ckpt.Server
 	group        *ckpt.Group
+	store        *ckpt.Hierarchy
 	det          *detector
 	scheduler    *vcl.Scheduler
 	procs        []*procRun
@@ -156,7 +157,28 @@ func NewJob(cfg Config) (*Job, error) {
 		job.group = ckpt.NewGroup(job.net, job.servers, cfg.Replicas, cfg.WriteQuorum, cfg.ServerOf)
 		job.group.MaxRetries = cfg.StoreRetries
 		job.group.Backoff = cfg.RetryBackoff
-		job.group.SetObs(job.hub)
+		// Every job writes through a storage hierarchy; without a typed
+		// spec it degenerates to the bare server group (byte-identical to
+		// the flat model).  Mlog drops the staging levels: its per-rank
+		// recovery fetches image+log unions from the group the moment a
+		// failure is detected, which an asynchronous drain cannot honor.
+		spec := ckpt.Spec{Levels: []ckpt.LevelSpec{{Kind: ckpt.LevelServers, Servers: cfg.Servers}}}
+		if cfg.Storage != nil {
+			spec = *cfg.Storage
+			if cfg.Protocol == ProtoMlog {
+				spec = *spec.WithoutStaging()
+			}
+		}
+		var pfsNodes []int
+		if i := spec.Level(ckpt.LevelPFS); i >= 0 {
+			// PFS targets live on the last nodes, after compute, servers,
+			// the service node and the spares.
+			for t := 0; t < spec.Levels[i].Targets; t++ {
+				pfsNodes = append(pfsNodes, job.serviceNode+cfg.SpareNodes+1+t)
+			}
+		}
+		job.store = ckpt.NewHierarchy(job.net, spec, job.group, pfsNodes)
+		job.store.SetObs(job.hub)
 	}
 	job.nodeMap = make([]int, cfg.NP)
 	job.deadNodes = map[int]bool{}
@@ -397,6 +419,14 @@ func (job *Job) inject(ev failure.Event) {
 		if ev.Node >= 0 {
 			job.injectNodeKill(ev.Node)
 		}
+	case failure.KindBuffer:
+		if ev.Node >= 0 && job.store != nil {
+			job.store.KillBuffer(ev.Node)
+		}
+	case failure.KindPFS:
+		if ev.Server >= 0 && job.store != nil {
+			job.store.KillPFSTarget(ev.Server)
+		}
 	default:
 		if ev.Rank >= 0 && ev.Rank < job.cfg.NP {
 			job.injectRankKill(ev.Rank)
@@ -457,6 +487,11 @@ func (job *Job) injectNodeKill(node int) {
 		if srv.Node == node {
 			job.injectServerKill(srv.Index)
 		}
+	}
+	if job.store != nil {
+		// The machine's staging buffer (and anything draining out of it)
+		// dies with the machine.
+		job.store.KillBuffer(node)
 	}
 	var victims []int
 	for r, n := range job.nodeMap {
@@ -577,6 +612,11 @@ func (job *Job) launch(wave int) {
 	job.finished = 0
 	job.finishedRank = make([]bool, job.cfg.NP)
 	restarting := job.gen > 0
+	if restarting && job.store != nil {
+		// The restored address spaces diverge from the pre-failure run,
+		// so every rank's next image must be full again.
+		job.store.ResetChains()
+	}
 	if wave == 0 {
 		var rs uint64
 		if restarting {
@@ -610,7 +650,7 @@ func (job *Job) launch(wave int) {
 	needLogs := job.cfg.Protocol == ProtoVcl
 	var fetchOne func(r, attempt int)
 	fetchOne = func(r, attempt int) {
-		job.group.Fetch(r, wave, job.nodeOfRank(r), needLogs, func(img *ckpt.Image, logs []*mpi.Packet) {
+		job.store.Fetch(r, wave, job.nodeOfRank(r), needLogs, func(img *ckpt.Image, logs []*mpi.Packet) {
 			if job.gen != gen {
 				return
 			}
@@ -784,12 +824,12 @@ func (job *Job) onFailureLocal(rank int) {
 			// No image yet: restart from scratch and replay the whole
 			// reception history recorded since launch — the union across
 			// live replicas, in case one of them died.
-			job.respawnLocal(rank, nil, job.group.LogsSinceUnion(rank, 0))
+			job.respawnLocal(rank, nil, job.store.LogsSinceUnion(rank, 0))
 			return
 		}
 		var tryFetch func(attempt int)
 		tryFetch = func(attempt int) {
-			job.group.FetchSince(rank, wave, job.nodeOfRank(rank), func(img *ckpt.Image, logs []*mpi.Packet) {
+			job.store.FetchSince(rank, wave, job.nodeOfRank(rank), func(img *ckpt.Image, logs []*mpi.Packet) {
 				if job.doneRes {
 					return
 				}
@@ -818,6 +858,9 @@ func (job *Job) onFailureLocal(rank int) {
 
 func (job *Job) respawnLocal(rank int, img *ckpt.Image, logs []*mpi.Packet) {
 	job.recovering[rank] = false
+	if job.store != nil {
+		job.store.ResetChain(rank)
+	}
 	if job.det != nil {
 		job.det.resetRank(rank)
 	}
@@ -865,7 +908,7 @@ func (job *Job) commitRank(r, w int) {
 	job.rec.Commit(w, job.k.Now())
 	job.emit(obs.Event{Type: obs.EvWaveCommit, Rank: r, Wave: w, Channel: -1, Node: -1, Server: -1,
 		Span: job.hub.NextSpan()}, "")
-	job.group.GCRank(r, w)
+	job.store.GCRank(r, w)
 }
 
 func (job *Job) commitWave(w int) {
@@ -880,7 +923,7 @@ func (job *Job) commitWave(w int) {
 		job.met.Observe(obs.MWaveTransfer, ws.TransferTime())
 		job.met.Observe(obs.MWaveCycle, ws.CycleTime())
 	}
-	job.group.GC(w)
+	job.store.GC(w)
 }
 
 func (job *Job) procFinished(pr *procRun) {
@@ -932,8 +975,8 @@ func (job *Job) procFinished(pr *procRun) {
 		LostWork:       job.lostWork,
 		Metrics:        job.met,
 	}
-	if job.group != nil {
-		job.res.Failovers = job.group.Failovers
+	if job.store != nil {
+		job.res.Failovers = job.store.Failovers()
 	}
 	if job.spans != nil {
 		job.res.Attribution = job.spans.Finalize(job.k.Now())
@@ -1118,6 +1161,9 @@ func (pr *procRun) TakeCheckpoint(wave int, dev []byte, onStored func()) {
 	}
 	gen := pr.gen
 	prof := pr.job.cfg.Profile
+	// The hierarchy's image planner prices the image (incremental delta,
+	// compression) before any bytes move.
+	pr.job.store.PlanImage(img)
 	pr.job.rec.LocalCkpt(wave, pr.job.k.Now())
 	// The fork'd clone and the pipelined transfer steal CPU and memory
 	// bandwidth from the application until the image is stored.
@@ -1131,7 +1177,7 @@ func (pr *procRun) TakeCheckpoint(wave int, dev []byte, onStored func()) {
 		}
 		released = true
 	}
-	op := pr.job.group.Store(img, pr.node, prof.ShipBW, func() {
+	op := pr.job.store.Store(img, pr.node, prof.ShipBW, func() {
 		// Write quorum reached: the checkpoint is durable.
 		release()
 		pr.job.rec.Stored(wave, pr.job.k.Now())
@@ -1150,7 +1196,7 @@ func (pr *procRun) TakeCheckpoint(wave int, dev []byte, onStored func()) {
 // replica set, acknowledging at the write quorum.
 func (pr *procRun) ShipLogs(wave int, pkts []*mpi.Packet, onStored func()) {
 	gen := pr.gen
-	op := pr.job.group.StoreLogs(pr.rank, wave, pkts, pr.node, func() {
+	op := pr.job.store.StoreLogs(pr.rank, wave, pkts, pr.node, func() {
 		if pr.job.gen == gen && onStored != nil {
 			onStored()
 		}

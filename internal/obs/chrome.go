@@ -150,9 +150,15 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		case EvLocalCkptEnd:
 			instant(fmt.Sprintf("snapshot (wave %d)", ev.Wave), pidRanks, ev.Rank, ev, nil)
 		case EvImageStoreBegin:
+			pid, tid := pidServers, ev.Server
+			name := fmt.Sprintf("store r%d w%d", ev.Rank, ev.Wave)
+			if ev.Server < 0 { // node-local buffer store: render on the rank
+				pid, tid = pidRanks, ev.Rank
+				name = fmt.Sprintf("buffer store w%d", ev.Wave)
+			}
 			open(fmt.Sprintf("img:%d:%d:%d", ev.Rank, ev.Wave, ev.Server), openSpan{
-				name: fmt.Sprintf("store r%d w%d", ev.Rank, ev.Wave),
-				pid:  pidServers, tid: ev.Server, ts: usec(int64(ev.T)),
+				name: name,
+				pid:  pid, tid: tid, ts: usec(int64(ev.T)),
 				args: map[string]any{"bytes": ev.Bytes},
 			})
 		case EvImageStoreEnd:
@@ -220,6 +226,21 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			})
 		case EvJobComplete:
 			instant("job complete", pidRuntime, 0, ev, nil)
+		case EvDrainBegin:
+			open(fmt.Sprintf("drn:%d:%d:%d", ev.Rank, ev.Wave, ev.Level), openSpan{
+				name: fmt.Sprintf("drain r%d w%d → L%d", ev.Rank, ev.Wave, ev.Level),
+				pid:  pidRuntime, tid: 0, ts: usec(int64(ev.T)),
+				args: map[string]any{"bytes": ev.Bytes, "level": ev.Level},
+			})
+		case EvDrainEnd:
+			closeSpan(fmt.Sprintf("drn:%d:%d:%d", ev.Rank, ev.Wave, ev.Level), usec(int64(ev.T)))
+		case EvBufferKilled:
+			instant(fmt.Sprintf("buffer on node %d lost", ev.Node), pidRuntime, 0, ev, nil)
+		case EvPFSKilled:
+			instant(fmt.Sprintf("pfs target %d lost", ev.Server), pidRuntime, 0, ev, nil)
+		case EvLevelEvict:
+			instant(fmt.Sprintf("evict r%d w%d (L%d)", ev.Rank, ev.Wave, ev.Level),
+				pidRuntime, 0, ev, map[string]any{"bytes": ev.Bytes})
 		}
 	}
 

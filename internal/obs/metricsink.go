@@ -50,6 +50,17 @@ const (
 	MRepairLatency = "repair.latency" // hist: proc-failed → repaired world resumed
 	MAppCkpts      = "app.ckpts"
 	MAppRestores   = "app.restores"
+	// Storage-hierarchy metrics.  Per-level variants append ".l<k>": bytes
+	// resident per level (stores and drains landing there), the async
+	// drain-duration histogram, capacity/retention evictions, and the two
+	// level failure classes (node-local buffers, PFS targets).
+	MLevelBytes     = "ckpt.level_bytes"
+	MDrainBytes     = "ckpt.drain_bytes"
+	MDrainTime      = "ckpt.drain_time" // hist: per-image inter-level drain duration
+	MEvictions      = "ckpt.evictions"
+	MEvictedBytes   = "ckpt.evicted_bytes"
+	MBufferFailures = "failures.buffer"
+	MPFSFailures    = "failures.pfs"
 )
 
 // MetricsSink folds the event stream into a Metrics registry: counters
@@ -62,6 +73,7 @@ type MetricsSink struct {
 	storeSince   map[[3]int]sim.Time // (rank, wave, server) → EvImageStoreBegin time
 	restartSince map[int]sim.Time    // rank (-1 global) → EvRestartBegin time
 	repairSince  map[int]sim.Time    // failed rank → EvProcFailed time
+	drainSince   map[[3]int]sim.Time // (rank, wave, level) → EvDrainBegin time
 }
 
 // NewMetricsSink builds a sink folding into m, pre-registering the
@@ -75,13 +87,15 @@ func NewMetricsSink(m *Metrics) *MetricsSink {
 		MServerFailures, MDetectTimeouts, MFalseSuspicions,
 		MFailovers, MStoreRetries, MQuorumLost, MReplayedMsgs, MDegradedStops,
 		MProcFailures, MRepairs, MAppCkpts, MAppRestores,
+		MLevelBytes, MDrainBytes, MEvictions, MEvictedBytes,
+		MBufferFailures, MPFSFailures,
 	} {
 		m.Touch(c)
 	}
 	for _, h := range []string{
 		MBlockedTime, MImageStoreTime, MRestartTime,
 		MWaveSpread, MWaveTransfer, MWaveCycle, MDetectLatency,
-		MRepairLatency,
+		MRepairLatency, MDrainTime,
 	} {
 		m.TouchHist(h)
 	}
@@ -91,6 +105,7 @@ func NewMetricsSink(m *Metrics) *MetricsSink {
 		storeSince:   make(map[[3]int]sim.Time),
 		restartSince: make(map[int]sim.Time),
 		repairSince:  make(map[int]sim.Time),
+		drainSince:   make(map[[3]int]sim.Time),
 	}
 }
 
@@ -128,6 +143,10 @@ func (s *MetricsSink) Emit(ev Event) {
 		s.m.Add(MImageBytes, ev.Bytes)
 		if ev.Server >= 0 {
 			s.m.Add(fmt.Sprintf("%s.server%d", MImageBytes, ev.Server), ev.Bytes)
+		} else {
+			// A node-local buffer store (no server index): account it to
+			// its hierarchy level instead.
+			s.m.Add(fmt.Sprintf("%s.l%d", MLevelBytes, ev.Level), ev.Bytes)
 		}
 		if t0, ok := s.storeSince[[3]int{ev.Rank, ev.Wave, ev.Server}]; ok {
 			delete(s.storeSince, [3]int{ev.Rank, ev.Wave, ev.Server})
@@ -176,5 +195,22 @@ func (s *MetricsSink) Emit(ev Event) {
 		s.m.Inc(MAppCkpts)
 	case EvAppRestore:
 		s.m.Inc(MAppRestores)
+	case EvDrainBegin:
+		s.drainSince[[3]int{ev.Rank, ev.Wave, ev.Level}] = ev.T
+	case EvDrainEnd:
+		s.m.Add(MDrainBytes, ev.Bytes)
+		s.m.Add(fmt.Sprintf("%s.l%d", MLevelBytes, ev.Level), ev.Bytes)
+		if t0, ok := s.drainSince[[3]int{ev.Rank, ev.Wave, ev.Level}]; ok {
+			delete(s.drainSince, [3]int{ev.Rank, ev.Wave, ev.Level})
+			s.m.Observe(MDrainTime, ev.T-t0)
+		}
+	case EvLevelEvict:
+		s.m.Inc(MEvictions)
+		s.m.Add(MEvictedBytes, ev.Bytes)
+		s.m.Add(fmt.Sprintf("%s.l%d", MEvictedBytes, ev.Level), ev.Bytes)
+	case EvBufferKilled:
+		s.m.Inc(MBufferFailures)
+	case EvPFSKilled:
+		s.m.Inc(MPFSFailures)
 	}
 }

@@ -138,6 +138,22 @@ const (
 	// Detail says from which source (own snapshot, partner copy, or a
 	// fresh start when no snapshot existed yet).
 	EvAppRestore
+	// EvDrainBegin: the asynchronous copy of (Rank, Wave)'s image from
+	// storage level Level-1 down to Level started; Bytes is the stored
+	// (possibly incremental/compressed) size.
+	EvDrainBegin
+	// EvDrainEnd: the drain completed; the image is resident at Level.
+	EvDrainEnd
+	// EvBufferKilled: the node-local checkpoint buffer on machine Node was
+	// lost (buffer failure class, or the node itself died); staged images
+	// not yet drained are gone.
+	EvBufferKilled
+	// EvPFSKilled: parallel-file-system target Server was lost; every
+	// image with a stripe on it is unreadable.
+	EvPFSKilled
+	// EvLevelEvict: storage level Level evicted (Rank, Wave)'s image to
+	// respect its capacity or retention bound; Bytes is the freed size.
+	EvLevelEvict
 
 	numEventTypes
 )
@@ -154,6 +170,7 @@ var eventNames = [numEventTypes]string{
 	"component-dead", "rank-done", "counter-sample",
 	"proc-failed", "revoked", "repair-begin", "repair-end", "repair-abort",
 	"app-ckpt", "app-restore",
+	"drain-begin", "drain-end", "buffer-killed", "pfs-killed", "level-evict",
 }
 
 // String returns the event type's kebab-case name.
@@ -182,8 +199,14 @@ type Event struct {
 	Channel int
 	// Node is the machine involved (EvNodeLost), -1 otherwise.
 	Node int
-	// Server is the checkpoint server index, -1 otherwise.
+	// Server is the checkpoint server index, -1 otherwise.  For
+	// EvPFSKilled it is the PFS target index.
 	Server int
+	// Level is the storage-hierarchy level the event concerns (0 = the
+	// topmost configured level).  0 also for events that predate the
+	// hierarchy; level-scoped events (drain, evict, buffer/pfs kills)
+	// always carry it explicitly.
+	Level int
 	// Bytes is the payload/image/log size when the event moves data.
 	Bytes int64
 	// Seq is the per-pair protocol sequence number for logged/replayed

@@ -165,13 +165,21 @@ func (s *ChromeStreamSink) Emit(ev Event) {
 	case EvLocalCkptEnd:
 		s.instant(fmt.Sprintf("snapshot (wave %d)", ev.Wave), pidRanks, ev.Rank, ev, nil)
 	case EvImageStoreBegin:
-		s.async("b", fmt.Sprintf("store r%d w%d", ev.Rank, ev.Wave),
+		pid, tid, name := pidServers, ev.Server, fmt.Sprintf("store r%d w%d", ev.Rank, ev.Wave)
+		if ev.Server < 0 { // node-local buffer store: render on the rank
+			pid, tid, name = pidRanks, ev.Rank, fmt.Sprintf("buffer store w%d", ev.Wave)
+		}
+		s.async("b", name,
 			fmt.Sprintf("img:%d:%d:%d", ev.Rank, ev.Wave, ev.Server),
-			pidServers, ev.Server, ev, map[string]any{"bytes": ev.Bytes})
+			pid, tid, ev, map[string]any{"bytes": ev.Bytes})
 	case EvImageStoreEnd:
-		s.async("e", fmt.Sprintf("store r%d w%d", ev.Rank, ev.Wave),
+		pid, tid, name := pidServers, ev.Server, fmt.Sprintf("store r%d w%d", ev.Rank, ev.Wave)
+		if ev.Server < 0 {
+			pid, tid, name = pidRanks, ev.Rank, fmt.Sprintf("buffer store w%d", ev.Wave)
+		}
+		s.async("e", name,
 			fmt.Sprintf("img:%d:%d:%d", ev.Rank, ev.Wave, ev.Server),
-			pidServers, ev.Server, ev, nil)
+			pid, tid, ev, nil)
 	case EvLogShipBegin:
 		s.async("b", fmt.Sprintf("logs r%d w%d", ev.Rank, ev.Wave),
 			fmt.Sprintf("log:%d:%d:%d", ev.Rank, ev.Wave, ev.Server),
@@ -227,6 +235,21 @@ func (s *ChromeStreamSink) Emit(ev Event) {
 			Pid: pidRuntime, Tid: 0, Args: map[string]any{"value": ev.Bytes}})
 	case EvJobComplete:
 		s.instant("job complete", pidRuntime, 0, ev, nil)
+	case EvDrainBegin:
+		s.async("b", fmt.Sprintf("drain r%d w%d → L%d", ev.Rank, ev.Wave, ev.Level),
+			fmt.Sprintf("drn:%d:%d:%d", ev.Rank, ev.Wave, ev.Level),
+			pidRuntime, 0, ev, map[string]any{"bytes": ev.Bytes, "level": ev.Level})
+	case EvDrainEnd:
+		s.async("e", fmt.Sprintf("drain r%d w%d → L%d", ev.Rank, ev.Wave, ev.Level),
+			fmt.Sprintf("drn:%d:%d:%d", ev.Rank, ev.Wave, ev.Level),
+			pidRuntime, 0, ev, nil)
+	case EvBufferKilled:
+		s.instant(fmt.Sprintf("buffer on node %d lost", ev.Node), pidRuntime, 0, ev, nil)
+	case EvPFSKilled:
+		s.instant(fmt.Sprintf("pfs target %d lost", ev.Server), pidRuntime, 0, ev, nil)
+	case EvLevelEvict:
+		s.instant(fmt.Sprintf("evict r%d w%d (L%d)", ev.Rank, ev.Wave, ev.Level),
+			pidRuntime, 0, ev, map[string]any{"bytes": ev.Bytes})
 	}
 }
 

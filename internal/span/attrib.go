@@ -8,7 +8,7 @@ import (
 	"ftckpt/internal/sim"
 )
 
-// Breakdown splits a stretch of virtual time into the ten phases of the
+// Breakdown splits a stretch of virtual time into the phases of the
 // paper's cost decomposition.  All values are integer virtual nanoseconds;
 // a rank's breakdown sums exactly to the run's completion time.
 type Breakdown struct {
@@ -30,6 +30,10 @@ type Breakdown struct {
 	// QuorumWait is the replication tail: first replica stored, last
 	// replica (the write quorum) still outstanding.
 	QuorumWait sim.Time `json:"quorum_wait_ns"`
+	// Drain is the storage hierarchy's background push: a staged image in
+	// flight from the node buffer to the servers or from the servers to
+	// the PFS.  Off the commit path, but it contends for the network.
+	Drain sim.Time `json:"drain_ns"`
 	// Detection is the heartbeat detector's latency: component dead,
 	// dispatcher not yet aware.
 	Detection sim.Time `json:"detection_ns"`
@@ -60,6 +64,8 @@ func (b *Breakdown) addPhase(phase int, d sim.Time) {
 		b.ImageTransfer += d
 	case phaseQuorum:
 		b.QuorumWait += d
+	case phaseDrain:
+		b.Drain += d
 	case phaseDetection:
 		b.Detection += d
 	case phaseRollback:
@@ -79,6 +85,7 @@ func (b *Breakdown) accum(o Breakdown) {
 	b.Logging += o.Logging
 	b.ImageTransfer += o.ImageTransfer
 	b.QuorumWait += o.QuorumWait
+	b.Drain += o.Drain
 	b.Detection += o.Detection
 	b.Rollback += o.Rollback
 	b.Repair += o.Repair
@@ -88,8 +95,8 @@ func (b *Breakdown) accum(o Breakdown) {
 // Total sums every phase.
 func (b Breakdown) Total() sim.Time {
 	return b.Compute + b.Coordination + b.Freeze + b.Logging +
-		b.ImageTransfer + b.QuorumWait + b.Detection + b.Rollback +
-		b.Repair + b.Replay
+		b.ImageTransfer + b.QuorumWait + b.Drain + b.Detection +
+		b.Rollback + b.Repair + b.Replay
 }
 
 // Overhead sums every phase except compute.
@@ -110,6 +117,7 @@ func (b Breakdown) phaseList() []struct {
 		{"logging", b.Logging},
 		{"image-transfer", b.ImageTransfer},
 		{"quorum-wait", b.QuorumWait},
+		{"drain", b.Drain},
 		{"detection", b.Detection},
 		{"rollback", b.Rollback},
 		{"repair", b.Repair},

@@ -5,15 +5,16 @@
 // events (Event.Span / Event.Cause).  On top of the reassembled DAG it
 // computes the per-phase overhead attribution the paper's analysis calls
 // for: a conservation-checked breakdown of virtual completion time into
-// compute, coordination, freeze, logging, image transfer, quorum wait,
-// detection latency, rollback and replay — per rank, aggregated, and
-// along the run's critical path specifically.
+// compute, coordination, freeze, logging, image transfer, hierarchy
+// drain, quorum wait, detection latency, rollback and replay — per rank,
+// aggregated, and along the run's critical path specifically.
 //
 // The conservation invariant is structural, not statistical: every rank's
 // timeline [0, completion] is partitioned exactly once, with overlapping
 // phase windows resolved by a fixed precedence (detection > rollback >
-// repair > replay > freeze > coordination > quorum wait > image transfer >
-// logging) and compute defined as the remainder, so the per-rank breakdown
+// repair > replay > freeze > coordination > drain > quorum wait > image
+// transfer > logging) and compute defined as the remainder, so the
+// per-rank breakdown
 // sums to the completion time by construction, in integer nanoseconds.
 // Check re-verifies the invariant on a finished Attribution.
 //
@@ -40,6 +41,7 @@ const (
 	phaseReplay
 	phaseFreeze
 	phaseCoordination
+	phaseDrain // storage-hierarchy drain (buffer→servers, servers→PFS)
 	phaseQuorum
 	phaseImage
 	phaseLogging
@@ -165,6 +167,7 @@ type rankState struct {
 	freeze    ivals
 	logging   ivals
 	image     ivals
+	drain     ivals
 	quorum    ivals
 	detection ivals
 	rollback  ivals
@@ -205,6 +208,7 @@ type Builder struct {
 	markers map[uint64]markerFlight
 	xfers   map[xferKey]xfer // open image stores
 	ships   map[xferKey]xfer // open log shipments
+	drains  map[xferKey]xfer // open hierarchy drains
 	quorums map[rankWave]*quorumTrack
 	imgSize map[rankWave]int64
 
@@ -225,6 +229,7 @@ func NewBuilder(np int, proto string) *Builder {
 		markers:     make(map[uint64]markerFlight),
 		xfers:       make(map[xferKey]xfer),
 		ships:       make(map[xferKey]xfer),
+		drains:      make(map[xferKey]xfer),
 		quorums:     make(map[rankWave]*quorumTrack),
 		imgSize:     make(map[rankWave]int64),
 		pendingKill: make(map[int]sim.Time),
@@ -295,6 +300,17 @@ func (b *Builder) Emit(ev obs.Event) {
 	case obs.EvLogShipBegin:
 		if b.rank(ev.Rank) != nil {
 			b.ships[keyOf(ev)] = xfer{Rank: ev.Rank, Begin: ev.T}
+		}
+	case obs.EvDrainBegin:
+		if b.rank(ev.Rank) != nil {
+			b.drains[keyOf(ev)] = xfer{Rank: ev.Rank, Begin: ev.T}
+		}
+	case obs.EvDrainEnd:
+		if x, ok := b.drains[keyOf(ev)]; ok {
+			delete(b.drains, keyOf(ev))
+			if rs := b.rank(x.Rank); rs != nil {
+				rs.drain.add(x.Begin, ev.T)
+			}
 		}
 	case obs.EvLogShipEnd:
 		if x, ok := b.ships[keyOf(ev)]; ok {
@@ -540,6 +556,10 @@ func partition(rs *rankState, total sim.Time) []segment {
 		{rs.repair, phaseRepair},
 		{rs.replay, phaseReplay},
 		{rs.freeze, phaseFreeze},
+		// Drain outranks the quorum/image windows of the server stores it
+		// contains: with staging, the background push down the hierarchy
+		// is its own cost class, not image-transfer time.
+		{rs.drain, phaseDrain},
 		{rs.quorum, phaseQuorum},
 		{rs.image, phaseImage},
 		{rs.logging, phaseLogging},

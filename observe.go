@@ -70,11 +70,16 @@ const (
 	EvRepairAbort      = obs.EvRepairAbort
 	EvAppCkpt          = obs.EvAppCkpt
 	EvAppRestore       = obs.EvAppRestore
+	EvDrainBegin       = obs.EvDrainBegin
+	EvDrainEnd         = obs.EvDrainEnd
+	EvBufferKilled     = obs.EvBufferKilled
+	EvPFSKilled        = obs.EvPFSKilled
+	EvLevelEvict       = obs.EvLevelEvict
 )
 
 // Attribution is a conservation-checked per-phase breakdown of a run's
 // virtual completion time — compute, coordination, freeze, logging, image
-// transfer, quorum wait, detection, rollback, replay — per rank, in
+// transfer, quorum wait, drain, detection, rollback, replay — per rank, in
 // aggregate, and along the run's critical path.  Produced on
 // Report.Attribution when Options.Attribution is set; its Check method
 // re-verifies the conservation invariant, WriteJSON emits the

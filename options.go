@@ -94,9 +94,9 @@ const (
 )
 
 // Failure schedules the kill of one component at a virtual time.  Build
-// values with KillRank, KillNode or KillServer; the raw struct-literal
-// form (Kind plus the matching index field) is deprecated but still
-// honoured.  Kind "" means "rank".
+// values with KillRank, KillNode, KillServer, KillBuffer or KillPFS; the
+// raw struct-literal form (Kind plus the matching index field) is
+// deprecated but still honoured.  Kind "" means "rank".
 type Failure struct {
 	At     time.Duration
 	Kind   string
@@ -122,6 +122,21 @@ func KillServer(at time.Duration, server int) Failure {
 	return Failure{At: at, Kind: "server", Server: server}
 }
 
+// KillBuffer schedules the loss of one compute node's staging buffer
+// (storage-hierarchy runs only): its staged images vanish and in-flight
+// drains are cancelled, but the node and its ranks keep running —
+// restores fall through to the servers or the PFS.
+func KillBuffer(at time.Duration, node int) Failure {
+	return Failure{At: at, Kind: "buffer", Node: node}
+}
+
+// KillPFS schedules the loss of one parallel-file-system target
+// (storage-hierarchy runs only): stripes on it become unreadable, so
+// images needing that target can no longer be served from the PFS level.
+func KillPFS(at time.Duration, target int) Failure {
+	return Failure{At: at, Kind: "pfs", Server: target}
+}
+
 // ReplicationSpec groups the checkpoint-image replication knobs.
 type ReplicationSpec struct {
 	// Replicas keeps that many copies of every image and log set across
@@ -145,6 +160,79 @@ type HeartbeatSpec struct {
 	Timeout time.Duration
 }
 
+// LevelKind names a tier of the checkpoint storage hierarchy.
+type LevelKind string
+
+// Storage level kinds, fastest to most durable.
+const (
+	// LevelBuffer is a node-local staging buffer: each compute node
+	// absorbs its ranks' images at local-memory speed and drains them to
+	// the next level in the background.  Lost with the node.
+	LevelBuffer LevelKind = "buffer"
+	// LevelServers is the paper's checkpoint-server tier — dedicated
+	// nodes holding replicated images, the only mandatory level.
+	LevelServers LevelKind = "servers"
+	// LevelPFS is a parallel file system: images striped across Targets
+	// backend targets, slowest but most durable.
+	LevelPFS LevelKind = "pfs"
+)
+
+// LevelSpec describes one tier of a StorageSpec.  Zero fields take the
+// level kind's defaults; fields that do not apply to a kind must stay
+// zero (Servers/Replicas/WriteQuorum are for LevelServers,
+// Targets/Stripes for LevelPFS).
+type LevelSpec struct {
+	// Kind is the tier: LevelBuffer, LevelServers or LevelPFS.
+	Kind LevelKind
+	// Servers, Replicas, WriteQuorum, StoreRetries and RetryBackoff are
+	// the LevelServers knobs — the same knobs ReplicationSpec and
+	// Options.Servers configure for the flat single-level model.
+	Servers      int
+	Replicas     int
+	WriteQuorum  int
+	StoreRetries int
+	RetryBackoff time.Duration
+	// Bandwidth (bytes/s) and Latency shape the level's transfer model
+	// for LevelBuffer and LevelPFS (LevelServers uses the platform
+	// network).  0 keeps the kind's default.
+	Bandwidth float64
+	Latency   time.Duration
+	// Capacity bounds a buffer level's staged bytes per node (0 =
+	// unbounded); the oldest staged image is evicted when full.
+	// Retention bounds staged images per rank the same way.
+	Capacity  int64
+	Retention int
+	// Targets is the PFS backend-target count (default 4); Stripes is
+	// how many targets one image is striped across (default 2).
+	Targets int
+	Stripes int
+}
+
+// StorageSpec describes a multi-level checkpoint storage hierarchy:
+// Levels ordered fastest-first (an optional LevelBuffer, the mandatory
+// LevelServers, an optional LevelPFS last).  Writes complete at the
+// fastest level and drain down asynchronously; restores search from the
+// fastest level and fall through on a miss or a failed level.  Setting
+// Storage conflicts with Options.Servers and Options.Replication — the
+// servers level carries those knobs instead.
+type StorageSpec struct {
+	// Levels, fastest first.  A single {Kind: LevelServers} level is the
+	// flat model expressed in the new form.
+	Levels []LevelSpec
+	// Incremental switches to dirty-region checkpoints: every FullEvery-th
+	// image per rank is full (default 4), the others carry only the
+	// regions touched since — DirtyFraction of the image per elapsed
+	// interval (default 0.35), restore replaying the chain since the
+	// last full image.
+	Incremental   bool
+	FullEvery     int
+	DirtyFraction float64
+	// Compress scales stored and restored bytes by CompressRatio
+	// (default 0.6) before they hit any level.
+	Compress      bool
+	CompressRatio float64
+}
+
 // Options describes one fault-tolerant MPI run.
 type Options struct {
 	// Workload selects the application: WorkloadBT, WorkloadCG,
@@ -165,24 +253,19 @@ type Options struct {
 	Protocol Protocol
 	Interval time.Duration
 	// Servers is the number of checkpoint servers (default 1 when
-	// checkpointing).
+	// checkpointing).  Conflicts with Storage, whose servers level
+	// carries the count instead.
 	Servers int
 	// Replication groups the replication knobs; nil keeps the paper's
-	// single-copy model (or the deprecated flat fields below).
+	// single-copy model.  Conflicts with Storage.
 	Replication *ReplicationSpec
 	// Heartbeat enables the ping/timeout failure detector; nil keeps
-	// instant failure detection (or the deprecated flat fields below).
+	// instant failure detection.
 	Heartbeat *HeartbeatSpec
-	//
-	// Deprecated: the flat replication and heartbeat fields below are
-	// shims for the pre-spec API; use Replication and Heartbeat.  Setting
-	// both a sub-struct and a conflicting flat field is an error.
-	Replicas         int
-	WriteQuorum      int
-	StoreRetries     int
-	RetryBackoff     time.Duration
-	HeartbeatPeriod  time.Duration
-	HeartbeatTimeout time.Duration
+	// Storage selects the multi-level checkpoint storage hierarchy; nil
+	// keeps the flat single-level server model that Servers and
+	// Replication configure.
+	Storage *StorageSpec
 	// Platform is PlatformEthernet (default), PlatformMyrinetGM,
 	// PlatformMyrinetTCP or PlatformGrid.
 	Platform Platform
@@ -207,8 +290,8 @@ type Options struct {
 	// metrics, traces and attribution are byte-identical at every shard
 	// count — sharding only spreads the event-queue work across cores.
 	Shards int
-	// Failures schedules component kills (KillRank, KillNode,
-	// KillServer); MTTF adds memoryless rank failures, ServerMTTF and
+	// Failures schedules component kills (KillRank, KillNode, KillServer,
+	// KillBuffer, KillPFS); MTTF adds memoryless rank failures, ServerMTTF and
 	// NodeMTTF the same for checkpoint servers and compute nodes (each
 	// an independent failure process).
 	Failures   []Failure
