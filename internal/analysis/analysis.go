@@ -1,5 +1,5 @@
 // Package analysis implements ftlint, the repository's static-analysis
-// suite.  Four analyzers encode the house invariants that the golden
+// suite.  Seven analyzers encode the house invariants that the golden
 // byte-identity tests can only check dynamically:
 //
 //   - nodeterm: simulation packages must not read wall-clock time or
@@ -17,6 +17,24 @@
 //   - metricowner: the obs.Metrics registry is single-writer; a metric
 //     name literal must not be mutated from more than one
 //     goroutine-spawning scope.
+//   - shardconfine: state marked //ftlint:shardlocal (a shard's staging
+//     heap, inbox, run queue, free list and dead counter) may only be
+//     written through its owner or through functions marked
+//     //ftlint:crossshard — the inbox/merge APIs of the sharded kernel.
+//     Aliases are tracked by the dataflow engine, so a heap slice copied
+//     into a local and mutated elsewhere is still caught.
+//   - spanbalance: an EvXxxBegin-family emit must be matched by its End
+//     (or Abort) on every return and panic path of the function, unless
+//     the span handle demonstrably hands off to a later closer (stored
+//     into a field, captured by a completion callback that closes it, or
+//     declared with //ftlint:handoff, which in turn requires a closer to
+//     exist in the package).
+//   - errtype: typed-error discipline — FT panics classified only via
+//     mpi.AsFTError, FT/Config error values matched with errors.Is or
+//     errors.As (never == or direct type assertion), fmt.Errorf wrapping
+//     errors with %w (never %s/%v), and no discarded error results from
+//     the checkpoint-commit layer unless the callee is marked
+//     //ftlint:besteffort.
 //
 // The driver deliberately mirrors the golang.org/x/tools/go/analysis API
 // (Analyzer, Pass, Reportf, analysistest-style fixtures with // want
@@ -26,15 +44,24 @@
 // real multichecker later is a mechanical substitution — the analyzer
 // bodies already speak its vocabulary.
 //
+// On top of the analyzers the driver enforces waiver hygiene: an
+// //ftlint:allow or //ftlint:ordered comment that no longer suppresses
+// any diagnostic of an enabled analyzer is itself reported (analyzer
+// name "deadwaiver"), so waivers cannot outlive the code they excused.
+//
 // Waiver directives, checked at the diagnostic's line or the line above:
 //
 //	//ftlint:allow <analyzer>[,<analyzer>...]   suppress named analyzers
 //	//ftlint:ordered                            mapiter: order proven total
+//	//ftlint:handoff                            spanbalance: closer elsewhere
 //
 // Marker directives, attached to declarations:
 //
-//	//ftlint:pooled   (type doc)   values of this type are pool-recycled
-//	//ftlint:pool     (field/var)  sanctioned holder of pooled pointers
+//	//ftlint:pooled      (type doc)   values of this type are pool-recycled
+//	//ftlint:pool        (field/var)  sanctioned holder of pooled pointers
+//	//ftlint:shardlocal  (field/var)  state confined to one shard's staging
+//	//ftlint:crossshard  (func doc)   sanctioned cross-shard mutation point
+//	//ftlint:besteffort  (func doc)   callers may discard the error result
 package analysis
 
 import (
@@ -55,11 +82,21 @@ type Analyzer struct {
 	Run  func(*Pass) error
 }
 
+// A TextEdit is one span of source to replace — the unit of a suggested
+// fix.  Pos == End inserts.
+type TextEdit struct {
+	Pos token.Pos
+	End token.Pos
+	New string
+}
+
 // A Diagnostic is one finding, positioned for file:line:col rendering.
+// Fixes, when non-empty, are mechanical rewrites `ftlint -fix` applies.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fixes    []TextEdit
 }
 
 func (d Diagnostic) String() string {
@@ -77,61 +114,132 @@ type Pass struct {
 	// load, so pooled types declared in internal/sim are known when
 	// analyzing internal/ckpt.
 	Markers *Markers
+	// Summaries is the cross-package function summary table built by the
+	// dataflow engine over every package in the load.
+	Summaries *Summaries
 
-	// waivers maps file name -> line -> comma-joined directive payloads
-	// ("allow nodeterm", "ordered") present on that line.
-	waivers map[string]map[int][]string
+	// waivers maps file name -> line -> directive records present on that
+	// line.  Shared across analyzers so usage accumulates for the
+	// dead-waiver check.
+	waivers waiverIndex
 
 	diags *[]Diagnostic
 }
 
 // Reportf records a diagnostic at pos unless a waiver directive covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, nil, format, args...)
+}
+
+// ReportfFix is Reportf with a suggested mechanical rewrite attached.
+func (p *Pass) ReportfFix(pos token.Pos, fixes []TextEdit, format string, args ...any) {
+	p.report(pos, fixes, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, fixes []TextEdit, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.waivedAt(position, p.Analyzer.Name) {
+	if p.waivers.waivedAt(position, p.Analyzer.Name) {
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      position,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+		Fixes:    fixes,
 	})
 }
 
-// Waived reports whether a directive suppresses this analyzer at pos —
-// for analyzers that want to prune work early (mapiter checks the range
-// statement once instead of each sink inside it).
-func (p *Pass) Waived(pos token.Pos) bool {
-	return p.waivedAt(p.Fset.Position(pos), p.Analyzer.Name)
-}
-
-func (p *Pass) waivedAt(position token.Position, analyzer string) bool {
-	lines := p.waivers[position.Filename]
-	for _, line := range []int{position.Line, position.Line - 1} {
-		for _, payload := range lines[line] {
-			if payload == "ordered" && analyzer == "mapiter" {
-				return true
-			}
-			rest, ok := strings.CutPrefix(payload, "allow")
-			if !ok {
-				continue
-			}
-			for _, name := range strings.Split(rest, ",") {
-				if strings.TrimSpace(name) == analyzer {
-					return true
-				}
-			}
-		}
-	}
-	return false
+// Handoff reports whether an //ftlint:handoff directive marks pos (the
+// line or the line above).  Consulting it counts as use, like a waiver.
+func (p *Pass) Handoff(pos token.Pos) bool {
+	return p.waivers.directiveAt(p.Fset.Position(pos), "handoff")
 }
 
 // directivePrefix introduces every ftlint comment directive.
 const directivePrefix = "//ftlint:"
 
+// waiverRec is one line directive occurrence, tracking whether it ever
+// suppressed (or sanctioned) a diagnostic.
+type waiverRec struct {
+	payload    string // "allow nodeterm,mapiter", "ordered", "handoff"
+	pos        token.Position
+	cPos, cEnd token.Pos // the comment's extent, for the removal fix
+	used       bool
+}
+
+// analyzers returns the analyzer names the waiver speaks for: the names
+// listed by an allow directive, mapiter for ordered, spanbalance for
+// handoff, nil for marker payloads that are not line waivers.
+func (w *waiverRec) analyzers() []string {
+	switch {
+	case w.payload == "ordered":
+		return []string{"mapiter"}
+	case w.payload == "handoff":
+		return []string{"spanbalance"}
+	default:
+		rest, ok := strings.CutPrefix(w.payload, "allow")
+		if !ok {
+			return nil
+		}
+		var names []string
+		for _, name := range strings.Split(rest, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+		return names
+	}
+}
+
+// waiverIndex maps file name -> line -> directive records on that line.
+type waiverIndex map[string]map[int][]*waiverRec
+
+// waivedAt reports whether a waiver suppresses analyzer at position,
+// marking any matching record used.  Handoff is not a waiver: it
+// sanctions a validated pattern, and its own validation diagnostic must
+// not be self-suppressed — it participates only through directiveAt and
+// the dead-waiver check.
+func (idx waiverIndex) waivedAt(position token.Position, analyzer string) bool {
+	hit := false
+	lines := idx[position.Filename]
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, rec := range lines[line] {
+			if rec.payload == "handoff" {
+				continue
+			}
+			for _, name := range rec.analyzers() {
+				if name == analyzer {
+					rec.used = true
+					hit = true
+				}
+			}
+		}
+	}
+	return hit
+}
+
+// directiveAt reports whether the exact directive payload appears at the
+// position's line or the line above, marking matches used.
+func (idx waiverIndex) directiveAt(position token.Position, payload string) bool {
+	hit := false
+	lines := idx[position.Filename]
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, rec := range lines[line] {
+			if rec.payload == payload {
+				rec.used = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
 // collectWaivers builds the file/line directive index for one package.
-func collectWaivers(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
-	out := make(map[string]map[int][]string)
+// Marker payloads (pooled, pool, shardlocal, ...) are excluded — they
+// attach to declarations, not diagnostic lines, and must not show up as
+// dead waivers.
+func collectWaivers(fset *token.FileSet, files []*ast.File) waiverIndex {
+	out := make(waiverIndex)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -139,36 +247,67 @@ func collectWaivers(fset *token.FileSet, files []*ast.File) map[string]map[int][
 				if !ok {
 					continue
 				}
+				// Trailing commentary after the directive ("//ftlint:ordered
+				// // keys sorted above") is not part of the payload.
+				if i := strings.Index(payload, "//"); i >= 0 {
+					payload = payload[:i]
+				}
 				payload = strings.TrimSpace(payload)
+				if !isLineDirective(payload) {
+					continue
+				}
 				position := fset.Position(c.Pos())
 				lines := out[position.Filename]
 				if lines == nil {
-					lines = make(map[int][]string)
+					lines = make(map[int][]*waiverRec)
 					out[position.Filename] = lines
 				}
-				lines[position.Line] = append(lines[position.Line], payload)
+				lines[position.Line] = append(lines[position.Line],
+					&waiverRec{payload: payload, pos: position, cPos: c.Pos(), cEnd: c.End()})
 			}
 		}
 	}
 	return out
 }
 
-// Markers is the cross-package table of //ftlint:pooled and //ftlint:pool
-// declarations.  Keys are position-independent so that the same type is
-// recognized whether it was type-checked by the driver or re-checked as a
-// dependency: "pkgpath.Type" for pooled types, "pkgpath.Type.Field" for
-// sanctioned pool fields and "pkgpath.var" for sanctioned pool variables.
+// isLineDirective distinguishes line waivers from declaration markers.
+func isLineDirective(payload string) bool {
+	return payload == "ordered" || payload == "handoff" || strings.HasPrefix(payload, "allow")
+}
+
+// Markers is the cross-package table of declaration directives.  Keys are
+// position-independent so that the same declaration is recognized whether
+// it was type-checked by the driver or re-checked as a dependency:
+// "pkgpath.Type" for types, "pkgpath.Type.Field" for fields,
+// "pkgpath.var" for package variables and "pkgpath.Func" /
+// "pkgpath.Type.Method" for functions.
 type Markers struct {
 	PooledTypes map[string]bool
 	PoolFields  map[string]bool
 	PoolVars    map[string]bool
+
+	// ShardLocalFields / ShardLocalVars hold state confined to one
+	// shard's staging context (//ftlint:shardlocal).
+	ShardLocalFields map[string]bool
+	ShardLocalVars   map[string]bool
+	// CrossShardFuncs are the sanctioned cross-shard mutation points
+	// (//ftlint:crossshard): the inbox/merge APIs and the executor code
+	// that runs while every shard worker is parked.
+	CrossShardFuncs map[string]bool
+	// BestEffortFuncs may have their error result discarded by callers
+	// (//ftlint:besteffort).
+	BestEffortFuncs map[string]bool
 }
 
 func newMarkers() *Markers {
 	return &Markers{
-		PooledTypes: make(map[string]bool),
-		PoolFields:  make(map[string]bool),
-		PoolVars:    make(map[string]bool),
+		PooledTypes:      make(map[string]bool),
+		PoolFields:       make(map[string]bool),
+		PoolVars:         make(map[string]bool),
+		ShardLocalFields: make(map[string]bool),
+		ShardLocalVars:   make(map[string]bool),
+		CrossShardFuncs:  make(map[string]bool),
+		BestEffortFuncs:  make(map[string]bool),
 	}
 }
 
@@ -194,60 +333,132 @@ func hasDirective(want string, groups ...*ast.CommentGroup) bool {
 func (m *Markers) collect(pkgPath string, files []*ast.File) {
 	for _, f := range files {
 		for _, decl := range f.Decls {
-			gd, ok := decl.(*ast.GenDecl)
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				key := funcDeclKey(pkgPath, decl)
+				if hasDirective("crossshard", decl.Doc) {
+					m.CrossShardFuncs[key] = true
+				}
+				if hasDirective("besteffort", decl.Doc) {
+					m.BestEffortFuncs[key] = true
+				}
+			case *ast.GenDecl:
+				m.collectGen(pkgPath, decl)
+			}
+		}
+	}
+}
+
+func (m *Markers) collectGen(pkgPath string, gd *ast.GenDecl) {
+	switch gd.Tok {
+	case token.TYPE:
+		for _, spec := range gd.Specs {
+			ts := spec.(*ast.TypeSpec)
+			if hasDirective("pooled", gd.Doc, ts.Doc, ts.Comment) {
+				m.PooledTypes[pkgPath+"."+ts.Name.Name] = true
+			}
+			st, ok := ts.Type.(*ast.StructType)
 			if !ok {
 				continue
 			}
-			switch gd.Tok {
-			case token.TYPE:
-				for _, spec := range gd.Specs {
-					ts := spec.(*ast.TypeSpec)
-					if hasDirective("pooled", gd.Doc, ts.Doc, ts.Comment) {
-						m.PooledTypes[pkgPath+"."+ts.Name.Name] = true
+			for _, field := range st.Fields.List {
+				pool := hasDirective("pool", field.Doc, field.Comment)
+				local := hasDirective("shardlocal", field.Doc, field.Comment)
+				if !pool && !local {
+					continue
+				}
+				for _, name := range field.Names {
+					key := pkgPath + "." + ts.Name.Name + "." + name.Name
+					if pool {
+						m.PoolFields[key] = true
 					}
-					st, ok := ts.Type.(*ast.StructType)
-					if !ok {
-						continue
-					}
-					for _, field := range st.Fields.List {
-						if !hasDirective("pool", field.Doc, field.Comment) {
-							continue
-						}
-						for _, name := range field.Names {
-							m.PoolFields[pkgPath+"."+ts.Name.Name+"."+name.Name] = true
-						}
+					if local {
+						m.ShardLocalFields[key] = true
 					}
 				}
-			case token.VAR:
-				for _, spec := range gd.Specs {
-					vs := spec.(*ast.ValueSpec)
-					if !hasDirective("pool", gd.Doc, vs.Doc, vs.Comment) {
-						continue
-					}
-					for _, name := range vs.Names {
-						m.PoolVars[pkgPath+"."+name.Name] = true
-					}
+			}
+		}
+	case token.VAR:
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			pool := hasDirective("pool", gd.Doc, vs.Doc, vs.Comment)
+			local := hasDirective("shardlocal", gd.Doc, vs.Doc, vs.Comment)
+			if !pool && !local {
+				continue
+			}
+			for _, name := range vs.Names {
+				if pool {
+					m.PoolVars[pkgPath+"."+name.Name] = true
+				}
+				if local {
+					m.ShardLocalVars[pkgPath+"."+name.Name] = true
 				}
 			}
 		}
 	}
 }
 
+// funcDeclKey builds the marker/summary key for a function declaration:
+// "pkgpath.Name" or "pkgpath.Recv.Name" for methods.
+func funcDeclKey(pkgPath string, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return pkgPath + "." + fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers (T[P]) do not occur in this repository; plain
+	// identifiers cover every method here.
+	if ident, ok := t.(*ast.Ident); ok {
+		return pkgPath + "." + ident.Name + "." + fd.Name.Name
+	}
+	return pkgPath + "." + fd.Name.Name
+}
+
+// funcKey builds the same key from a types.Func object.
+func funcKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		if owner := ownerNamed(sig.Recv().Type()); owner != nil {
+			return fn.Pkg().Path() + "." + owner.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
 // All returns every registered analyzer, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{NoDeterm, MapIter, PoolEscape, MetricOwner}
+	return []*Analyzer{NoDeterm, MapIter, PoolEscape, MetricOwner, ShardConfine, SpanBalance, ErrType}
 }
 
 // Run executes the analyzers over the loaded packages and returns the
-// diagnostics sorted by position then analyzer.
+// diagnostics sorted by position then analyzer.  After the analyzers it
+// runs the driver's own dead-waiver check: a waiver whose named
+// analyzers all ran yet suppressed nothing is reported under the
+// pseudo-analyzer name "deadwaiver".
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	markers := newMarkers()
 	for _, pkg := range pkgs {
 		markers.collect(pkg.Path, pkg.Files)
 	}
+	summaries := buildSummaries(pkgs, markers)
+	enabled := make(map[string]bool)
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
 	var diags []Diagnostic
+	var allWaivers []*waiverRec
 	for _, pkg := range pkgs {
 		waivers := collectWaivers(pkg.Fset, pkg.Files)
+		for _, lines := range waivers {
+			for _, recs := range lines {
+				allWaivers = append(allWaivers, recs...)
+			}
+		}
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -256,6 +467,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 				Markers:   markers,
+				Summaries: summaries,
 				waivers:   waivers,
 				diags:     &diags,
 			}
@@ -264,6 +476,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
+	diags = append(diags, deadWaivers(allWaivers, enabled)...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -278,4 +491,38 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return a.Analyzer < b.Analyzer
 	})
 	return diags, nil
+}
+
+// deadWaivers flags every waiver that (a) names only analyzers that were
+// enabled for this run — a partial `-only` run cannot judge the others —
+// and (b) never suppressed a diagnostic.  The fix deletes the comment.
+func deadWaivers(recs []*waiverRec, enabled map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, rec := range recs {
+		if rec.used {
+			continue
+		}
+		names := rec.analyzers()
+		if len(names) == 0 {
+			continue
+		}
+		covered := true
+		for _, name := range names {
+			if !enabled[name] {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      rec.pos,
+			Analyzer: "deadwaiver",
+			Message: fmt.Sprintf("//ftlint:%s suppresses no diagnostic; remove dead waiver",
+				rec.payload),
+			Fixes: []TextEdit{{Pos: rec.cPos, End: rec.cEnd, New: ""}},
+		})
+	}
+	return out
 }

@@ -1,0 +1,295 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds a statement-level control-flow graph over a function
+// body, precise enough for "does every path from this statement reach a
+// closer before an exit" queries.  Nodes are statements; compound
+// statements (if/for/switch/select) get one header node owning their
+// init/cond expressions, with edges into the branch bodies.  Three
+// synthetic exit nodes distinguish how a path leaves the function:
+// return, panic, or falling off the end.
+//
+// Approximations, chosen to stay small and biased toward extra edges
+// (extra paths can only cause false positives, which the fixtures pin):
+// labeled break/continue bind to the innermost loop, goto and
+// fallthrough fall through to the next statement, and a select with no
+// clauses falls through.
+
+type exitKind int
+
+const (
+	exitNone exitKind = iota
+	exitReturn
+	exitPanic
+	exitFall
+)
+
+type cfgNode struct {
+	stmt  ast.Stmt // nil for the synthetic exits
+	succs []*cfgNode
+	exit  exitKind
+}
+
+type funcCFG struct {
+	entry  *cfgNode
+	byStmt map[ast.Stmt]*cfgNode
+	defers []*ast.DeferStmt
+
+	retExit, panicExit, fallExit *cfgNode
+}
+
+type cfgBuilder struct {
+	cfg       *funcCFG
+	breaks    []*cfgNode
+	continues []*cfgNode
+}
+
+// buildCFG constructs the graph for one function (or function literal)
+// body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	cfg := &funcCFG{
+		byStmt:    make(map[ast.Stmt]*cfgNode),
+		retExit:   &cfgNode{exit: exitReturn},
+		panicExit: &cfgNode{exit: exitPanic},
+		fallExit:  &cfgNode{exit: exitFall},
+	}
+	b := &cfgBuilder{cfg: cfg}
+	cfg.entry = b.stmts(body.List, cfg.fallExit)
+	return cfg
+}
+
+func (b *cfgBuilder) node(s ast.Stmt) *cfgNode {
+	n := &cfgNode{stmt: s}
+	b.cfg.byStmt[s] = n
+	return n
+}
+
+// stmts wires a statement list so each statement flows to the next, the
+// last to follow, and returns the entry node of the list.
+func (b *cfgBuilder) stmts(list []ast.Stmt, follow *cfgNode) *cfgNode {
+	next := follow
+	for i := len(list) - 1; i >= 0; i-- {
+		next = b.stmt(list[i], next)
+	}
+	return next
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, follow *cfgNode) *cfgNode {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, follow)
+	case *ast.LabeledStmt:
+		return b.stmt(s.Stmt, follow)
+	case *ast.ReturnStmt:
+		n := b.node(s)
+		n.succs = []*cfgNode{b.cfg.retExit}
+		return n
+	case *ast.ExprStmt:
+		n := b.node(s)
+		if isPanicCall(s.X) {
+			n.succs = []*cfgNode{b.cfg.panicExit}
+		} else {
+			n.succs = []*cfgNode{follow}
+		}
+		return n
+	case *ast.IfStmt:
+		n := b.node(s)
+		n.succs = append(n.succs, b.stmts(s.Body.List, follow))
+		if s.Else != nil {
+			n.succs = append(n.succs, b.stmt(s.Else, follow))
+		} else {
+			n.succs = append(n.succs, follow)
+		}
+		return n
+	case *ast.ForStmt:
+		n := b.node(s)
+		b.breaks = append(b.breaks, follow)
+		b.continues = append(b.continues, n)
+		bodyEntry := b.stmts(s.Body.List, n)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		n.succs = append(n.succs, bodyEntry)
+		if s.Cond != nil {
+			// `for {}` only leaves via break/return; adding the fall
+			// edge there would invent a path that cannot happen.
+			n.succs = append(n.succs, follow)
+		}
+		return n
+	case *ast.RangeStmt:
+		n := b.node(s)
+		b.breaks = append(b.breaks, follow)
+		b.continues = append(b.continues, n)
+		bodyEntry := b.stmts(s.Body.List, n)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		n.succs = append(n.succs, bodyEntry, follow)
+		return n
+	case *ast.SwitchStmt:
+		return b.switchNode(s, s.Body, follow)
+	case *ast.TypeSwitchStmt:
+		return b.switchNode(s, s.Body, follow)
+	case *ast.SelectStmt:
+		n := b.node(s)
+		b.breaks = append(b.breaks, follow)
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			n.succs = append(n.succs, b.stmts(cc.Body, follow))
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if len(n.succs) == 0 {
+			n.succs = []*cfgNode{follow}
+		}
+		return n
+	case *ast.BranchStmt:
+		n := b.node(s)
+		target := follow
+		switch s.Tok {
+		case token.BREAK:
+			if len(b.breaks) > 0 {
+				target = b.breaks[len(b.breaks)-1]
+			}
+		case token.CONTINUE:
+			if len(b.continues) > 0 {
+				target = b.continues[len(b.continues)-1]
+			}
+		}
+		n.succs = []*cfgNode{target}
+		return n
+	case *ast.DeferStmt:
+		n := b.node(s)
+		b.cfg.defers = append(b.cfg.defers, s)
+		n.succs = []*cfgNode{follow}
+		return n
+	default:
+		n := b.node(s)
+		n.succs = []*cfgNode{follow}
+		return n
+	}
+}
+
+// switchNode handles switch and type-switch: an edge into every clause
+// body, plus a skip edge unless a default clause exists.
+func (b *cfgBuilder) switchNode(s ast.Stmt, body *ast.BlockStmt, follow *cfgNode) *cfgNode {
+	n := b.node(s)
+	b.breaks = append(b.breaks, follow)
+	hasDefault := false
+	for _, clause := range body.List {
+		cc := clause.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		n.succs = append(n.succs, b.stmts(cc.Body, follow))
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if !hasDefault {
+		n.succs = append(n.succs, follow)
+	}
+	return n
+}
+
+// isPanicCall matches a direct call to the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	ident, ok := call.Fun.(*ast.Ident)
+	return ok && ident.Name == "panic"
+}
+
+// nodeAt returns the innermost CFG node whose statement span contains
+// pos.  References inside an if/for/switch header resolve to the header
+// node; references inside a branch body resolve to the body statement.
+func (c *funcCFG) nodeAt(pos token.Pos) *cfgNode {
+	var best *cfgNode
+	for s, n := range c.byStmt {
+		if pos < s.Pos() || pos >= s.End() {
+			continue
+		}
+		if best == nil || (s.Pos() >= best.stmt.Pos() && s.End() <= best.stmt.End()) {
+			best = n
+		}
+	}
+	return best
+}
+
+// ownedExprs returns the expression subtrees a node's statement itself
+// evaluates — excluding nested statements that have their own CFG nodes,
+// so an if-header does not absorb its body.  Deferred calls are excluded
+// too: they run at function exit, not at the statement.
+func ownedExprs(s ast.Stmt) []ast.Node {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		out := ownedInit(s.Init)
+		if s.Cond != nil {
+			out = append(out, s.Cond)
+		}
+		return out
+	case *ast.ForStmt:
+		out := ownedInit(s.Init)
+		if s.Cond != nil {
+			out = append(out, s.Cond)
+		}
+		out = append(out, ownedInit(s.Post)...)
+		return out
+	case *ast.RangeStmt:
+		var out []ast.Node
+		for _, e := range []ast.Expr{s.Key, s.Value, s.X} {
+			if e != nil {
+				out = append(out, e)
+			}
+		}
+		return out
+	case *ast.SwitchStmt:
+		out := ownedInit(s.Init)
+		if s.Tag != nil {
+			out = append(out, s.Tag)
+		}
+		return out
+	case *ast.TypeSwitchStmt:
+		out := ownedInit(s.Init)
+		return append(out, ownedInit(s.Assign)...)
+	case *ast.SelectStmt, *ast.DeferStmt:
+		return nil
+	case *ast.ReturnStmt:
+		var out []ast.Node
+		for _, e := range s.Results {
+			out = append(out, e)
+		}
+		return out
+	case *ast.ExprStmt:
+		return []ast.Node{s.X}
+	case *ast.SendStmt:
+		return []ast.Node{s.Chan, s.Value}
+	case *ast.IncDecStmt:
+		return []ast.Node{s.X}
+	case *ast.GoStmt:
+		return []ast.Node{s.Call}
+	case *ast.AssignStmt:
+		var out []ast.Node
+		for _, e := range s.Lhs {
+			out = append(out, e)
+		}
+		for _, e := range s.Rhs {
+			out = append(out, e)
+		}
+		return out
+	case *ast.DeclStmt:
+		return []ast.Node{s.Decl}
+	case *ast.LabeledStmt, *ast.BlockStmt:
+		return nil
+	default:
+		return []ast.Node{s}
+	}
+}
+
+func ownedInit(s ast.Stmt) []ast.Node {
+	if s == nil {
+		return nil
+	}
+	return []ast.Node{s}
+}

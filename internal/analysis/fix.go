@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix attached to diags to the files
+// on disk and returns the paths it rewrote, sorted.  Edits are applied
+// per file in descending offset order so earlier offsets stay valid;
+// overlapping edits keep the first (by diagnostic order) and drop the
+// rest — a second `-fix` run picks up whatever remains, and the
+// idempotency test pins that a clean tree stays byte-identical.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) ([]string, error) {
+	type edit struct {
+		off, end int
+		text     string
+	}
+	perFile := make(map[string][]edit)
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			if !fix.Pos.IsValid() || !fix.End.IsValid() {
+				continue
+			}
+			pos := fset.Position(fix.Pos)
+			end := fset.Position(fix.End)
+			if pos.Filename == "" || pos.Filename != end.Filename {
+				continue
+			}
+			perFile[pos.Filename] = append(perFile[pos.Filename],
+				edit{off: pos.Offset, end: end.Offset, text: fix.New})
+		}
+	}
+	var files []string
+	for name := range perFile {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		edits := perFile[name]
+		sort.SliceStable(edits, func(i, j int) bool { return edits[i].off > edits[j].off })
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: applying fixes: %w", err)
+		}
+		lastStart := len(src) + 1
+		out := src
+		for _, e := range edits {
+			if e.off < 0 || e.end > len(src) || e.off > e.end || e.end > lastStart {
+				continue // out of bounds or overlapping a later-offset edit
+			}
+			out = append(out[:e.off], append([]byte(e.text), out[e.end:]...)...)
+			lastStart = e.off
+		}
+		if err := os.WriteFile(name, out, 0o644); err != nil {
+			return nil, fmt.Errorf("analysis: applying fixes: %w", err)
+		}
+	}
+	return files, nil
+}
+
+// FixCount returns how many of the diagnostics carry at least one
+// applicable fix.
+func FixCount(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			if fix.Pos.IsValid() {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// copyFixture copies every .go file of a fixture dir into a temp dir so
+// ApplyFixes can rewrite them without touching the checked-in sources.
+func copyFixture(t *testing.T, dir string) string {
+	t.Helper()
+	tmp := t.TempDir()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(tmp, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tmp
+}
+
+// readAll concatenates the .go files of a dir in name order.
+func readAll(t *testing.T, dir string) []byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, data...)
+	}
+	return out
+}
+
+// TestFixIdempotent pins the -fix contract: applying the suggested fixes
+// once resolves every fixable diagnostic, and a second -fix run changes
+// nothing — for the mapiter sort-wrapper insertion, the errtype %w
+// rewrite, and the dead-waiver comment removal.
+func TestFixIdempotent(t *testing.T) {
+	cases := []struct {
+		name     string
+		dir      string
+		path     string
+		analyzer *Analyzer
+	}{
+		{"mapiter-sort-insert", "testdata/src/mapiter/sweep", "mapiter.test/sweep", MapIter},
+		{"errtype-wrap", "testdata/src/errtype/errs", "errtype.test/errs", ErrType},
+		{"deadwaiver-removal", "testdata/src/deadwaiver/sweep", "deadwaiver.test/sweep", MapIter},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tmp := copyFixture(t, tc.dir)
+			before := readAll(t, tmp)
+
+			load := func() (*Package, []Diagnostic) {
+				t.Helper()
+				pkg, err := NewLoader().LoadDir(tmp, tc.path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				diags, err := Run([]*Package{pkg}, []*Analyzer{tc.analyzer})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return pkg, diags
+			}
+
+			pkg, diags := load()
+			if FixCount(diags) == 0 {
+				t.Fatal("fixture carries no fixable diagnostics; the test is vacuous")
+			}
+			changed, err := ApplyFixes(pkg.Fset, diags)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(changed) == 0 {
+				t.Fatal("first -fix pass rewrote no files")
+			}
+			after1 := readAll(t, tmp)
+			if bytes.Equal(before, after1) {
+				t.Fatal("first -fix pass left sources byte-identical")
+			}
+
+			// Second pass: every fixable diagnostic must be gone, and
+			// applying again must not move a byte.
+			pkg2, diags2 := load()
+			if n := FixCount(diags2); n != 0 {
+				t.Fatalf("after -fix, %d fixable diagnostic(s) remain: %v", n, diags2)
+			}
+			if _, err := ApplyFixes(pkg2.Fset, diags2); err != nil {
+				t.Fatal(err)
+			}
+			after2 := readAll(t, tmp)
+			if !bytes.Equal(after1, after2) {
+				t.Fatal("second -fix pass changed the sources")
+			}
+		})
+	}
+}

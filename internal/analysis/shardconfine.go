@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ShardConfine guards the invariant the parallel-callback roadmap item
+// rests on: state reachable from a Proc/LP assigned to a shard must not
+// be written from another shard's staging code, except through the
+// inbox/merge APIs.  The mutable staging state (a shard's heap, inbox,
+// run queue, free list, dead counter) is marked //ftlint:shardlocal;
+// the sanctioned mutation points (SetShards, routeSlot, mergeNext, the
+// single-threaded dispatch window) are marked //ftlint:crossshard.
+//
+// A write to marked state — directly, through an element or deref, or
+// through an alias the dataflow engine tracked across assignment chains
+// — is allowed only from (a) a method of the type that owns the marked
+// field (the shard mutating itself is its own staging context), or
+// (b) a //ftlint:crossshard function.  Calling a function whose summary
+// writes marked state is held to the same rule, so an unsanctioned
+// function cannot launder the write through a one-line helper.
+//
+// Soundness caveats (DESIGN §5.13): the alias engine is intra-
+// procedural, so an alias returned from a helper is not tracked; writes
+// through the shared event slab (indexed by slot, not by shard) are
+// outside the marker vocabulary; and summaries record direct writes
+// only, so a two-hop laundering helper needs the middle hop marked.
+var ShardConfine = &Analyzer{
+	Name: "shardconfine",
+	Doc:  "shard-local state is written only by its owner or //ftlint:crossshard functions",
+	Run:  runShardConfine,
+}
+
+func runShardConfine(pass *Pass) error {
+	if !inScope("shardconfine", pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkShardWrites(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkShardWrites(pass *Pass, fd *ast.FuncDecl) {
+	key := funcDeclKey(pass.Pkg.Path(), fd)
+	crossShard := pass.Markers.CrossShardFuncs[key]
+	recvKey := receiverTypeKey(pass, fd)
+	// Function literals inside fd run in fd's context (the staging
+	// worker bodies, dispatch closures), so the whole body shares fd's
+	// sanction — the alias engine also descends into them.
+	flow := analyzeFlow(pass.TypesInfo, fd.Body, pass.Markers)
+
+	sanctioned := func(markerKey string) bool {
+		if crossShard {
+			return true
+		}
+		owner := markerOwner(markerKey)
+		return owner != "" && owner == recvKey
+	}
+	reportWrite := func(n ast.Node, markerKey string) {
+		pass.Reportf(n.Pos(),
+			"write to shard-local %s outside its owner's methods or a //ftlint:crossshard function",
+			shortKey(pass, markerKey))
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				for _, markerKey := range shardWriteTargets(pass, flow, lhs) {
+					if !sanctioned(markerKey) {
+						reportWrite(lhs, markerKey)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			for _, markerKey := range shardWriteTargets(pass, flow, n.X) {
+				if !sanctioned(markerKey) {
+					reportWrite(n.X, markerKey)
+				}
+			}
+		case *ast.CallExpr:
+			callee := staticCallee(pass.TypesInfo, n)
+			if callee == nil {
+				return true
+			}
+			sum := pass.Summaries.Lookup(callee)
+			if sum == nil || sum.CrossShard {
+				return true
+			}
+			for _, markerKey := range sum.WritesShardLocal {
+				if !sanctioned(markerKey) {
+					pass.Reportf(n.Pos(),
+						"call to %s writes shard-local %s from outside its owner or a //ftlint:crossshard function",
+						callee.Name(), shortKey(pass, markerKey))
+				}
+			}
+		}
+		return true
+	})
+	return
+}
+
+// shardWriteTargets resolves an assignment target to the shardlocal
+// marker keys it writes: a marked field or var directly, an element or
+// deref of one, or an element/deref of a local the alias engine tagged.
+func shardWriteTargets(pass *Pass, flow *funcFlow, target ast.Expr) []string {
+	if keys := writeTargets(pass.TypesInfo, target, pass.Markers); len(keys) > 0 {
+		return keys
+	}
+	// Element and deref writes through aliases: `h := sh.heap; h[i] = v`.
+	switch target := target.(type) {
+	case *ast.IndexExpr:
+		return shardAliasKeys(pass, flow, target.X)
+	case *ast.StarExpr:
+		return shardAliasKeys(pass, flow, target.X)
+	case *ast.ParenExpr:
+		return shardWriteTargets(pass, flow, target.X)
+	}
+	return nil
+}
+
+func shardAliasKeys(pass *Pass, flow *funcFlow, e ast.Expr) []string {
+	var out []string
+	for tag := range flow.exprTags(e, pass.Markers) {
+		if tag.kind == flowShardLocal {
+			out = append(out, tag.key)
+		}
+	}
+	return out
+}
+
+// receiverTypeKey returns "pkgpath.Type" for a method declaration, "".
+func receiverTypeKey(pass *Pass, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	ident, ok := t.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if obj, ok := identObj(pass.TypesInfo, ident).(*types.TypeName); ok && obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return pass.Pkg.Path() + "." + ident.Name
+}
+
+// markerOwner strips the field name off a "pkg.Type.Field" key; package
+// vars ("pkg.name") have no owner type, so only crossshard may write.
+func markerOwner(markerKey string) string {
+	i := strings.LastIndex(markerKey, ".")
+	if i < 0 {
+		return ""
+	}
+	owner := markerKey[:i]
+	// "pkgpath.var" leaves a bare package path with no type segment
+	// after the import path; owner must contain a dot past the slash.
+	if j := strings.LastIndex(owner, "/"); strings.LastIndex(owner[j+1:], ".") < 0 {
+		return ""
+	}
+	return owner
+}
+
+// shortKey trims the package path off a marker key for the message.
+func shortKey(pass *Pass, markerKey string) string {
+	prefix := pass.Pkg.Path() + "."
+	if strings.HasPrefix(markerKey, prefix) {
+		return markerKey[len(prefix):]
+	}
+	if i := strings.LastIndex(markerKey, "/"); i >= 0 {
+		return markerKey[i+1:]
+	}
+	return markerKey
+}

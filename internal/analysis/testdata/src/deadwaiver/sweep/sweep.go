@@ -1,0 +1,39 @@
+// Fixture: the driver's dead-waiver check (run here under mapiter, in a
+// simulation package by import path base "sweep") must flag waivers that
+// suppress nothing, keep live waivers, and leave waivers naming analyzers
+// outside the enabled set alone — a partial -only run cannot judge them.
+package sweep
+
+// collectWaived needs its waiver: the map range feeds the returned slice.
+func collectWaived(m map[string]int) []int {
+	var out []int
+	//ftlint:ordered
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// countOnly triggers no mapiter diagnostic, so its waiver is dead.
+func countOnly(m map[string]int) int {
+	n := 0
+	//ftlint:ordered // want "//ftlint:ordered suppresses no diagnostic; remove dead waiver"
+	for range m {
+		n++
+	}
+	return n
+}
+
+// allowDead names an enabled analyzer but suppresses nothing.
+func allowDead(m map[string]int) int {
+	//ftlint:allow mapiter // want "//ftlint:allow mapiter suppresses no diagnostic; remove dead waiver"
+	n := len(m)
+	return n
+}
+
+// allowOtherAnalyzer names an analyzer this run did not enable; only a
+// full run may judge it, so it is not reported here.
+func allowOtherAnalyzer(m map[string]int) int {
+	//ftlint:allow nodeterm
+	return len(m)
+}

@@ -1,0 +1,119 @@
+// Fixture: errtype must flag raw classification of recover() payloads,
+// sentinel == comparisons, error type assertions, fmt.Errorf flattening
+// an error through %s/%v, and discarded commit-path error results
+// (import path base "errs"), while honoring the Is-method exemption, the
+// //ftlint:besteffort marker and //ftlint:allow.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStale is a sentinel in the mpi.ErrProcFailed mold.
+var ErrStale = errors.New("stale image")
+
+// cfgError mirrors ftpm.ConfigError.
+type cfgError struct{ field string }
+
+func (e *cfgError) Error() string { return e.field }
+
+// Is implements the errors.Is protocol; the == against the sentinel here
+// IS the match errors.Is dispatches to — exempt.
+func (e *cfgError) Is(target error) bool {
+	return target == ErrStale
+}
+
+// classifyRaw asserts on a recover() payload directly instead of going
+// through mpi.AsFTError.
+func classifyRaw() (err error) {
+	defer func() {
+		r := recover()
+		if e, ok := r.(error); ok { // want "type assertion on a recover\\(\\) result; classify FT panics with mpi.AsFTError"
+			err = e
+		}
+	}()
+	return nil
+}
+
+// classifySwitch launders the payload through a local before the type
+// switch; the alias engine still traces it to recover().
+func classifySwitch() {
+	defer func() {
+		r := recover()
+		v := r
+		switch v.(type) { // want "type assertion on a recover\\(\\) result"
+		case error:
+		}
+	}()
+}
+
+// compareSentinel breaks as soon as a wrap layer appears.
+func compareSentinel(err error) bool {
+	return err == ErrStale // want "comparing against sentinel error ErrStale with ==; use errors.Is"
+}
+
+// compareIs is the correct form.
+func compareIs(err error) bool {
+	return errors.Is(err, ErrStale)
+}
+
+// assertConcrete breaks under wrapping too.
+func assertConcrete(err error) string {
+	if ce, ok := err.(*cfgError); ok { // want "type assertion on an error value; use errors.As"
+		return ce.field
+	}
+	return ""
+}
+
+// wrapFlattened severs the chain errors.As needs; -fix rewrites the verb.
+func wrapFlattened(err error) error {
+	return fmt.Errorf("commit wave: %v", err) // want "fmt.Errorf flattens an error through %v; wrap with %w"
+}
+
+// wrapProper keeps the chain intact.
+func wrapProper(err error) error {
+	return fmt.Errorf("commit wave: %w", err)
+}
+
+// commit is a commit-path callee: its error must not be dropped.
+func commit(wave int) error {
+	if wave < 0 {
+		return ErrStale
+	}
+	return nil
+}
+
+// bestEffortFlush may be fire-and-forget by contract.
+//
+//ftlint:besteffort
+func bestEffortFlush() error { return nil }
+
+// dropBare discards the commit error in a bare call statement.
+func dropBare() {
+	commit(1) // want "result of commit includes an error that is silently discarded"
+}
+
+// dropBlank discards it through the blank identifier.
+func dropBlank() {
+	_ = commit(2) // want "error result of commit assigned to _"
+}
+
+// dropSanctioned discards a //ftlint:besteffort callee's error — allowed.
+func dropSanctioned() {
+	bestEffortFlush()
+}
+
+// dropWaived is excused at the call site instead of the callee.
+func dropWaived() {
+	//ftlint:allow errtype
+	commit(3)
+}
+
+// handled is the normal form.
+func handled() error {
+	if err := commit(4); err != nil {
+		return fmt.Errorf("checkpoint commit: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+// Fixture: shardconfine must confine writes to //ftlint:shardlocal state
+// (import path base "kernel") to the owner type's methods and
+// //ftlint:crossshard functions, track aliases across assignment chains,
+// hold call sites to the callee's summary, and honor //ftlint:allow.
+package kernel
+
+// queue is one partition's staging state, mirroring sim.shard.
+type queue struct {
+	id int
+	//ftlint:shardlocal
+	heap []int32
+	//ftlint:shardlocal
+	dead int
+}
+
+// pending mirrors a package-level staging buffer.
+//
+//ftlint:shardlocal
+var pending []int32
+
+// push is the owner mutating itself — a shard's own staging context.
+func (q *queue) push(v int32) {
+	q.heap = append(q.heap, v)
+}
+
+// drop is an owner method too; calling it from elsewhere is what the
+// call-site rule polices.
+func (q *queue) drop() {
+	q.dead++
+}
+
+// route is the sanctioned cross-shard mutation point.
+//
+//ftlint:crossshard
+func route(q *queue, v int32) {
+	q.heap = append(q.heap, v)
+	pending = append(pending, v)
+}
+
+// steal writes a shard's counter from outside any sanction.
+func steal(q *queue) {
+	q.dead++ // want "write to shard-local queue.dead outside its owner's methods"
+}
+
+// stealElem writes through an element of marked state.
+func stealElem(q *queue) {
+	q.heap[0] = 7 // want "write to shard-local queue.heap outside its owner's methods"
+}
+
+// alias launders the heap through a local chain; the dataflow engine
+// still resolves the write back to the marker.
+func alias(q *queue) {
+	h := q.heap
+	g := h
+	g[0] = 9 // want "write to shard-local queue.heap outside its owner's methods"
+}
+
+// launder calls an owner method from an unsanctioned context: the callee
+// summary says drop writes queue.dead, so the call site is held to the
+// same rule.
+func launder(q *queue) {
+	q.drop() // want "call to drop writes shard-local queue.dead"
+}
+
+// relay calls the crossshard API — the summary's CrossShard bit clears
+// the call site.
+func relay(q *queue, v int32) {
+	route(q, v)
+}
+
+// globalSteal writes the package-level marked buffer.
+func globalSteal(v int32) {
+	pending = append(pending, v) // want "write to shard-local pending outside its owner's methods"
+}
+
+// waived documents a known-benign write during teardown.
+func waived(q *queue) {
+	//ftlint:allow shardconfine
+	q.dead = 0
+}

@@ -1,0 +1,127 @@
+// Fixture: spanbalance must demand an End/Abort for every Begin on all
+// return and panic paths (import path base "spans"), recognize the
+// handoff sanctions (defer, completion callback, field store,
+// //ftlint:handoff), validate handoff markers against the package's
+// closers, and honor //ftlint:allow.
+package spans
+
+// ev mirrors obs.EventType; spanbalance keys on the constant names.
+type ev int
+
+const (
+	EvRepairBegin ev = iota
+	EvRepairEnd
+	EvRepairAbort
+	EvDrainBegin
+	EvDrainEnd
+	EvFlushBegin // no closer anywhere in this package
+)
+
+func emit(ev) {}
+
+// repairFallback is the known-hard case from internal/ftpm: the repair
+// window opens, then a fallback path returns early before the End.
+func repairFallback(ok bool) {
+	emit(EvRepairBegin) // want "EvRepairBegin is not closed on a return path"
+	if !ok {
+		return // fallback to classic restart leaks the window
+	}
+	emit(EvRepairEnd)
+}
+
+// repairBalanced closes the window on both paths: Abort on the fallback,
+// End on the success path.
+func repairBalanced(ok bool) {
+	emit(EvRepairBegin)
+	if !ok {
+		emit(EvRepairAbort)
+		return
+	}
+	emit(EvRepairEnd)
+}
+
+// drainPanics leaks the span when validation panics.
+func drainPanics(n int) {
+	emit(EvDrainBegin) // want "EvDrainBegin is not closed on a panic path"
+	if n < 0 {
+		panic("negative drain")
+	}
+	emit(EvDrainEnd)
+}
+
+// drainDeferred closes via defer — covers every exit, panics included.
+func drainDeferred(n int) {
+	emit(EvDrainBegin)
+	defer emit(EvDrainEnd)
+	if n < 0 {
+		panic("negative drain")
+	}
+}
+
+// drainCallback hands the close to a completion callback, the ckpt
+// store/drain idiom: the span closes when the flow completes, not when
+// this function returns.
+func drainCallback(onDone func(func())) {
+	emit(EvDrainBegin)
+	onDone(func() { emit(EvDrainEnd) })
+}
+
+// hub and job model the ftpm field-handoff idiom.
+type hub struct{ next int }
+
+func (h *hub) NextSpan() int { h.next++; return h.next }
+
+type job struct {
+	span int
+	hub  *hub
+}
+
+// beginRepair stores the span handle into a field; finishRepair closes
+// the family later.  The alias engine sees the store, the summary table
+// finds the closer.
+func (j *job) beginRepair() {
+	j.span = j.hub.NextSpan()
+	emit(EvRepairBegin)
+}
+
+func (j *job) finishRepair() {
+	emit(EvRepairEnd)
+	j.span = 0
+}
+
+// repairHandoff documents a closer outside this function; the marker is
+// accepted because this package does close the Repair family.
+func repairHandoff() {
+	//ftlint:handoff
+	emit(EvRepairBegin)
+}
+
+// flushHandoffInvalid claims a handoff, but nothing in the package emits
+// EvFlushEnd or EvFlushAbort — the marker itself is reported.
+func flushHandoffInvalid() {
+	//ftlint:handoff
+	emit(EvFlushBegin) // want "EvFlushBegin marked //ftlint:handoff but no function in this package closes the span"
+}
+
+// repairWaived is unbalanced but explicitly excused.
+func repairWaived(ok bool) {
+	//ftlint:allow spanbalance
+	emit(EvRepairBegin)
+	if ok {
+		emit(EvRepairEnd)
+	}
+}
+
+// drainFallthrough closes on one branch but falls off the end of the
+// function on the other.
+func drainFallthrough(ok bool) {
+	emit(EvDrainBegin) // want "EvDrainBegin is not closed on the fall-through path"
+	if ok {
+		emit(EvDrainEnd)
+	}
+}
+
+// drainNeverClosed has no End in the function and no handoff at all.
+func drainNeverClosed() {
+	emit(EvDrainBegin) // want "EvDrainBegin is never closed"
+}

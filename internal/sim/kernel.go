@@ -368,7 +368,7 @@ func (k *Kernel) Cancel(id EventID) bool {
 		// slots are already en route to dispatch, which skips and frees
 		// dead slots itself.
 		if !s.staged {
-			k.shards[s.shard].dead++
+			k.shards[s.shard].noteDead()
 		}
 		return true
 	}

@@ -45,21 +45,40 @@ const timeMax = Time(math.MaxInt64)
 
 // shard is one partition of the event queue.  All fields are owned by the
 // shard's worker during staging and by the executor otherwise; the
-// request/done channel pair transfers ownership.
+// request/done channel pair transfers ownership.  The mutable queue state
+// is marked //ftlint:shardlocal: ftlint's shardconfine analyzer proves no
+// code outside the shard's own methods or a //ftlint:crossshard function
+// ever writes it — the confinement discipline the parallel-callback
+// ROADMAP item needs (DESIGN §5.13).
 type shard struct {
-	k    *Kernel
-	id   int
+	k  *Kernel
+	id int
+	//ftlint:shardlocal
 	heap []int32 // 4-ary min-heap of slot indices, keyed by (t, seq)
-	dead int     // cancelled slots still in heap or inbox
+	//ftlint:shardlocal
+	dead int // cancelled slots still in heap or inbox
 
-	inbox   []int32 // slots routed here since the last staging
-	run     []int32 // staged events for the open window, (t, seq)-ordered
+	//ftlint:shardlocal
+	inbox []int32 // slots routed here since the last staging
+	//ftlint:shardlocal
+	run []int32 // staged events for the open window, (t, seq)-ordered
+	//ftlint:shardlocal
 	runHead int
-	freed   []int32 // dead slots drained during staging; executor recycles
+	//ftlint:shardlocal
+	freed []int32 // dead slots drained during staging; executor recycles
 
 	req  chan Time // window end; closed to retire the worker
 	done chan struct{}
 }
+
+// noteDead counts a cancelled slot still owned by this shard (heap or
+// inbox) so the staging worker knows when to compact.  Cancel calls it
+// from outside the shard: safe, because callbacks — the only code that
+// cancels during a run — execute on the single-threaded dispatch side of
+// the window barrier, while every staging worker is parked.
+//
+//ftlint:crossshard
+func (sh *shard) noteDead() { sh.dead++ }
 
 func (sh *shard) less(a, b int32) bool {
 	sa, sb := &sh.k.slab[a], &sh.k.slab[b]
@@ -261,7 +280,11 @@ func (k *Kernel) Lookahead() Time { return k.lookahead }
 // routeSlot places a freshly scheduled slot: into the executor's overflow
 // heap when it lands inside the open window (it must dispatch this
 // window to preserve the total order), otherwise into the owner shard's
-// inbox for the next staging pass.
+// inbox for the next staging pass.  This is the sanctioned cross-shard
+// write path: it only ever runs on the executor goroutine, between or
+// inside dispatch, while every worker is parked at the barrier.
+//
+//ftlint:crossshard
 func (k *Kernel) routeSlot(idx int32, owner int32) {
 	s := &k.slab[idx]
 	s.shard = owner
@@ -336,7 +359,11 @@ func (k *Kernel) horizonMin() Time {
 }
 
 // mergeNext pops the globally-least (t, seq) event among the staged runs
-// and the overflow heap.
+// and the overflow heap.  Executor-only, workers parked: advancing a
+// shard's staged-run cursor from here is the merge API, hence the
+// crossshard sanction.
+//
+//ftlint:crossshard
 func (k *Kernel) mergeNext() (int32, bool) {
 	best := int32(-1)
 	var src *shard
@@ -407,7 +434,11 @@ func (k *Kernel) dispatchWindow() error {
 }
 
 // runSharded is Run's body when SetShards > 1: alternate parallel staging
-// with total-order dispatch until the simulation ends.
+// with total-order dispatch until the simulation ends.  It recycles every
+// shard's freed list at the barrier — a cross-shard write that is safe
+// because the worker just handed ownership back through its done channel.
+//
+//ftlint:crossshard
 func (k *Kernel) runSharded() error {
 	for _, sh := range k.shards {
 		go sh.serve()
